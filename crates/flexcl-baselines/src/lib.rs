@@ -1,0 +1,46 @@
+//! # flexcl-baselines
+//!
+//! The two comparison estimators of the FlexCL evaluation (DAC'17
+//! reproduction):
+//!
+//! * [`sdaccel`] — an SDAccel-HLS-style cycle estimator that reproduces the
+//!   paper's observed failure modes: memory-latency underestimation,
+//!   conservative control-dependency handling, ignorance of work-group
+//!   scheduling overhead, and a ~42% failure rate on complex design points
+//!   (30.4–84.9% error band in Table 2).
+//! * [`coarse`] — the coarse-grained model + step-by-step heuristic search
+//!   of Wang et al. (HPCA'16), used in the §4.3 DSE comparison (only 12%
+//!   of its configurations are optimal vs 96% for exhaustive FlexCL).
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use flexcl_core::{KernelAnalysis, OptimizationConfig, Platform, Workload};
+//! use flexcl_interp::KernelArg;
+//!
+//! let program = flexcl_frontend::parse_and_check(
+//!     "__kernel void copy(__global float* a, __global float* b) {
+//!          int i = get_global_id(0);
+//!          b[i] = a[i];
+//!      }",
+//! )?;
+//! let func = flexcl_ir::lower_kernel(&program.kernels[0])?;
+//! let workload = Workload {
+//!     args: vec![KernelArg::FloatBuf(vec![0.0; 256]), KernelArg::FloatBuf(vec![0.0; 256])],
+//!     global: (256, 1),
+//! };
+//! let analysis =
+//!     KernelAnalysis::analyze(&func, &Platform::virtex7_adm7v3(), &workload, (64, 1))?;
+//! let config = OptimizationConfig::baseline((64, 1));
+//!
+//! let sda = flexcl_baselines::sdaccel::estimate(&analysis, &config);
+//! let coarse = flexcl_baselines::coarse::estimate(&analysis, &config);
+//! assert!(sda.is_some());
+//! assert!(coarse > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coarse;
+pub mod sdaccel;

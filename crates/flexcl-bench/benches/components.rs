@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks for the model's building blocks.
+//!
+//! These quantify the §4.3 claim that one FlexCL evaluation costs
+//! microseconds-to-milliseconds (against hours for synthesis): per-call
+//! costs of the frontend, kernel analysis, a single estimate, the
+//! schedulers, and the DRAM pattern profiler.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flexcl_core::{estimate, KernelAnalysis, OptimizationConfig, Platform, Workload};
+use flexcl_dram::{microbench, DramConfig};
+use flexcl_interp::KernelArg;
+use flexcl_sched::{list, sms, ResourceBudget, ResourceClass, SchedGraph};
+
+const SRC: &str = "__kernel void saxpy(__global float* x, __global float* y, float a) {
+    int i = get_global_id(0);
+    y[i] = a * x[i] + y[i];
+}";
+
+fn workload() -> Workload {
+    Workload {
+        args: vec![
+            KernelArg::FloatBuf(vec![1.0; 1024]),
+            KernelArg::FloatBuf(vec![2.0; 1024]),
+            KernelArg::Float(0.5),
+        ],
+        global: (1024, 1),
+    }
+}
+
+fn analysis() -> KernelAnalysis {
+    let p = flexcl_frontend::parse_and_check(SRC).expect("frontend");
+    let f = flexcl_ir::lower_kernel(&p.kernels[0]).expect("lowering");
+    KernelAnalysis::analyze(&f, &Platform::virtex7_adm7v3(), &workload(), (64, 1))
+        .expect("analysis")
+}
+
+fn sched_graph(n: usize) -> SchedGraph {
+    let mut g = SchedGraph::new();
+    let classes =
+        [ResourceClass::Fabric, ResourceClass::Dsp, ResourceClass::LocalRead];
+    let ids: Vec<_> = (0..n)
+        .map(|i| g.add_node(1 + (i % 5) as u32, classes[i % classes.len()]))
+        .collect();
+    for i in 1..n {
+        g.add_edge(ids[i / 2], ids[i]);
+    }
+    g
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    c.bench_function("frontend/parse_and_check", |b| {
+        b.iter(|| flexcl_frontend::parse_and_check(black_box(SRC)).expect("frontend"))
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let p = flexcl_frontend::parse_and_check(SRC).expect("frontend");
+    let f = flexcl_ir::lower_kernel(&p.kernels[0]).expect("lowering");
+    let platform = Platform::virtex7_adm7v3();
+    let w = workload();
+    c.bench_function("core/kernel_analysis", |b| {
+        b.iter(|| {
+            KernelAnalysis::analyze(black_box(&f), &platform, &w, (64, 1)).expect("analysis")
+        })
+    });
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let a = analysis();
+    let cfg = OptimizationConfig {
+        work_item_pipeline: true,
+        ..OptimizationConfig::baseline((64, 1))
+    };
+    c.bench_function("core/single_estimate", |b| {
+        b.iter(|| estimate(black_box(&a), black_box(&cfg)))
+    });
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let g = sched_graph(64);
+    let budget = ResourceBudget {
+        local_read_ports: 2,
+        local_write_ports: 1,
+        dsps: 4,
+        global_ports: 4,
+    };
+    c.bench_function("sched/list_64_nodes", |b| {
+        b.iter(|| list::schedule(black_box(&g), &budget))
+    });
+    c.bench_function("sched/sms_64_nodes", |b| {
+        b.iter(|| sms::schedule(black_box(&g), &budget, 0))
+    });
+}
+
+fn bench_dram_profile(c: &mut Criterion) {
+    c.bench_function("dram/pattern_profile", |b| {
+        b.iter(|| microbench::profile(black_box(DramConfig::adm_pcie_7v3())))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_analysis,
+    bench_estimate,
+    bench_schedulers,
+    bench_dram_profile
+);
+criterion_main!(benches);

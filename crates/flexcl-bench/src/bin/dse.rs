@@ -1,0 +1,163 @@
+//! Experiment E5 — §4.3 design-space exploration.
+//!
+//! Reproduced claims, per PolyBench kernel:
+//!
+//! * **Speed**: FlexCL explores the full space in seconds; against
+//!   synthesis-based System Run (0.7 h per design, as Table 2 implies) the
+//!   speedup exceeds 10,000×.
+//! * **Quality**: the configuration FlexCL ranks best performs within a
+//!   few percent of the true (System-Run-measured) optimum — the paper
+//!   reports 2.1% average — and the best configuration accelerates the
+//!   unoptimized baseline by orders of magnitude (273× on the paper's
+//!   workload sizes).
+//! * **Comparison with \[16\]**: exhaustive search over the FlexCL model
+//!   finds the optimum for most kernels, while the coarse-grained model
+//!   with step-by-step search of HPCA'16 rarely does (96% vs 12%).
+//!
+//! Regenerate with `cargo run -p flexcl-bench --bin dse --release`.
+
+use flexcl_bench::{compile, sweep_kernel, write_csv, SYNTHESIS_HOURS_PER_DESIGN};
+use flexcl_core::{KernelAnalysis, Platform};
+use flexcl_kernels::{polybench, Scale};
+
+fn main() {
+    let platform = Platform::virtex7_adm7v3();
+    let mut rows = Vec::new();
+    let mut flexcl_optimal = 0usize;
+    let mut stepwise_optimal = 0usize;
+    let mut total = 0usize;
+    let mut gaps = Vec::new();
+    let mut speedups = Vec::new();
+    let mut speed_ratio = Vec::new();
+
+    println!("Design-space exploration (PolyBench)");
+    println!("{:-<100}", "");
+    println!(
+        "{:<26} {:>7} {:>9} {:>9} {:>9} {:>10} {:>12} {:>10}",
+        "Kernel", "points", "gap", "speedup", "FlexCL t", "Synth est", "explore spd", "stepwise"
+    );
+    println!("{:-<100}", "");
+
+    for spec in polybench() {
+        let sweep = sweep_kernel(&spec, &platform, Scale::Test);
+        if sweep.records.is_empty() {
+            continue;
+        }
+        total += 1;
+
+        // Ground-truth optimum and FlexCL's pick.
+        let sim_best = sweep
+            .records
+            .iter()
+            .min_by(|a, b| a.system_cycles.total_cmp(&b.system_cycles))
+            .expect("non-empty");
+        let flexcl_pick = sweep
+            .records
+            .iter()
+            .min_by(|a, b| a.flexcl_cycles.total_cmp(&b.flexcl_cycles))
+            .expect("non-empty");
+        let gap =
+            (flexcl_pick.system_cycles - sim_best.system_cycles) / sim_best.system_cycles;
+        gaps.push(gap);
+        // "Optimal" within the System Run's synthesis-variance noise floor
+        // (per-op implementation factors move a measurement by a few
+        // percent, so near-ties are genuine ties).
+        if gap < 0.05 {
+            flexcl_optimal += 1;
+        }
+
+        // Speedup of the best point over the unoptimized baseline.
+        let baseline = sweep
+            .records
+            .iter()
+            .filter(|r| {
+                !r.config.work_item_pipeline
+                    && r.config.num_pes == 1
+                    && r.config.num_cus == 1
+                    && r.config.vector_width == 1
+            })
+            .map(|r| r.system_cycles)
+            .fold(0f64, f64::max);
+        let speedup = baseline / sim_best.system_cycles;
+        speedups.push(speedup);
+
+        // Stepwise coarse-grained search (HPCA'16).
+        let func = compile(&spec);
+        let workload = spec.workload(Scale::Test, 1234);
+        let limits = flexcl_core::limits_for(&func, &workload);
+        let space = flexcl_core::enumerate(&limits);
+        let analysis = KernelAnalysis::analyze(&func, &platform, &workload, (64, 1))
+            .or_else(|_| KernelAnalysis::analyze(&func, &platform, &workload, (8, 8)))
+            .expect("analysis");
+        let stepwise_pick = flexcl_baselines::coarse::stepwise_search(&analysis, &space)
+            .expect("stepwise");
+        let stepwise_sim = sweep
+            .records
+            .iter()
+            .find(|r| r.config == stepwise_pick)
+            .map_or(f64::INFINITY, |r| r.system_cycles);
+        let stepwise_gap = (stepwise_sim - sim_best.system_cycles) / sim_best.system_cycles;
+        let stepwise_is_optimal = stepwise_gap < 0.05;
+        if stepwise_is_optimal {
+            stepwise_optimal += 1;
+        }
+
+        // Exploration speed: measured model time vs extrapolated synthesis.
+        let synth_secs = sweep.records.len() as f64 * SYNTHESIS_HOURS_PER_DESIGN * 3600.0;
+        let ratio = synth_secs / sweep.flexcl_time.as_secs_f64().max(1e-9);
+        speed_ratio.push(ratio);
+
+        println!(
+            "{:<26} {:>7} {:>8.1}% {:>8.1}x {:>8.1}s {:>8.0} h {:>11.0}x {:>10}",
+            sweep.name,
+            sweep.records.len(),
+            gap * 100.0,
+            speedup,
+            sweep.flexcl_time.as_secs_f64(),
+            synth_secs / 3600.0,
+            ratio,
+            if stepwise_is_optimal { "optimal" } else { "local opt" },
+        );
+        rows.push(format!(
+            "{},{},{:.4},{:.2},{:.3},{:.0},{:.0},{}",
+            sweep.name,
+            sweep.records.len(),
+            gap,
+            speedup,
+            sweep.flexcl_time.as_secs_f64(),
+            synth_secs,
+            ratio,
+            stepwise_is_optimal
+        ));
+    }
+
+    println!("{:-<100}", "");
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "FlexCL pick within {:.1}% of optimum on average (paper: 2.1%); optimal picks: {}/{} = {:.0}% (paper: 96%)",
+        avg(&gaps) * 100.0,
+        flexcl_optimal,
+        total,
+        100.0 * flexcl_optimal as f64 / total.max(1) as f64
+    );
+    println!(
+        "Stepwise [16] optimal picks: {}/{} = {:.0}% (paper: 12%)",
+        stepwise_optimal,
+        total,
+        100.0 * stepwise_optimal as f64 / total.max(1) as f64
+    );
+    println!(
+        "Best-vs-baseline speedup: {:.0}x average (paper: 273x at full workload scale)",
+        avg(&speedups)
+    );
+    println!(
+        "Exploration speedup over synthesis-based System Run: {:.0}x average (paper: >10,000x)",
+        avg(&speed_ratio)
+    );
+    write_csv(
+        "dse_polybench.csv",
+        "kernel,points,gap_to_optimal,speedup_over_baseline,flexcl_seconds,\
+         synthesis_seconds_extrapolated,exploration_speedup,stepwise_optimal",
+        &rows,
+    );
+}

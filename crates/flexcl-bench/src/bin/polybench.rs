@@ -1,0 +1,42 @@
+//! Experiment E2 — §4.2 PolyBench accuracy: average absolute estimation
+//! error of FlexCL over the PolyBench suite (paper: 8.7%).
+//!
+//! Regenerate with `cargo run -p flexcl-bench --bin polybench --release`.
+
+use flexcl_bench::{sweep_kernel, write_csv};
+use flexcl_core::Platform;
+use flexcl_kernels::{polybench, Scale};
+
+fn main() {
+    let platform = Platform::virtex7_adm7v3();
+
+    println!("PolyBench accuracy (vs System Run)");
+    println!("{:-<58}", "");
+    println!("{:<28} {:>8} {:>10} {:>8}", "Kernel", "#Designs", "FlexCL err", "points");
+    println!("{:-<58}", "");
+
+    let mut rows = Vec::new();
+    let mut errors = Vec::new();
+    for spec in polybench() {
+        let sweep = sweep_kernel(&spec, &platform, Scale::Test);
+        println!(
+            "{:<28} {:>8} {:>9.1}% {:>8}",
+            sweep.name,
+            sweep.designs,
+            sweep.flexcl_error_pct(),
+            sweep.records.len()
+        );
+        errors.push(sweep.flexcl_error_pct());
+        rows.push(format!(
+            "{},{},{:.2},{}",
+            sweep.name,
+            sweep.designs,
+            sweep.flexcl_error_pct(),
+            sweep.records.len()
+        ));
+    }
+    println!("{:-<58}", "");
+    let avg = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
+    println!("AVERAGE FlexCL error: {avg:.1}% (paper: 8.7%)");
+    write_csv("polybench.csv", "kernel,designs,flexcl_err_pct,points", &rows);
+}

@@ -1,0 +1,1004 @@
+//! Kernel analysis (§3.2): the bridge between IR and the analytical model.
+//!
+//! For one kernel, one workload and one work-group size this module
+//! combines static analysis (CDFG structure, operation latencies, local
+//! memory port pressure, DSP usage, inter-work-item recurrences) with
+//! dynamic profiling (loop trip counts and the coalesced, bank-classified
+//! global-memory pattern counts of Table 1). The result — a
+//! [`KernelAnalysis`] — contains everything the PE/CU/kernel computation
+//! models and the global memory model consume, so that sweeping hundreds
+//! of optimization configurations only re-evaluates closed-form equations
+//! and small schedules.
+
+use crate::platform::Platform;
+use flexcl_dram::{coalesce, microbench, AccessKind, Burst, DramSim, ElementAccess, PatternTable,
+    Request};
+use flexcl_interp::{run, InterpError, KernelArg, MemAccess, NdRange, Profile, RunOptions};
+use flexcl_ir::{build_deps, find_recurrences, Function, InstId, MemRoot, Op, Region, Value};
+use flexcl_sched::{list, sms, NodeId, ResourceBudget, ResourceClass, SchedGraph};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Base byte address assigned to pointer parameter `p` when turning element
+/// indices into DRAM addresses (16 MiB apart, so distinct buffers never
+/// alias and start bank-aligned, as a real allocator would).
+fn param_base(p: u32) -> u64 {
+    u64::from(p) << 24
+}
+
+/// A coalesced global-memory burst attributed to the work-item whose
+/// access opened it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OwnedBurst {
+    /// The coalesced transaction.
+    pub burst: Burst,
+    /// Linear id of the owning work-item.
+    pub work_item: u64,
+}
+
+/// Converts an interpreter trace into per-work-group burst lists.
+///
+/// Within each work-group, each global buffer's access stream is coalesced
+/// independently (SDAccel infers one AXI burst engine per buffer) and the
+/// resulting bursts are interleaved in work-item order — the order in which
+/// the pipelined hardware emits them. Both the analytical memory model and
+/// the System Run simulator consume this same representation, so they
+/// disagree only where the model genuinely approximates (average pattern
+/// latencies vs per-access bank state).
+pub fn trace_to_group_bursts(trace: &[MemAccess], unit_bytes: u32) -> Vec<(u64, Vec<OwnedBurst>)> {
+    let mut groups: HashMap<u64, HashMap<u32, Vec<(u64, ElementAccess)>>> = HashMap::new();
+    for a in trace {
+        let addr =
+            (param_base(a.param) as i64 + a.elem_index * i64::from(a.bytes)).max(0) as u64;
+        groups.entry(a.work_group).or_default().entry(a.param).or_default().push((
+            a.work_item,
+            ElementAccess {
+                addr,
+                bytes: a.bytes,
+                kind: if a.write { AccessKind::Write } else { AccessKind::Read },
+            },
+        ));
+    }
+    let mut out: Vec<(u64, Vec<OwnedBurst>)> = Vec::with_capacity(groups.len());
+    for (g, streams) in groups {
+        let mut bursts = Vec::new();
+        let mut params: Vec<u32> = streams.keys().copied().collect();
+        params.sort_unstable();
+        for p in params {
+            let stream = &streams[&p];
+            let elements: Vec<ElementAccess> = stream.iter().map(|(_, e)| *e).collect();
+            let mut cursor = 0usize;
+            for b in coalesce(&elements, unit_bytes) {
+                let owner = stream[cursor].0;
+                cursor += b.merged as usize;
+                bursts.push(OwnedBurst { burst: b, work_item: owner });
+            }
+        }
+        bursts.sort_by_key(|b| b.work_item);
+        out.push((g, bursts));
+    }
+    out.sort_by_key(|(g, _)| *g);
+    out
+}
+
+/// A kernel workload: argument values plus the global NDRange.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Kernel arguments (buffers are cloned for profiling runs).
+    pub args: Vec<KernelArg>,
+    /// Global work size (x, y).
+    pub global: (u64, u64),
+}
+
+impl Workload {
+    /// Total number of work-items.
+    pub fn total_work_items(&self) -> u64 {
+        self.global.0 * self.global.1
+    }
+}
+
+/// Errors produced during kernel analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// Dynamic profiling failed.
+    Profiling(InterpError),
+    /// The work-group size does not tile the workload.
+    BadGeometry(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Profiling(e) => write!(f, "profiling failed: {e}"),
+            AnalysisError::BadGeometry(m) => write!(f, "bad geometry: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<InterpError> for AnalysisError {
+    fn from(e: InterpError) -> Self {
+        AnalysisError::Profiling(e)
+    }
+}
+
+/// An inter-work-item recurrence with its resolved cycle latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedRecurrence {
+    /// Work-item distance.
+    pub distance: u32,
+    /// Total latency around the dependence cycle, in cycles.
+    pub cycle_latency: u64,
+    /// The load instruction.
+    pub load: InstId,
+    /// The store instruction.
+    pub store: InstId,
+}
+
+/// Everything the model needs to know about one (kernel, workload,
+/// work-group size) combination.
+#[derive(Debug, Clone)]
+pub struct KernelAnalysis {
+    /// The analyzed kernel.
+    pub func: Function,
+    /// Target platform.
+    pub platform: Platform,
+    /// Work-group size used for profiling (x, y).
+    pub work_group: (u32, u32),
+    /// Global NDRange of the workload.
+    pub global: (u64, u64),
+    /// Dynamic profile (loop trips, memory trace) over a few work-groups.
+    pub profile: Profile,
+    /// Per-work-item Table-1 pattern counts `N`, after coalescing, with
+    /// bursts in work-item order (the order the pipelined datapath emits
+    /// them — used by pipeline communication mode).
+    pub pattern_counts: PatternTable<f64>,
+    /// Pattern counts with each group's bursts phased reads-first (the
+    /// order barrier communication mode emits them: load phase, compute,
+    /// store phase). Phasing avoids read/write bus turnarounds and row
+    /// thrashing, so barrier mode can have *cheaper* per-access memory.
+    pub pattern_counts_phased: PatternTable<f64>,
+    /// Per-work-item Table-1 pattern latencies `ΔT`, micro-benchmarked on
+    /// this platform's DRAM.
+    pub pattern_latencies: PatternTable<f64>,
+    /// Global memory transactions per work-item after coalescing.
+    pub global_accesses_per_wi: f64,
+    /// Trip-weighted per-work-item local-memory reads, per array.
+    pub local_reads: HashMap<MemRoot, f64>,
+    /// Trip-weighted per-work-item local-memory writes, per array.
+    pub local_writes: HashMap<MemRoot, f64>,
+    /// Trip-weighted DSP-mapped operations issued per work-item.
+    pub dsp_ops_per_wi: f64,
+    /// DSP slices consumed by one PE instance (static area).
+    pub static_dsps_per_pe: u32,
+    /// Number of DSP-mapped instruction instances in the kernel body.
+    pub dsp_op_instances: u32,
+    /// `__local` bytes per CU.
+    pub local_bytes: u64,
+    /// Inter-work-item recurrences with cycle latencies.
+    pub recurrences: Vec<ResolvedRecurrence>,
+    /// Measured per-CU memory slowdown when two CUs share a DDR channel
+    /// (1.0 = streams interleave without conflict, 2.0 = full
+    /// serialization). Obtained by replaying two profiled group streams
+    /// concurrently against the banked DRAM — the same profiling
+    /// methodology §3.4 uses for the ΔT table.
+    pub channel_contention: f64,
+    /// Per-instruction execution multiplier (product of enclosing trip
+    /// counts), used for resource-pressure weighting.
+    multipliers: Vec<f64>,
+}
+
+impl KernelAnalysis {
+    /// Runs the full §3.2 analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] if the geometry is invalid or profiling
+    /// fails (out-of-bounds kernel, runaway loop).
+    pub fn analyze(
+        func: &Function,
+        platform: &Platform,
+        workload: &Workload,
+        work_group: (u32, u32),
+    ) -> Result<KernelAnalysis, AnalysisError> {
+        let nd = NdRange {
+            global: [workload.global.0, workload.global.1, 1],
+            local: [u64::from(work_group.0), u64::from(work_group.1), 1],
+        };
+        nd.validate().map_err(AnalysisError::BadGeometry)?;
+
+        // Dynamic profiling over a few work-groups (the paper: "only a few
+        // work-groups are profiled in practice").
+        let mut args = workload.args.clone();
+        let groups = nd.num_groups();
+        let opts = RunOptions {
+            profile_groups: Some(groups.min(4)),
+            profile_spread: true,
+            ..RunOptions::default()
+        };
+        let profile = run(func, &mut args, nd, opts)?;
+
+        // ---- memory: coalesce per buffer, interleave in work-item order,
+        // and classify against the banked DRAM (Table 1).
+        let unit_bytes = platform.mem_access_unit_bits / 8;
+        let group_bursts = trace_to_group_bursts(&profile.trace, unit_bytes);
+        let wi = profile.work_items.max(1) as f64;
+
+        // Work-item order (pipeline mode).
+        let mut dram = DramSim::new(platform.dram);
+        let mut t = 0u64;
+        let mut n_bursts = 0usize;
+        for (_, bursts) in &group_bursts {
+            for ob in bursts {
+                n_bursts += 1;
+                let info = dram.access(Request {
+                    addr: ob.burst.addr,
+                    bytes: ob.burst.bytes,
+                    kind: ob.burst.kind,
+                    arrival: t,
+                });
+                t = info.finish;
+            }
+        }
+        let mut pattern_counts = PatternTable::new();
+        for (p, c) in dram.counts().iter() {
+            pattern_counts[p] = c as f64 / wi;
+        }
+
+        // Phased order (barrier mode): per group, reads then writes.
+        let mut dram_phased = DramSim::new(platform.dram);
+        let mut t = 0u64;
+        for (_, bursts) in &group_bursts {
+            for pass in [AccessKind::Read, AccessKind::Write] {
+                for ob in bursts.iter().filter(|b| b.burst.kind == pass) {
+                    let info = dram_phased.access(Request {
+                        addr: ob.burst.addr,
+                        bytes: ob.burst.bytes,
+                        kind: ob.burst.kind,
+                        arrival: t,
+                    });
+                    t = info.finish;
+                }
+            }
+        }
+        let mut pattern_counts_phased = PatternTable::new();
+        for (p, c) in dram_phased.counts().iter() {
+            pattern_counts_phased[p] = c as f64 / wi;
+        }
+        let global_accesses_per_wi = n_bursts as f64 / wi;
+        let pattern_latencies = microbench::profile(platform.dram);
+        let channel_contention = measure_channel_contention(platform, &group_bursts);
+
+        // ---- static analysis with trip-count weighting.
+        let multipliers = instruction_multipliers(func, &profile);
+        let mut local_reads: HashMap<MemRoot, f64> = HashMap::new();
+        let mut local_writes: HashMap<MemRoot, f64> = HashMap::new();
+        let mut dsp_ops_per_wi = 0.0;
+        let mut static_dsps_per_pe = 0u32;
+        let mut dsp_op_instances = 0u32;
+        for inst in &func.insts {
+            let m = multipliers[inst.id.0 as usize];
+            match &inst.op {
+                Op::Load { space: flexcl_frontend::types::AddressSpace::Local, root } => {
+                    *local_reads.entry(*root).or_insert(0.0) += m;
+                }
+                Op::Store { space: flexcl_frontend::types::AddressSpace::Local, root } => {
+                    *local_writes.entry(*root).or_insert(0.0) += m;
+                }
+                _ => {}
+            }
+            let dsps = platform.op_dsps(&inst.op, &inst.ty);
+            if dsps > 0 {
+                dsp_ops_per_wi += m;
+                static_dsps_per_pe += dsps;
+                dsp_op_instances += 1;
+            }
+        }
+
+        // ---- recurrences with resolved cycle latencies.
+        let recurrences = find_recurrences(func)
+            .into_iter()
+            .map(|r| ResolvedRecurrence {
+                distance: r.distance,
+                cycle_latency: dep_path_latency(func, platform, r.load, r.store),
+                load: r.load,
+                store: r.store,
+            })
+            .collect();
+
+        Ok(KernelAnalysis {
+            func: func.clone(),
+            platform: platform.clone(),
+            work_group,
+            global: workload.global,
+            profile,
+            pattern_counts,
+            pattern_counts_phased,
+            pattern_latencies,
+            global_accesses_per_wi,
+            local_reads,
+            local_writes,
+            dsp_ops_per_wi,
+            static_dsps_per_pe,
+            dsp_op_instances,
+            local_bytes: func.local_bytes(),
+            recurrences,
+            channel_contention,
+            multipliers,
+        })
+    }
+
+    /// Per-work-item global-memory latency `L_mem^wi` (Eq. 9), with
+    /// bursts in the pipeline-mode (work-item) order.
+    pub fn l_mem_wi(&self) -> f64 {
+        self.pattern_latencies
+            .iter()
+            .map(|(p, dt)| dt * self.pattern_counts[p])
+            .sum()
+    }
+
+    /// `L_mem^wi` with barrier-mode phasing (reads first, then writes).
+    pub fn l_mem_wi_phased(&self) -> f64 {
+        self.pattern_latencies
+            .iter()
+            .map(|(p, dt)| dt * self.pattern_counts_phased[p])
+            .sum()
+    }
+
+    /// `RecMII`: the recurrence-constrained lower bound of the work-item
+    /// initiation interval.
+    pub fn rec_mii(&self) -> u32 {
+        self.recurrences
+            .iter()
+            .map(|r| {
+                (r.cycle_latency as f64 / f64::from(r.distance.max(1))).ceil() as u32
+            })
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// `ResMII` under a PE resource budget (Eq. 3–4), using trip-weighted
+    /// per-work-item counts.
+    pub fn res_mii(&self, budget: &ResourceBudget) -> u32 {
+        let mut mii = 1u32;
+        for (root, reads) in &self.local_reads {
+            let ports = budget.local_read_ports.max(1) as f64;
+            mii = mii.max((reads / ports).ceil() as u32);
+            let _ = root;
+        }
+        for writes in self.local_writes.values() {
+            let ports = budget.local_write_ports.max(1) as f64;
+            mii = mii.max((writes / ports).ceil() as u32);
+        }
+        if self.dsp_ops_per_wi > 0.0 {
+            let dsps = budget.dsps.max(1) as f64;
+            mii = mii.max((self.dsp_ops_per_wi / dsps).ceil() as u32);
+        }
+        mii
+    }
+
+    /// One work-item's end-to-end latency through the CDFG (the critical
+    /// path, i.e. the non-pipelined execution time and the floor of the
+    /// pipeline depth `D_comp^PE`).
+    pub fn work_item_latency(&self, budget: &ResourceBudget) -> f64 {
+        self.region_latency(&self.func.region, budget)
+    }
+
+    fn block_latency(&self, block: flexcl_ir::BlockId, budget: &ResourceBudget) -> f64 {
+        let insts = &self.func.block(block).insts;
+        if insts.is_empty() {
+            return 0.0;
+        }
+        let mut g = SchedGraph::new();
+        let mut map: HashMap<InstId, NodeId> = HashMap::new();
+        for id in insts {
+            let inst = self.func.inst(*id);
+            let node = g.add_node(
+                self.platform.op_latency(&inst.op, &inst.ty),
+                self.platform.op_resource(&inst.op, &inst.ty),
+            );
+            map.insert(*id, node);
+        }
+        for e in build_deps(&self.func, insts) {
+            g.add_edge(map[&e.from], map[&e.to]);
+        }
+        f64::from(list::schedule(&g, budget).length)
+    }
+
+    fn region_latency(&self, region: &Region, budget: &ResourceBudget) -> f64 {
+        match region {
+            Region::Block(b) => self.block_latency(*b, budget),
+            Region::Seq(rs) => rs.iter().map(|r| self.region_latency(r, budget)).sum(),
+            Region::If { cond_block, then_region, else_region } => {
+                // Independent branches execute in parallel circuits (§3.2);
+                // the merged node costs the longer branch.
+                self.block_latency(*cond_block, budget)
+                    + self
+                        .region_latency(then_region, budget)
+                        .max(self.region_latency(else_region, budget))
+            }
+            Region::Loop { id, header, body, latch } => {
+                let meta = &self.func.loops[id.0 as usize];
+                let trip = self.profile.trip_count(&self.func, *id).max(0.0);
+                let header_lat = self.block_latency(*header, budget);
+                let latch_lat =
+                    latch.map_or(0.0, |l| self.block_latency(l, budget));
+                let body_lat = self.region_latency(body, budget) + latch_lat + header_lat;
+                if meta.pipeline {
+                    return self.pipelined_loop_latency(*header, body, *latch, trip, budget);
+                }
+                let unroll = match meta.unroll {
+                    Some(0) => trip.max(1.0) as u32, // full unroll
+                    Some(u) => u.max(1),
+                    None => 1,
+                };
+                if unroll <= 1 {
+                    header_lat + trip * body_lat
+                } else {
+                    // Unrolled iterations share PE resources; the iteration
+                    // latency cannot beat the resource floor.
+                    let floor = self.unroll_resource_floor(body, budget, unroll);
+                    let iters = (trip / f64::from(unroll)).ceil();
+                    header_lat + iters * body_lat.max(floor)
+                }
+            }
+        }
+    }
+
+    /// Latency of a `#pragma pipeline` loop: iterations overlap at the
+    /// initiation interval found by modulo-scheduling the iteration body
+    /// with its loop-carried dependences (values carried through private
+    /// slots and same-array accesses across iterations):
+    /// `L = II·(trip − 1) + depth`.
+    fn pipelined_loop_latency(
+        &self,
+        header: flexcl_ir::BlockId,
+        body: &Region,
+        latch: Option<flexcl_ir::BlockId>,
+        trip: f64,
+        budget: &ResourceBudget,
+    ) -> f64 {
+        // One iteration = header + body blocks + latch, in program order.
+        let mut seq: Vec<InstId> = Vec::new();
+        seq.extend(self.func.block(header).insts.iter().copied());
+        for b in body.blocks() {
+            seq.extend(self.func.block(b).insts.iter().copied());
+        }
+        if let Some(l) = latch {
+            seq.extend(self.func.block(l).insts.iter().copied());
+        }
+        if seq.is_empty() {
+            return 0.0;
+        }
+        let mut g = SchedGraph::new();
+        let mut map: HashMap<InstId, NodeId> = HashMap::new();
+        for id in &seq {
+            let inst = self.func.inst(*id);
+            let node = g.add_node(
+                self.platform.op_latency(&inst.op, &inst.ty),
+                self.platform.op_resource(&inst.op, &inst.ty),
+            );
+            map.insert(*id, node);
+        }
+        for e in build_deps(&self.func, &seq) {
+            g.add_edge(map[&e.from], map[&e.to]);
+        }
+        // Loop-carried dependences: a store in iteration k feeds loads that
+        // appear *earlier* in iteration k+1 through the same root.
+        let pos: HashMap<InstId, usize> =
+            seq.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        for &sid in &seq {
+            let s = self.func.inst(sid);
+            let Op::Store { root: s_root, .. } = &s.op else { continue };
+            for &lid in &seq {
+                let l = self.func.inst(lid);
+                let Op::Load { root: l_root, .. } = &l.op else { continue };
+                if s_root != l_root || pos[&lid] >= pos[&sid] {
+                    continue;
+                }
+                // Provably distinct constant indices never conflict.
+                let (si, li) = (s.args[0].as_const_int(), l.args[0].as_const_int());
+                if let (Some(a), Some(b)) = (si, li) {
+                    if a != b {
+                        continue;
+                    }
+                }
+                g.add_edge_with_distance(map[&sid], map[&lid], 1);
+            }
+        }
+        let sched = sms::schedule(&g, budget, 0);
+        f64::from(sched.ii) * (trip - 1.0).max(0.0) + f64::from(sched.depth)
+    }
+
+    /// Lower bound on the latency of `unroll` merged loop bodies given the
+    /// resource budget (issue-rate bound).
+    fn unroll_resource_floor(
+        &self,
+        body: &Region,
+        budget: &ResourceBudget,
+        unroll: u32,
+    ) -> f64 {
+        let mut uses: HashMap<ResourceClass, u32> = HashMap::new();
+        for b in body.blocks() {
+            for inst in self.func.block_insts(b) {
+                let class = self.platform.op_resource(&inst.op, &inst.ty);
+                *uses.entry(class).or_insert(0) += 1;
+            }
+        }
+        let mut floor = 0f64;
+        for (class, n) in uses {
+            let limit = budget.limit(class);
+            if limit == 0 || limit == u32::MAX {
+                continue;
+            }
+            floor = floor.max(f64::from(n * unroll) / f64::from(limit));
+        }
+        floor.ceil()
+    }
+
+    /// Builds the work-item-level scheduling graph: top-level straight-line
+    /// instructions as individual nodes, control regions (ifs, loops)
+    /// collapsed into macro nodes, recurrence edges attached.
+    pub fn work_item_graph(&self, budget: &ResourceBudget) -> (SchedGraph, Vec<Option<NodeId>>) {
+        let mut g = SchedGraph::new();
+        let mut inst_node: Vec<Option<NodeId>> = vec![None; self.func.insts.len()];
+
+        let top_items: Vec<&Region> = match &self.func.region {
+            Region::Seq(items) => items.iter().collect(),
+            other => vec![other],
+        };
+        for item in top_items {
+            match item {
+                Region::Block(b) => {
+                    for inst in self.func.block_insts(*b) {
+                        let node = g.add_node(
+                            self.platform.op_latency(&inst.op, &inst.ty),
+                            self.platform.op_resource(&inst.op, &inst.ty),
+                        );
+                        inst_node[inst.id.0 as usize] = Some(node);
+                    }
+                }
+                region => {
+                    let lat = self.region_latency(region, budget).min(f64::from(u32::MAX / 4));
+                    let node = g.add_node(lat.round() as u32, ResourceClass::Fabric);
+                    for b in region.blocks() {
+                        for inst in self.func.block_insts(b) {
+                            inst_node[inst.id.0 as usize] = Some(node);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Dependence edges mapped onto nodes.
+        let all: Vec<InstId> = self.func.insts.iter().map(|i| i.id).collect();
+        let mut seen = std::collections::HashSet::new();
+        for e in build_deps(&self.func, &all) {
+            let (Some(from), Some(to)) =
+                (inst_node[e.from.0 as usize], inst_node[e.to.0 as usize])
+            else {
+                continue;
+            };
+            if from != to && seen.insert((from, to)) {
+                g.add_edge(from, to);
+            }
+        }
+        // Inter-work-item recurrence edges.
+        for r in &self.recurrences {
+            let (Some(from), Some(to)) =
+                (inst_node[r.store.0 as usize], inst_node[r.load.0 as usize])
+            else {
+                continue;
+            };
+            g.add_edge_with_distance(from, to, r.distance);
+        }
+        (g, inst_node)
+    }
+
+    /// The PE pipeline parameters: `(II_comp^wi, D_comp^PE)` via
+    /// `MII = max(RecMII, ResMII)` refined by swing modulo scheduling.
+    pub fn pipeline_params(&self, budget: &ResourceBudget) -> (u32, u32) {
+        let (g, _) = self.work_item_graph(budget);
+        let depth_floor = self.work_item_latency(budget).round() as u32;
+        let schedule = sms::schedule(&g, budget, depth_floor);
+        let ii = schedule
+            .ii
+            .max(self.rec_mii())
+            .max(self.res_mii(budget));
+        (ii, schedule.depth)
+    }
+
+    /// Execution multiplier of an instruction (product of enclosing loop
+    /// trip counts).
+    pub fn multiplier(&self, id: InstId) -> f64 {
+        self.multipliers[id.0 as usize]
+    }
+}
+
+/// Replays one profiled group's burst stream alone and two streams
+/// concurrently, returning the per-stream slowdown caused by sharing the
+/// channel's banks (clamped to [1, 2]).
+fn measure_channel_contention(
+    platform: &Platform,
+    group_bursts: &[(u64, Vec<OwnedBurst>)],
+) -> f64 {
+    let Some((_, g0)) = group_bursts.first() else { return 1.0 };
+    if g0.is_empty() {
+        return 1.0;
+    }
+    // With C CUs on `channels` channels the dispatcher pairs CU 0 with
+    // CU `channels` on channel 0, so the streams that actually co-run are
+    // those of group 0 and group `channels` — measure exactly that pair.
+    let pair_idx = platform.dram_channels.max(1) as usize;
+    let (g1, offset) = match group_bursts.get(pair_idx).or_else(|| group_bursts.get(1)) {
+        Some((_, b)) => (b.as_slice(), 0u64),
+        // Single-group kernels: replay the same stream one row-sweep away.
+        None => (
+            g0.as_slice(),
+            platform.dram.row_bytes * u64::from(platform.dram.num_banks),
+        ),
+    };
+
+    // Solo replay.
+    let mut dram = DramSim::new(platform.dram);
+    let mut t = 0u64;
+    for ob in g0 {
+        let info = dram.access(Request {
+            addr: ob.burst.addr,
+            bytes: ob.burst.bytes,
+            kind: ob.burst.kind,
+            arrival: t,
+        });
+        t = info.finish;
+    }
+    let t1 = t.max(1);
+
+    // Concurrent replay: two serial engines, shared banks.
+    let mut dram = DramSim::new(platform.dram);
+    let (mut a_free, mut b_free) = (0u64, 0u64);
+    let (mut ai, mut bi) = (0usize, 0usize);
+    while ai < g0.len() || bi < g1.len() {
+        let take_a = bi >= g1.len() || (ai < g0.len() && a_free <= b_free);
+        if take_a {
+            let ob = &g0[ai];
+            let info = dram.access(Request {
+                addr: ob.burst.addr,
+                bytes: ob.burst.bytes,
+                kind: ob.burst.kind,
+                arrival: a_free,
+            });
+            a_free = info.finish;
+            ai += 1;
+        } else {
+            let ob = &g1[bi];
+            let info = dram.access(Request {
+                addr: ob.burst.addr + offset,
+                bytes: ob.burst.bytes,
+                kind: ob.burst.kind,
+                arrival: b_free,
+            });
+            b_free = info.finish;
+            bi += 1;
+        }
+    }
+    let t2 = a_free.max(b_free).max(1);
+    (t2 as f64 / t1 as f64).clamp(1.0, 2.0)
+}
+
+/// Computes per-instruction execution multipliers from the region tree and
+/// observed trip counts.
+fn instruction_multipliers(func: &Function, profile: &Profile) -> Vec<f64> {
+    let mut out = vec![0.0; func.insts.len()];
+    fill_multipliers(func, profile, &func.region, 1.0, &mut out);
+    out
+}
+
+fn fill_multipliers(
+    func: &Function,
+    profile: &Profile,
+    region: &Region,
+    mult: f64,
+    out: &mut Vec<f64>,
+) {
+    match region {
+        Region::Block(b) => {
+            for id in &func.block(*b).insts {
+                out[id.0 as usize] = mult;
+            }
+        }
+        Region::Seq(rs) => rs.iter().for_each(|r| fill_multipliers(func, profile, r, mult, out)),
+        Region::If { cond_block, then_region, else_region } => {
+            for id in &func.block(*cond_block).insts {
+                out[id.0 as usize] = mult;
+            }
+            // Branch bodies execute at most once per region entry.
+            fill_multipliers(func, profile, then_region, mult, out);
+            fill_multipliers(func, profile, else_region, mult, out);
+        }
+        Region::Loop { id, header, body, latch } => {
+            let trip = profile.trip_count(func, *id).max(0.0);
+            for iid in &func.block(*header).insts {
+                out[iid.0 as usize] = mult * (trip + 1.0);
+            }
+            if let Some(l) = latch {
+                for iid in &func.block(*l).insts {
+                    out[iid.0 as usize] = mult * trip;
+                }
+            }
+            fill_multipliers(func, profile, body, mult * trip, out);
+        }
+    }
+}
+
+/// Longest def-use path latency from `from` to `to` (inclusive of both),
+/// used as the recurrence cycle latency.
+fn dep_path_latency(
+    func: &Function,
+    platform: &Platform,
+    from: InstId,
+    to: InstId,
+) -> u64 {
+    let n = func.insts.len();
+    let mut dist = vec![i64::MIN; n];
+    let lat = |id: InstId| {
+        let inst = func.inst(id);
+        i64::from(platform.op_latency(&inst.op, &inst.ty))
+    };
+    dist[from.0 as usize] = lat(from);
+    // Data edges always point forward in arena order.
+    for i in from.0..=to.0.min(n as u32 - 1) {
+        let d = dist[i as usize];
+        if d == i64::MIN {
+            continue;
+        }
+        let inst = func.inst(InstId(i));
+        let _ = inst;
+        for later in (i + 1)..n as u32 {
+            let cand = func.inst(InstId(later));
+            let depends = cand.args.iter().any(|a| matches!(a, Value::Inst(x) if *x == InstId(i)));
+            if depends {
+                let nd = d + lat(InstId(later));
+                if nd > dist[later as usize] {
+                    dist[later as usize] = nd;
+                }
+            }
+        }
+    }
+    let d = dist[to.0 as usize];
+    if d == i64::MIN {
+        // No def-use path (dependence flows through memory only): charge
+        // the two endpoint latencies.
+        (lat(from) + lat(to)).max(1) as u64
+    } else {
+        d.max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str, args: Vec<KernelArg>, global: (u64, u64), wg: (u32, u32)) -> KernelAnalysis {
+        let p = flexcl_frontend::parse_and_check(src).expect("frontend");
+        let f = flexcl_ir::lower_kernel(&p.kernels[0]).expect("lowering");
+        let platform = Platform::virtex7_adm7v3();
+        let workload = Workload { args, global };
+        KernelAnalysis::analyze(&f, &platform, &workload, wg).expect("analysis")
+    }
+
+    #[test]
+    fn elementwise_kernel_analysis() {
+        let a = analyze(
+            "__kernel void vadd(__global float* a, __global float* b, __global float* c) {
+                int i = get_global_id(0);
+                c[i] = a[i] + b[i];
+            }",
+            vec![
+                KernelArg::FloatBuf(vec![1.0; 256]),
+                KernelArg::FloatBuf(vec![2.0; 256]),
+                KernelArg::FloatBuf(vec![0.0; 256]),
+            ],
+            (256, 1),
+            (64, 1),
+        );
+        assert_eq!(a.rec_mii(), 1);
+        // Perfectly consecutive accesses coalesce 16:1 (512-bit unit, f32).
+        assert!(a.global_accesses_per_wi < 3.0 / 4.0, "{}", a.global_accesses_per_wi);
+        assert!(a.l_mem_wi() > 0.0);
+        let budget = ResourceBudget::unconstrained();
+        let (ii, depth) = a.pipeline_params(&budget);
+        assert!(ii >= 1);
+        assert!(depth >= 4, "fadd latency must show up in depth, got {depth}");
+    }
+
+    #[test]
+    fn recurrence_kernel_has_rec_mii() {
+        let a = analyze(
+            "__kernel void scan(__global float* b, __global float* a) {
+                int i = get_global_id(0);
+                b[i + 1] = b[i] + a[i];
+            }",
+            vec![KernelArg::FloatBuf(vec![0.0; 300]), KernelArg::FloatBuf(vec![1.0; 300])],
+            (256, 1),
+            (64, 1),
+        );
+        assert_eq!(a.recurrences.len(), 1);
+        assert!(a.rec_mii() > 1, "rec_mii = {}", a.rec_mii());
+    }
+
+    #[test]
+    fn local_port_pressure_raises_res_mii() {
+        let a = analyze(
+            "__kernel void stencil(__global float* in, __global float* out) {
+                __local float tile[66];
+                int l = get_local_id(0);
+                int i = get_global_id(0);
+                tile[l + 1] = in[i + 1];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                out[i] = tile[l] + tile[l + 1] + tile[l + 2];
+            }",
+            vec![KernelArg::FloatBuf(vec![1.0; 300]), KernelArg::FloatBuf(vec![0.0; 300])],
+            (256, 1),
+            (64, 1),
+        );
+        // Three reads of `tile` per work-item against 2 read ports.
+        let budget = ResourceBudget {
+            local_read_ports: 2,
+            local_write_ports: 1,
+            dsps: 1024,
+            global_ports: 4,
+        };
+        assert_eq!(a.res_mii(&budget), 2);
+        let reads: f64 = a.local_reads.values().sum();
+        assert_eq!(reads, 3.0);
+    }
+
+    #[test]
+    fn loop_weighting_multiplies_counts() {
+        let a = analyze(
+            "__kernel void k(__global float* x, __global float* y) {
+                int i = get_global_id(0);
+                float s = 0.0f;
+                for (int j = 0; j < 8; j++) {
+                    s = s * 1.5f + y[j];
+                }
+                x[i] = s;
+            }",
+            vec![KernelArg::FloatBuf(vec![0.0; 64]), KernelArg::FloatBuf(vec![1.0; 64])],
+            (64, 1),
+            (64, 1),
+        );
+        // The fmul executes 8 times per work-item.
+        assert!(a.dsp_ops_per_wi >= 8.0, "dsp ops {}", a.dsp_ops_per_wi);
+    }
+
+    #[test]
+    fn work_item_latency_reflects_loop_trip() {
+        let short = analyze(
+            "__kernel void k(__global float* x) {
+                float s = 0.0f;
+                for (int j = 0; j < 4; j++) { s += x[j]; }
+                x[get_global_id(0)] = s;
+            }",
+            vec![KernelArg::FloatBuf(vec![1.0; 64])],
+            (64, 1),
+            (64, 1),
+        );
+        let long = analyze(
+            "__kernel void k(__global float* x) {
+                float s = 0.0f;
+                for (int j = 0; j < 64; j++) { s += x[j % 4]; }
+                x[get_global_id(0)] = s;
+            }",
+            vec![KernelArg::FloatBuf(vec![1.0; 64])],
+            (64, 1),
+            (64, 1),
+        );
+        let budget = ResourceBudget::unconstrained();
+        assert!(long.work_item_latency(&budget) > 4.0 * short.work_item_latency(&budget));
+    }
+
+    #[test]
+    fn strided_access_hurts_memory_model() {
+        let seq = analyze(
+            "__kernel void k(__global float* a, __global float* b) {
+                int i = get_global_id(0);
+                b[i] = a[i];
+            }",
+            vec![KernelArg::FloatBuf(vec![1.0; 4096]), KernelArg::FloatBuf(vec![0.0; 4096])],
+            (256, 1),
+            (64, 1),
+        );
+        let strided = analyze(
+            "__kernel void k(__global float* a, __global float* b) {
+                int i = get_global_id(0);
+                b[i] = a[i * 16];
+            }",
+            vec![KernelArg::FloatBuf(vec![1.0; 4096]), KernelArg::FloatBuf(vec![0.0; 4096])],
+            (256, 1),
+            (64, 1),
+        );
+        assert!(
+            strided.l_mem_wi() > seq.l_mem_wi(),
+            "strided {} vs sequential {}",
+            strided.l_mem_wi(),
+            seq.l_mem_wi()
+        );
+    }
+
+    #[test]
+    fn pipelined_loop_is_faster_than_serial() {
+        let serial = analyze(
+            "__kernel void k(__global float* a, __global float* b) {
+                int i = get_global_id(0);
+                float acc = 0.0f;
+                for (int j = 0; j < 32; j++) { acc = acc + (float)j * 0.5f; }
+                b[i] = acc + a[i];
+            }",
+            vec![KernelArg::FloatBuf(vec![1.0; 64]), KernelArg::FloatBuf(vec![0.0; 64])],
+            (64, 1),
+            (64, 1),
+        );
+        let piped = analyze(
+            "__kernel void k(__global float* a, __global float* b) {
+                int i = get_global_id(0);
+                float acc = 0.0f;
+                #pragma pipeline
+                for (int j = 0; j < 32; j++) { acc = acc + (float)j * 0.5f; }
+                b[i] = acc + a[i];
+            }",
+            vec![KernelArg::FloatBuf(vec![1.0; 64]), KernelArg::FloatBuf(vec![0.0; 64])],
+            (64, 1),
+            (64, 1),
+        );
+        let budget = ResourceBudget::unconstrained();
+        let ls = serial.work_item_latency(&budget);
+        let lp = piped.work_item_latency(&budget);
+        assert!(
+            lp < ls * 0.7,
+            "pipelined loop {lp} should beat serial {ls}"
+        );
+        // The accumulation `acc += ...` is a loop-carried recurrence: the
+        // loop II cannot be 1 (fadd latency is 4 cycles), so the pipelined
+        // latency must stay above trip × 4.
+        assert!(lp >= 32.0 * 4.0, "recurrence floor violated: {lp}");
+    }
+
+    #[test]
+    fn independent_pipelined_loop_reaches_low_ii() {
+        // A loop whose iterations are independent (element-wise writes)
+        // pipelines down to the resource floor.
+        let piped = analyze(
+            "__kernel void k(__global float* a) {
+                int i = get_global_id(0);
+                #pragma pipeline
+                for (int j = 0; j < 32; j++) { a[i * 32 + j] = (float)j * 2.0f; }
+            }",
+            vec![KernelArg::FloatBuf(vec![0.0; 64 * 32])],
+            (64, 1),
+            (64, 1),
+        );
+        let budget = ResourceBudget::unconstrained();
+        let lp = piped.work_item_latency(&budget);
+        // The loop induction variable is itself a slot-carried recurrence
+        // (j += 1, integer add, latency 1): II floor is small but not the
+        // serial body latency.
+        assert!(lp < 32.0 * 8.0, "independent loop pipelines: {lp}");
+    }
+
+    #[test]
+    fn bad_geometry_is_rejected() {
+        let p = flexcl_frontend::parse_and_check(
+            "__kernel void k(__global int* a) { a[get_global_id(0)] = 1; }",
+        )
+        .expect("frontend");
+        let f = flexcl_ir::lower_kernel(&p.kernels[0]).expect("lowering");
+        let platform = Platform::virtex7_adm7v3();
+        let workload =
+            Workload { args: vec![KernelArg::IntBuf(vec![0; 100])], global: (100, 1) };
+        let err = KernelAnalysis::analyze(&f, &platform, &workload, (64, 1)).unwrap_err();
+        assert!(matches!(err, AnalysisError::BadGeometry(_)));
+    }
+}

@@ -1,0 +1,219 @@
+//! Design-space exploration (§4.3).
+//!
+//! FlexCL's raison d'être: because one estimate costs microseconds rather
+//! than the hours of a synthesis run, the *entire* optimization space of a
+//! kernel — hundreds of configurations — can be ranked exhaustively within
+//! seconds. Kernel analysis is shared across all configurations with the
+//! same work-group size, so the sweep re-runs only the closed-form model.
+
+use crate::analysis::{AnalysisError, KernelAnalysis, Workload};
+use crate::config::{self, DesignSpaceLimits, OptimizationConfig};
+use crate::model::{estimate, Estimate};
+use crate::platform::Platform;
+use flexcl_frontend::types::Type;
+use flexcl_ir::Function;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One explored configuration with its estimate.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// The configuration.
+    pub config: OptimizationConfig,
+    /// Its FlexCL estimate.
+    pub estimate: Estimate,
+}
+
+/// The outcome of an exhaustive sweep.
+#[derive(Debug, Clone)]
+pub struct DseResult {
+    /// All evaluated points, in enumeration order.
+    pub points: Vec<DesignPoint>,
+    /// Wall-clock time of the sweep (including kernel analyses).
+    pub elapsed: Duration,
+}
+
+impl DseResult {
+    /// The fastest feasible point.
+    pub fn best(&self) -> Option<&DesignPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.estimate.feasible)
+            .min_by(|a, b| a.estimate.cycles.total_cmp(&b.estimate.cycles))
+    }
+
+    /// Number of feasible points.
+    pub fn feasible_count(&self) -> usize {
+        self.points.iter().filter(|p| p.estimate.feasible).count()
+    }
+
+    /// Among configurations meeting a cycle budget, the one with the
+    /// smallest estimated area — the paper's "solutions subject to a user
+    /// defined performance constraint" query (§1).
+    pub fn cheapest_meeting(
+        &self,
+        analysis: &KernelAnalysis,
+        max_cycles: f64,
+    ) -> Option<DesignPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.estimate.feasible && p.estimate.cycles <= max_cycles)
+            .min_by(|a, b| {
+                let ca = crate::area::estimate_area(analysis, &a.config)
+                    .cost(&analysis.platform);
+                let cb = crate::area::estimate_area(analysis, &b.config)
+                    .cost(&analysis.platform);
+                ca.total_cmp(&cb)
+            })
+            .cloned()
+    }
+
+    /// The performance/area Pareto frontier of the explored space.
+    pub fn pareto(&self, analysis: &KernelAnalysis) -> Vec<crate::area::ParetoPoint> {
+        let pts = self.points.iter().filter(|p| p.estimate.feasible).map(|p| {
+            crate::area::ParetoPoint {
+                config: p.config,
+                cycles: p.estimate.cycles,
+                area: crate::area::estimate_area(analysis, &p.config),
+            }
+        });
+        crate::area::pareto_frontier(&analysis.platform, pts)
+    }
+
+    /// Speedup of the best point over the unoptimized baseline
+    /// configuration (the §4.3 "273× on average" metric).
+    pub fn speedup_over_baseline(&self) -> Option<f64> {
+        let best = self.best()?;
+        let baseline = self
+            .points
+            .iter()
+            .filter(|p| {
+                p.estimate.feasible
+                    && !p.config.work_item_pipeline
+                    && p.config.num_pes == 1
+                    && p.config.num_cus == 1
+                    && p.config.vector_width == 1
+            })
+            .max_by(|a, b| a.estimate.cycles.total_cmp(&b.estimate.cycles))?;
+        Some(baseline.estimate.cycles / best.estimate.cycles)
+    }
+}
+
+/// Derives the design-space limits for a kernel/workload pair.
+pub fn limits_for(func: &Function, workload: &Workload) -> DesignSpaceLimits {
+    let vector_params = func.params.iter().any(|p| match &p.ty {
+        Type::Pointer(elem, _) => elem.lanes() > 1,
+        t => t.lanes() > 1,
+    });
+    DesignSpaceLimits {
+        global_x: workload.global.0,
+        global_y: workload.global.1,
+        has_barrier: func.has_barrier(),
+        reqd_work_group: func.reqd_work_group_size.map(|(x, y, _)| (x, y)),
+        vectorizable: !vector_params && !func.has_barrier(),
+    }
+}
+
+/// Exhaustively explores the design space of `func` on `workload`.
+///
+/// # Errors
+///
+/// Propagates kernel-analysis failures (profiling errors). Work-group
+/// sizes that do not tile the workload are skipped silently.
+pub fn explore(
+    func: &Function,
+    platform: &Platform,
+    workload: &Workload,
+) -> Result<DseResult, AnalysisError> {
+    let start = Instant::now();
+    let limits = limits_for(func, workload);
+    let configs = config::enumerate(&limits);
+
+    let mut analyses: HashMap<(u32, u32), KernelAnalysis> = HashMap::new();
+    let mut points = Vec::with_capacity(configs.len());
+    for cfg in configs {
+        let wg = cfg.work_group;
+        if !analyses.contains_key(&wg) {
+            match KernelAnalysis::analyze(func, platform, workload, wg) {
+                Ok(a) => {
+                    analyses.insert(wg, a);
+                }
+                Err(AnalysisError::BadGeometry(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let analysis = &analyses[&wg];
+        points.push(DesignPoint { config: cfg, estimate: estimate(analysis, &cfg) });
+    }
+    Ok(DseResult { points, elapsed: start.elapsed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcl_interp::KernelArg;
+
+    fn vadd() -> (Function, Workload) {
+        let p = flexcl_frontend::parse_and_check(
+            "__kernel void vadd(__global float* a, __global float* b, __global float* c) {
+                int i = get_global_id(0);
+                c[i] = a[i] + b[i];
+            }",
+        )
+        .expect("frontend");
+        let f = flexcl_ir::lower_kernel(&p.kernels[0]).expect("lowering");
+        let w = Workload {
+            args: vec![
+                KernelArg::FloatBuf(vec![1.0; 4096]),
+                KernelArg::FloatBuf(vec![2.0; 4096]),
+                KernelArg::FloatBuf(vec![0.0; 4096]),
+            ],
+            global: (4096, 1),
+        };
+        (f, w)
+    }
+
+    #[test]
+    fn sweep_covers_hundreds_of_points_quickly() {
+        let (f, w) = vadd();
+        let result = explore(&f, &Platform::virtex7_adm7v3(), &w).expect("dse");
+        assert!(result.points.len() >= 100, "{} points", result.points.len());
+        assert!(result.feasible_count() > result.points.len() / 2);
+        assert!(
+            result.elapsed.as_secs() < 30,
+            "DSE must run in seconds, took {:?}",
+            result.elapsed
+        );
+    }
+
+    #[test]
+    fn best_point_beats_baseline() {
+        let (f, w) = vadd();
+        let result = explore(&f, &Platform::virtex7_adm7v3(), &w).expect("dse");
+        let speedup = result.speedup_over_baseline().expect("speedup");
+        assert!(speedup > 5.0, "speedup {speedup}");
+        let best = result.best().expect("best");
+        assert!(best.config.work_item_pipeline, "best config should pipeline");
+    }
+
+    #[test]
+    fn barrier_kernel_space_restricted() {
+        let p = flexcl_frontend::parse_and_check(
+            "__kernel void k(__global float* a) {
+                __local float t[256];
+                int l = get_local_id(0);
+                t[l] = a[get_global_id(0)];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[get_global_id(0)] = t[l];
+            }",
+        )
+        .expect("frontend");
+        let f = flexcl_ir::lower_kernel(&p.kernels[0]).expect("lowering");
+        let w = Workload { args: vec![KernelArg::FloatBuf(vec![0.0; 1024])], global: (1024, 1) };
+        let result = explore(&f, &Platform::virtex7_adm7v3(), &w).expect("dse");
+        assert!(result
+            .points
+            .iter()
+            .all(|p| p.config.comm_mode == crate::config::CommMode::Barrier));
+    }
+}

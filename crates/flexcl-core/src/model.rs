@@ -1,0 +1,505 @@
+//! The FlexCL performance equations (§3.3–§3.5).
+//!
+//! Given a [`KernelAnalysis`] and an [`OptimizationConfig`], [`estimate`]
+//! evaluates:
+//!
+//! * the **PE model** — Eq. 1 with `II_comp^wi`/`D_comp^PE` from
+//!   `MII = max(RecMII, ResMII)` refined by swing modulo scheduling;
+//! * the **CU model** — Eq. 5–6, PE parallelism capped by shared local
+//!   memory ports and DSPs;
+//! * the **kernel model** — Eq. 7–8 with the work-group scheduling
+//!   overhead `ΔL`;
+//! * the **global memory model** — Eq. 9 over the eight Table-1 patterns;
+//! * the **integration** — barrier mode (Eq. 10) or pipeline mode
+//!   (Eq. 11–12).
+//!
+//! Deviation note: Eq. 6 of the paper divides port counts by `N·P`, which
+//! is dimensionally inconsistent with its own Eq. 4 (it would *shrink*
+//! usable parallelism quadratically). We implement the standard
+//! resource-sharing form `N_PE = min(P, Ports/N_read, Ports/N_write,
+//! DSPs/DSPs_per_PE)`, with ports scaling with the partition factor the
+//! toolchain applies when unrolling.
+
+use crate::analysis::KernelAnalysis;
+use crate::config::{CommMode, OptimizationConfig};
+use flexcl_sched::ResourceBudget;
+use std::fmt;
+
+/// A performance estimate for one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Total kernel cycles (`T_kernel`). `f64::INFINITY` when infeasible.
+    pub cycles: f64,
+    /// Work-item initiation interval from the computation model.
+    pub ii_comp: u32,
+    /// PE pipeline depth `D_comp^PE`.
+    pub depth: u32,
+    /// Integrated initiation interval `II_wi = max(L_mem^wi, II_comp^wi)`
+    /// (pipeline mode only; equals `ii_comp` in barrier mode).
+    pub ii_wi: f64,
+    /// Per-work-item global-memory latency `L_mem^wi` (Eq. 9).
+    pub l_mem_wi: f64,
+    /// Work-group latency on one CU (`L_comp^CU`, Eq. 5).
+    pub l_cu: f64,
+    /// Computation latency of the whole kernel (`L_comp^kernel`, Eq. 7).
+    pub l_comp_kernel: f64,
+    /// Effective PE parallelism (Eq. 6).
+    pub n_pe: u32,
+    /// Effective CU parallelism (Eq. 8).
+    pub n_cu: u32,
+    /// Communication mode used.
+    pub mode: CommMode,
+    /// Whether the configuration fits on the device.
+    pub feasible: bool,
+    /// Human-readable reason when infeasible.
+    pub infeasible_reason: Option<String>,
+}
+
+impl Estimate {
+    /// Estimated wall-clock seconds at the platform frequency.
+    pub fn seconds(&self, frequency_mhz: f64) -> f64 {
+        self.cycles / (frequency_mhz * 1e6)
+    }
+}
+
+impl fmt::Display for Estimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.feasible {
+            write!(
+                f,
+                "{:.0} cycles (II={}, D={}, L_mem/wi={:.1}, N_PE={}, N_CU={}, {})",
+                self.cycles, self.ii_comp, self.depth, self.l_mem_wi, self.n_pe, self.n_cu,
+                self.mode
+            )
+        } else {
+            write!(
+                f,
+                "infeasible: {}",
+                self.infeasible_reason.as_deref().unwrap_or("unknown")
+            )
+        }
+    }
+}
+
+/// Derives the per-PE scheduling budget for a configuration.
+///
+/// Unrolling to `P` PEs makes the toolchain partition local arrays `P`
+/// ways, so port counts scale with the partition factor; DSP issue slots
+/// depend on how many cores fit in the PE's area share.
+pub fn pe_budget(analysis: &KernelAnalysis, config: &OptimizationConfig) -> ResourceBudget {
+    let platform = &analysis.platform;
+    let p_eff = config.effective_pes().max(1);
+    let dsps_per_pe_avail =
+        platform.total_dsps / (config.num_cus.max(1) * p_eff).max(1);
+    let dsp_slots = if analysis.dsp_op_instances == 0 {
+        u32::MAX
+    } else {
+        let avg_per_core =
+            (analysis.static_dsps_per_pe / analysis.dsp_op_instances).max(1);
+        // Cores that fit in this PE's share; every op having its own core
+        // removes the constraint.
+        (dsps_per_pe_avail / avg_per_core).clamp(1, analysis.dsp_op_instances)
+    };
+    ResourceBudget {
+        local_read_ports: platform.local_read_ports_per_bank,
+        local_write_ports: platform.local_write_ports_per_bank,
+        dsps: dsp_slots,
+        global_ports: platform.global_ports,
+    }
+}
+
+/// Evaluates the full model for one configuration.
+pub fn estimate(analysis: &KernelAnalysis, config: &OptimizationConfig) -> Estimate {
+    let platform = &analysis.platform;
+    let n_wi_kernel = (analysis.global.0 * analysis.global.1) as f64;
+    let n_wi_wg = config.work_group_size() as f64;
+    let p_eff = config.effective_pes().max(1);
+    let c = config.num_cus.max(1);
+
+    // ---- feasibility -------------------------------------------------
+    let dsps_needed =
+        u64::from(analysis.static_dsps_per_pe) * u64::from(p_eff) * u64::from(c);
+    if dsps_needed > u64::from(platform.total_dsps) {
+        return infeasible(
+            config,
+            format!("needs {dsps_needed} DSPs, device has {}", platform.total_dsps),
+        );
+    }
+    let bram_needed = analysis.local_bytes * u64::from(c) * u64::from(p_eff.min(4));
+    if bram_needed > platform.total_bram_bytes {
+        return infeasible(
+            config,
+            format!("needs {bram_needed} BRAM bytes, device has {}", platform.total_bram_bytes),
+        );
+    }
+
+    // ---- PE model (Eq. 1–4 + SMS) ------------------------------------
+    let budget = pe_budget(analysis, config);
+    let (ii_comp, depth) = if config.work_item_pipeline {
+        analysis.pipeline_params(&budget)
+    } else {
+        // Without work-item pipelining a PE processes one work-item at a
+        // time: the initiation interval is the full work-item latency.
+        let d = analysis.work_item_latency(&budget).round().max(1.0) as u32;
+        (d, d)
+    };
+
+    // ---- CU model (Eq. 5–6) ------------------------------------------
+    let n_pe = effective_pe_parallelism(analysis, config);
+    let waves = ((n_wi_wg - f64::from(n_pe)) / f64::from(n_pe)).ceil().max(0.0);
+    let l_cu = f64::from(ii_comp) * waves + f64::from(depth);
+
+    // ---- memory model (Eq. 9) ----------------------------------------
+    // Pattern counts follow the burst order the chosen communication mode
+    // produces: work-item-interleaved for pipeline mode, phased
+    // reads-then-writes for barrier mode (§3.5: integration depends on how
+    // computation communicates with global memory).
+    let l_mem_wi = match config.comm_mode {
+        CommMode::Barrier => analysis.l_mem_wi_phased(),
+        CommMode::Pipeline => analysis.l_mem_wi(),
+    };
+
+    // ---- kernel model (Eq. 7–8) --------------------------------------
+    // Eq. 8 compares the work a CU does per group against the scheduling
+    // overhead; in barrier mode the group occupies its CU for memory and
+    // computation, so the full duration bounds the useful CU parallelism.
+    let dl = f64::from(platform.schedule_overhead);
+    // Steady-state dispatch cost per group (scheduler overlap hides most
+    // of ΔL once a CU is warm); the `C·ΔL` term pays the cold starts.
+    let dl_warm = dl * (1.0 - platform.dispatch_overlap).max(0.0);
+    let group_duration = match config.comm_mode {
+        CommMode::Barrier => l_mem_wi * n_wi_wg + l_cu,
+        CommMode::Pipeline => l_cu.max(l_mem_wi * n_wi_wg),
+    };
+    let n_cu = (f64::from(c)).min((group_duration / dl_warm.max(1.0)).ceil().max(1.0)) as u32;
+    let wg_rounds = (n_wi_kernel / (n_wi_wg * f64::from(n_cu))).ceil().max(1.0);
+    // Cold dispatches to the C CUs proceed in parallel, so one ΔL of
+    // latency reaches the critical path (the paper's `C·ΔL` reading of
+    // Eq. 7 models a serialized dispatcher; measured behaviour overlaps).
+    let l_comp_kernel = (l_cu + dl_warm) * wg_rounds + dl;
+
+    // ---- integration (Eq. 10–12) -------------------------------------
+    // Multi-CU adaptation: the paper states Eq. 10 for the single-CU case,
+    // where all global transfers serialize behind the CU's burst engine;
+    // `L_mem^wi · N_wi^kernel + L_comp^kernel` then counts every work-item's
+    // memory once. Each CU has its own engine, so with `N_CU` concurrent
+    // CUs the serialized memory is per-group: the equation is applied at
+    // group granularity and multiplied by the rounds each CU executes. For
+    // C = 1 this is algebraically identical to Eq. 10.
+    let launch = f64::from(platform.launch_overhead);
+    // Multi-bank DDR interleaves independent CU streams, so CU replication
+    // does not scale the per-group memory term; `analysis.channel_contention`
+    // remains available as a diagnostic upper bound for placements where
+    // CUs would share one bank group.
+    let mem_scale = 1.0;
+    let (cycles, ii_wi) = match config.comm_mode {
+        CommMode::Barrier => {
+            let mem_per_group = l_mem_wi * n_wi_wg * mem_scale;
+            let t = (mem_per_group + l_cu + dl_warm) * wg_rounds + dl + launch;
+            (t, f64::from(ii_comp))
+        }
+        CommMode::Pipeline => {
+            // Eq. 11–12, with the group's total transfer volume as a floor:
+            // even when PE replication removes all waves (`waves → 0`), the
+            // work-group's memory must still stream through the CU.
+            let ii_wi = (l_mem_wi * mem_scale).max(f64::from(ii_comp));
+            let mem_group = l_mem_wi * n_wi_wg * mem_scale;
+            let group_time = (ii_wi * waves).max(mem_group) + f64::from(depth);
+            let t = (group_time + dl_warm) * wg_rounds + dl + launch;
+            (t, ii_wi)
+        }
+    };
+
+    Estimate {
+        cycles,
+        ii_comp,
+        depth,
+        ii_wi,
+        l_mem_wi,
+        l_cu,
+        l_comp_kernel,
+        n_pe,
+        n_cu,
+        mode: config.comm_mode,
+        feasible: true,
+        infeasible_reason: None,
+    }
+}
+
+/// Eq. 6 (standard resource-sharing form; see module docs).
+fn effective_pe_parallelism(analysis: &KernelAnalysis, config: &OptimizationConfig) -> u32 {
+    let platform = &analysis.platform;
+    let p_eff = config.effective_pes().max(1);
+    // Unrolling partitions local arrays P ways; total CU ports scale.
+    let port_read = platform.local_read_ports_per_bank * p_eff;
+    let port_write = platform.local_write_ports_per_bank * p_eff;
+    let mut cap = p_eff;
+    let max_reads = analysis
+        .local_reads
+        .values()
+        .fold(0.0f64, |a, b| a.max(*b));
+    if max_reads > 0.0 {
+        cap = cap.min(((f64::from(port_read) / max_reads).floor() as u32).max(1));
+    }
+    let max_writes = analysis
+        .local_writes
+        .values()
+        .fold(0.0f64, |a, b| a.max(*b));
+    if max_writes > 0.0 {
+        cap = cap.min(((f64::from(port_write) / max_writes).floor() as u32).max(1));
+    }
+    if analysis.static_dsps_per_pe > 0 {
+        let dsps_per_cu = platform.total_dsps / config.num_cus.max(1);
+        cap = cap.min((dsps_per_cu / analysis.static_dsps_per_pe).max(1));
+    }
+    cap.max(1)
+}
+
+fn infeasible(config: &OptimizationConfig, reason: String) -> Estimate {
+    Estimate {
+        cycles: f64::INFINITY,
+        ii_comp: 0,
+        depth: 0,
+        ii_wi: 0.0,
+        l_mem_wi: 0.0,
+        l_cu: 0.0,
+        l_comp_kernel: 0.0,
+        n_pe: 0,
+        n_cu: 0,
+        mode: config.comm_mode,
+        feasible: false,
+        infeasible_reason: Some(reason),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Workload;
+    use crate::platform::Platform;
+    use flexcl_interp::KernelArg;
+
+    fn analyze(src: &str, args: Vec<KernelArg>, global: u64, wg: u32) -> KernelAnalysis {
+        let p = flexcl_frontend::parse_and_check(src).expect("frontend");
+        let f = flexcl_ir::lower_kernel(&p.kernels[0]).expect("lowering");
+        KernelAnalysis::analyze(
+            &f,
+            &Platform::virtex7_adm7v3(),
+            &Workload { args, global: (global, 1) },
+            (wg, 1),
+        )
+        .expect("analysis")
+    }
+
+    fn vadd_analysis() -> KernelAnalysis {
+        analyze(
+            "__kernel void vadd(__global float* a, __global float* b, __global float* c) {
+                int i = get_global_id(0);
+                c[i] = a[i] + b[i];
+            }",
+            vec![
+                KernelArg::FloatBuf(vec![1.0; 1024]),
+                KernelArg::FloatBuf(vec![2.0; 1024]),
+                KernelArg::FloatBuf(vec![0.0; 1024]),
+            ],
+            1024,
+            64,
+        )
+    }
+
+    #[test]
+    fn pipelining_helps() {
+        let a = vadd_analysis();
+        let base = OptimizationConfig::baseline((64, 1));
+        let piped = OptimizationConfig { work_item_pipeline: true, ..base };
+        let t0 = estimate(&a, &base);
+        let t1 = estimate(&a, &piped);
+        assert!(t1.cycles < t0.cycles, "pipeline {} vs base {}", t1.cycles, t0.cycles);
+        assert!(t1.ii_comp < t1.depth);
+    }
+
+    #[test]
+    fn pipeline_mode_beats_barrier_mode_for_streaming() {
+        let a = vadd_analysis();
+        let barrier = OptimizationConfig {
+            work_item_pipeline: true,
+            ..OptimizationConfig::baseline((64, 1))
+        };
+        let pipe = OptimizationConfig { comm_mode: CommMode::Pipeline, ..barrier };
+        let tb = estimate(&a, &barrier);
+        let tp = estimate(&a, &pipe);
+        assert!(
+            tp.cycles < tb.cycles,
+            "pipeline mode {} vs barrier mode {}",
+            tp.cycles,
+            tb.cycles
+        );
+    }
+
+    #[test]
+    fn more_cus_reduce_computation_time() {
+        let a = vadd_analysis();
+        let one = OptimizationConfig {
+            work_item_pipeline: true,
+            comm_mode: CommMode::Pipeline,
+            ..OptimizationConfig::baseline((64, 1))
+        };
+        let four = OptimizationConfig { num_cus: 4, ..one };
+        let t1 = estimate(&a, &one);
+        let t4 = estimate(&a, &four);
+        assert!(t4.cycles < t1.cycles);
+        assert!(t4.n_cu > t1.n_cu);
+    }
+
+    #[test]
+    fn pe_parallelism_reduces_cu_latency() {
+        let a = vadd_analysis();
+        let p1 = OptimizationConfig {
+            work_item_pipeline: true,
+            ..OptimizationConfig::baseline((64, 1))
+        };
+        let p4 = OptimizationConfig { num_pes: 4, ..p1 };
+        let t1 = estimate(&a, &p1);
+        let t4 = estimate(&a, &p4);
+        assert!(t4.l_cu < t1.l_cu, "P=4 {} vs P=1 {}", t4.l_cu, t1.l_cu);
+        assert_eq!(t4.n_pe, 4);
+    }
+
+    #[test]
+    fn recurrence_limits_pipelining() {
+        let a = analyze(
+            "__kernel void scan(__global float* b, __global float* x) {
+                int i = get_global_id(0);
+                b[i + 1] = b[i] + x[i];
+            }",
+            vec![KernelArg::FloatBuf(vec![0.0; 1100]), KernelArg::FloatBuf(vec![1.0; 1100])],
+            1024,
+            64,
+        );
+        let cfg = OptimizationConfig {
+            work_item_pipeline: true,
+            ..OptimizationConfig::baseline((64, 1))
+        };
+        let t = estimate(&a, &cfg);
+        assert!(t.ii_comp > 1, "recurrence must keep II > 1, got {}", t.ii_comp);
+    }
+
+    #[test]
+    fn infeasible_when_dsps_exhausted() {
+        // A DSP-heavy kernel at extreme replication must not fit.
+        let a = analyze(
+            "__kernel void heavy(__global float* x) {
+                int i = get_global_id(0);
+                float v = x[i];
+                v = exp(v) * log(v) * sin(v) * cos(v) * pow(v, 2.5f) * sqrt(v);
+                v = v * exp(v * 2.0f) * log(v + 1.0f) * sin(v * 3.0f);
+                x[i] = v;
+            }",
+            vec![KernelArg::FloatBuf(vec![1.5; 1024])],
+            1024,
+            64,
+        );
+        let cfg = OptimizationConfig {
+            work_item_pipeline: true,
+            num_pes: 16,
+            num_cus: 4,
+            vector_width: 4,
+            ..OptimizationConfig::baseline((64, 1))
+        };
+        let t = estimate(&a, &cfg);
+        assert!(!t.feasible, "{t}");
+        assert!(t.cycles.is_infinite());
+    }
+
+    #[test]
+    fn estimate_scales_with_workload() {
+        let small = vadd_analysis();
+        let big = analyze(
+            "__kernel void vadd(__global float* a, __global float* b, __global float* c) {
+                int i = get_global_id(0);
+                c[i] = a[i] + b[i];
+            }",
+            vec![
+                KernelArg::FloatBuf(vec![1.0; 4096]),
+                KernelArg::FloatBuf(vec![2.0; 4096]),
+                KernelArg::FloatBuf(vec![0.0; 4096]),
+            ],
+            4096,
+            64,
+        );
+        let cfg = OptimizationConfig::baseline((64, 1));
+        let ts = estimate(&small, &cfg);
+        let tb = estimate(&big, &cfg);
+        let ratio = tb.cycles / ts.cycles;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn vectorization_acts_like_pe_replication() {
+        let a = vadd_analysis();
+        let scalar = OptimizationConfig {
+            work_item_pipeline: true,
+            num_pes: 4,
+            ..OptimizationConfig::baseline((64, 1))
+        };
+        let vectored = OptimizationConfig {
+            work_item_pipeline: true,
+            num_pes: 1,
+            vector_width: 4,
+            ..OptimizationConfig::baseline((64, 1))
+        };
+        let ts = estimate(&a, &scalar);
+        let tv = estimate(&a, &vectored);
+        assert_eq!(ts.n_pe, tv.n_pe, "int4 vectorization == 4 scalar PEs (§3.3.2 fn1)");
+        assert!((ts.l_cu - tv.l_cu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_memory_ports_cap_pe_parallelism() {
+        // A kernel reading 3 local slots per work-item: with 2 read ports
+        // per bank and P-way partitioning, N_PE < P.
+        let a = analyze(
+            "__kernel void stencil(__global float* in, __global float* out) {
+                __local float tile[66];
+                int l = get_local_id(0);
+                int i = get_global_id(0);
+                tile[l + 1] = in[i];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                out[i] = tile[l] + tile[l + 1] + tile[l + 2];
+            }",
+            vec![KernelArg::FloatBuf(vec![1.0; 1024]), KernelArg::FloatBuf(vec![0.0; 1024])],
+            1024,
+            64,
+        );
+        let cfg = OptimizationConfig {
+            work_item_pipeline: true,
+            num_pes: 8,
+            ..OptimizationConfig::baseline((64, 1))
+        };
+        let est = estimate(&a, &cfg);
+        assert!(est.n_pe < 8, "3 reads vs 2 ports/bank must cap N_PE, got {}", est.n_pe);
+        assert!(est.n_pe >= 1);
+    }
+
+    #[test]
+    fn barrier_mode_charges_memory_per_group() {
+        let a = vadd_analysis();
+        let cfg = OptimizationConfig {
+            work_item_pipeline: true,
+            ..OptimizationConfig::baseline((64, 1))
+        };
+        let est = estimate(&a, &cfg);
+        // Eq. 10 decomposition: total ≥ memory term alone.
+        let mem_total = est.l_mem_wi * 1024.0;
+        assert!(est.cycles > mem_total, "cycles {} vs mem {}", est.cycles, mem_total);
+    }
+
+    #[test]
+    fn estimate_display() {
+        let a = vadd_analysis();
+        let t = estimate(&a, &OptimizationConfig::baseline((64, 1)));
+        let s = t.to_string();
+        assert!(s.contains("cycles"));
+        assert!(s.contains("N_PE=1"));
+    }
+}

@@ -1,0 +1,151 @@
+//! DRAM geometry, timing parameters and address mapping.
+//!
+//! The evaluation platform of the paper is an ADM-PCIE-7V3 board with 16 GB
+//! DDR3 memory, 8 banks and a 1 KB row buffer, driven from a 200 MHz kernel
+//! clock. Data are arranged across banks in an interleaved manner to reduce
+//! bank conflicts (§3.4). All latencies here are expressed in *kernel clock
+//! cycles* (200 MHz), i.e. DDR3-1600 timings divided by four.
+
+/// DRAM timing parameters, in kernel-clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiming {
+    /// Row-to-column delay (ACT → READ/WRITE).
+    pub t_rcd: u32,
+    /// Row precharge time (PRE → ACT).
+    pub t_rp: u32,
+    /// Read column access latency (CAS).
+    pub t_cas: u32,
+    /// Write column latency (CWL).
+    pub t_cwl: u32,
+    /// Write recovery time before precharge.
+    pub t_wr: u32,
+    /// Write-to-read bus turnaround.
+    pub t_wtr: u32,
+    /// Read-to-write bus turnaround.
+    pub t_rtw: u32,
+    /// Data burst transfer time.
+    pub t_burst: u32,
+}
+
+impl DramTiming {
+    /// DDR3-1600 timings (11-11-11) expressed in 200 MHz kernel cycles.
+    pub fn ddr3_1600() -> Self {
+        DramTiming {
+            t_rcd: 4,
+            t_rp: 4,
+            t_cas: 4,
+            t_cwl: 3,
+            t_wr: 4,
+            t_wtr: 2,
+            t_rtw: 2,
+            t_burst: 1,
+        }
+    }
+
+    /// DDR4-2400-class timings for the KU060 robustness platform,
+    /// in 200 MHz kernel cycles.
+    pub fn ddr4_2400() -> Self {
+        DramTiming {
+            t_rcd: 3,
+            t_rp: 3,
+            t_cas: 3,
+            t_cwl: 3,
+            t_wr: 4,
+            t_wtr: 2,
+            t_rtw: 2,
+            t_burst: 1,
+        }
+    }
+}
+
+/// DRAM organisation and address mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of banks.
+    pub num_banks: u32,
+    /// Row-buffer size per bank, in bytes.
+    pub row_bytes: u64,
+    /// Interleaving granularity: consecutive chunks of this many bytes map
+    /// to consecutive banks. Matches the 512-bit global memory access unit
+    /// of SDAccel.
+    pub interleave_bytes: u64,
+    /// Timing parameters.
+    pub timing: DramTiming,
+}
+
+impl DramConfig {
+    /// The paper's evaluation memory: DDR3, 8 banks, 1 KB row buffer.
+    pub fn adm_pcie_7v3() -> Self {
+        DramConfig {
+            num_banks: 8,
+            row_bytes: 1024,
+            interleave_bytes: 64,
+            timing: DramTiming::ddr3_1600(),
+        }
+    }
+
+    /// The robustness platform: KU060 board with DDR4-class memory.
+    pub fn nas_120a_ku060() -> Self {
+        DramConfig {
+            num_banks: 16,
+            row_bytes: 1024,
+            interleave_bytes: 64,
+            timing: DramTiming::ddr4_2400(),
+        }
+    }
+
+    /// Maps a byte address to `(bank, row)`.
+    pub fn map(&self, byte_addr: u64) -> (u32, u64) {
+        let chunk = byte_addr / self.interleave_bytes;
+        let bank = (chunk % u64::from(self.num_banks)) as u32;
+        let bank_chunk = chunk / u64::from(self.num_banks);
+        let row = bank_chunk * self.interleave_bytes / self.row_bytes;
+        (bank, row)
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig::adm_pcie_7v3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_chunks_hit_different_banks() {
+        let c = DramConfig::adm_pcie_7v3();
+        let banks: Vec<u32> = (0..8).map(|i| c.map(i * c.interleave_bytes).0).collect();
+        assert_eq!(banks, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn same_chunk_same_bank() {
+        let c = DramConfig::adm_pcie_7v3();
+        assert_eq!(c.map(0), c.map(63));
+        assert_ne!(c.map(0).0, c.map(64).0);
+    }
+
+    #[test]
+    fn row_changes_after_row_bytes_per_bank() {
+        let c = DramConfig::adm_pcie_7v3();
+        // Bank 0 receives chunks 0, 8, 16, ... Each row holds
+        // row_bytes / interleave_bytes = 16 chunks.
+        let (b0, r0) = c.map(0);
+        let (b1, r1) = c.map(15 * 8 * 64); // 16th chunk of bank 0
+        let (b2, r2) = c.map(16 * 8 * 64); // 17th chunk of bank 0
+        assert_eq!(b0, 0);
+        assert_eq!(b1, 0);
+        assert_eq!(b2, 0);
+        assert_eq!(r0, r1);
+        assert_eq!(r2, r0 + 1);
+    }
+
+    #[test]
+    fn platform_presets_differ() {
+        assert_ne!(DramConfig::adm_pcie_7v3(), DramConfig::nas_120a_ku060());
+        assert_eq!(DramConfig::default(), DramConfig::adm_pcie_7v3());
+    }
+}

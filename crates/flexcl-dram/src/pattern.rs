@@ -1,0 +1,182 @@
+//! The eight global-memory access patterns of Table 1.
+//!
+//! Each access is classified by (a) whether it is a read or write, (b) the
+//! kind of the *previous access to the same bank*, and (c) whether it hits
+//! the bank's open row buffer. A row-buffer hit needs a single DRAM
+//! command; a miss needs three (PRE, ACT, then the column command).
+
+use crate::config::DramTiming;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Access kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read request.
+    Read,
+    /// A write request.
+    Write,
+}
+
+/// One of the eight patterns of Table 1, e.g. "read (hit) access after write".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    /// The current access.
+    pub now: AccessKind,
+    /// The previous access to the same bank.
+    pub prev: AccessKind,
+    /// Whether the open row matched.
+    pub hit: bool,
+}
+
+impl Pattern {
+    /// All eight patterns in Table 1 order.
+    pub fn all() -> [Pattern; 8] {
+        use AccessKind::*;
+        [
+            Pattern { now: Read, prev: Read, hit: true },
+            Pattern { now: Read, prev: Write, hit: true },
+            Pattern { now: Write, prev: Read, hit: true },
+            Pattern { now: Write, prev: Write, hit: true },
+            Pattern { now: Read, prev: Read, hit: false },
+            Pattern { now: Read, prev: Write, hit: false },
+            Pattern { now: Write, prev: Read, hit: false },
+            Pattern { now: Write, prev: Write, hit: false },
+        ]
+    }
+
+    /// Table-1 style name, e.g. `RAW_hit` for a read (hit) after write.
+    pub fn name(&self) -> String {
+        let first = match self.now {
+            AccessKind::Read => 'R',
+            AccessKind::Write => 'W',
+        };
+        let last = match self.prev {
+            AccessKind::Read => 'R',
+            AccessKind::Write => 'W',
+        };
+        format!("{first}A{last}_{}", if self.hit { "hit" } else { "miss" })
+    }
+
+    /// Dense index 0..8 used by [`PatternTable`].
+    pub fn index(&self) -> usize {
+        let a = usize::from(self.now == AccessKind::Write);
+        let b = usize::from(self.prev == AccessKind::Write);
+        let c = usize::from(!self.hit);
+        c * 4 + a * 2 + b
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// A value per pattern — latencies (`ΔT`) or counts (`N`) of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PatternTable<T> {
+    values: [T; 8],
+}
+
+impl<T: Copy + Default> PatternTable<T> {
+    /// A table with all entries `T::default()`.
+    pub fn new() -> Self {
+        PatternTable { values: [T::default(); 8] }
+    }
+
+    /// Iterates `(pattern, value)` pairs in Table 1 order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pattern, T)> + '_ {
+        Pattern::all().into_iter().map(|p| (p, self.values[p.index()]))
+    }
+}
+
+impl<T> Index<Pattern> for PatternTable<T> {
+    type Output = T;
+
+    fn index(&self, p: Pattern) -> &T {
+        &self.values[p.index()]
+    }
+}
+
+impl<T> IndexMut<Pattern> for PatternTable<T> {
+    fn index_mut(&mut self, p: Pattern) -> &mut T {
+        &mut self.values[p.index()]
+    }
+}
+
+/// Analytic per-pattern latencies derived from the timing parameters.
+///
+/// Hits issue one column command; misses pay write-recovery (if the
+/// previous access was a write), precharge and activate first. Bus
+/// turnaround penalties apply when the access kind changes.
+pub fn analytic_latencies(t: &DramTiming) -> PatternTable<f64> {
+    let mut out = PatternTable::new();
+    for p in Pattern::all() {
+        let col = match p.now {
+            AccessKind::Read => t.t_cas,
+            AccessKind::Write => t.t_cwl,
+        };
+        let turnaround = match (p.prev, p.now) {
+            (AccessKind::Write, AccessKind::Read) => t.t_wtr,
+            (AccessKind::Read, AccessKind::Write) => t.t_rtw,
+            _ => 0,
+        };
+        let miss = if p.hit {
+            0
+        } else {
+            let recovery = if p.prev == AccessKind::Write { t.t_wr } else { 0 };
+            recovery + t.t_rp + t.t_rcd
+        };
+        out[p] = f64::from(col + turnaround + miss + t.t_burst);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_distinct_patterns() {
+        let all = Pattern::all();
+        let mut idx: Vec<usize> = all.iter().map(Pattern::index).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn names_match_table1() {
+        use AccessKind::*;
+        assert_eq!(Pattern { now: Read, prev: Read, hit: true }.name(), "RAR_hit");
+        assert_eq!(Pattern { now: Write, prev: Read, hit: false }.name(), "WAR_miss");
+        assert_eq!(Pattern { now: Read, prev: Write, hit: true }.name(), "RAW_hit");
+    }
+
+    #[test]
+    fn misses_cost_more_than_hits() {
+        let lat = analytic_latencies(&DramTiming::ddr3_1600());
+        for p in Pattern::all().into_iter().filter(|p| p.hit) {
+            let miss = Pattern { hit: false, ..p };
+            assert!(lat[miss] > lat[p], "{miss} must exceed {p}");
+        }
+    }
+
+    #[test]
+    fn turnaround_penalises_kind_changes() {
+        use AccessKind::*;
+        let lat = analytic_latencies(&DramTiming::ddr3_1600());
+        let rar = Pattern { now: Read, prev: Read, hit: true };
+        let raw = Pattern { now: Read, prev: Write, hit: true };
+        assert!(lat[raw] > lat[rar], "read after write pays bus turnaround");
+    }
+
+    #[test]
+    fn table_indexing() {
+        let mut t: PatternTable<u64> = PatternTable::new();
+        let p = Pattern { now: AccessKind::Write, prev: AccessKind::Write, hit: false };
+        t[p] = 42;
+        assert_eq!(t[p], 42);
+        assert_eq!(t.iter().filter(|(_, v)| *v == 42).count(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # flexcl-frontend
+//!
+//! OpenCL C subset frontend for the FlexCL analytical performance model
+//! (reproduction of Wang, Liang, Zhang, *FlexCL: An Analytical Performance
+//! Model for OpenCL Workloads on Flexible FPGAs*, DAC 2017).
+//!
+//! The original FlexCL used Clang 3.4 as its OpenCL frontend and consumed
+//! LLVM IR. This crate replaces that dependency with a self-contained
+//! lexer + parser + semantic analyzer for the subset of OpenCL C that the
+//! Rodinia and PolyBench kernel corpora exercise: kernel definitions with
+//! SDAccel-style attributes, address-space-qualified pointers, local array
+//! declarations, scalar/vector arithmetic, control flow (`if`, `for`,
+//! `while`, `do`), work-item geometry builtins, math builtins, and
+//! `barrier`.
+//!
+//! The typical pipeline is:
+//!
+//! ```
+//! # fn main() -> Result<(), flexcl_frontend::FrontendError> {
+//! let src = "__kernel void scale(__global float* a, float f) {
+//!                int i = get_global_id(0);
+//!                a[i] = a[i] * f;
+//!            }";
+//! let mut program = flexcl_frontend::parse(src)?;
+//! flexcl_frontend::analyze(&mut program)?;     // fills in expression types
+//! assert_eq!(program.kernels[0].name, "scale");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! After [`analyze`] succeeds, every [`ast::Expr`] carries its [`types::Type`]
+//! and the program is ready for IR lowering (see the `flexcl-ir` crate).
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builtins;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+pub mod token;
+pub mod types;
+
+pub use ast::Program;
+pub use error::{FrontendError, Result};
+pub use parser::parse;
+pub use sema::{analyze, parse_and_check};
+pub use token::Span;
+pub use types::{AddressSpace, Scalar, Type};

@@ -1,0 +1,330 @@
+//! Lexical tokens for the OpenCL C subset accepted by FlexCL.
+
+use std::fmt;
+
+/// A half-open byte range into the original source text.
+///
+/// Spans are carried on every token and AST node so that semantic errors can
+/// point back at the offending source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a new span covering `start..end` at the given position.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+            col: if other.line < self.line { other.col } else { self.col },
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Keywords recognised by the lexer (variants are the keywords themselves).
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Kernel,
+    Global,
+    Local,
+    Constant,
+    Private,
+    Attribute,
+    Void,
+    Bool,
+    Char,
+    Uchar,
+    Short,
+    Ushort,
+    Int,
+    Uint,
+    Long,
+    Ulong,
+    Float,
+    Double,
+    SizeT,
+    If,
+    Else,
+    For,
+    While,
+    Do,
+    Return,
+    Break,
+    Continue,
+    Const,
+    Restrict,
+    Volatile,
+    Unsigned,
+    Signed,
+    Struct,
+    Typedef,
+    Sizeof,
+}
+
+impl Keyword {
+    /// Looks up an identifier; returns the keyword if it is one.
+    pub fn from_ident(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "__kernel" | "kernel" => Kernel,
+            "__global" | "global" => Global,
+            "__local" | "local" => Local,
+            "__constant" | "constant" => Constant,
+            "__private" | "private" => Private,
+            "__attribute__" => Attribute,
+            "void" => Void,
+            "bool" => Bool,
+            "char" => Char,
+            "uchar" => Uchar,
+            "short" => Short,
+            "ushort" => Ushort,
+            "int" => Int,
+            "uint" => Uint,
+            "long" => Long,
+            "ulong" => Ulong,
+            "float" => Float,
+            "double" => Double,
+            "size_t" => SizeT,
+            "if" => If,
+            "else" => Else,
+            "for" => For,
+            "while" => While,
+            "do" => Do,
+            "return" => Return,
+            "break" => Break,
+            "continue" => Continue,
+            "const" => Const,
+            "restrict" => Restrict,
+            "volatile" => Volatile,
+            "unsigned" => Unsigned,
+            "signed" => Signed,
+            "struct" => Struct,
+            "typedef" => Typedef,
+            "sizeof" => Sizeof,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Keyword::Kernel => "__kernel",
+            Keyword::Global => "__global",
+            Keyword::Local => "__local",
+            Keyword::Constant => "__constant",
+            Keyword::Private => "__private",
+            Keyword::Attribute => "__attribute__",
+            Keyword::Void => "void",
+            Keyword::Bool => "bool",
+            Keyword::Char => "char",
+            Keyword::Uchar => "uchar",
+            Keyword::Short => "short",
+            Keyword::Ushort => "ushort",
+            Keyword::Int => "int",
+            Keyword::Uint => "uint",
+            Keyword::Long => "long",
+            Keyword::Ulong => "ulong",
+            Keyword::Float => "float",
+            Keyword::Double => "double",
+            Keyword::SizeT => "size_t",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::For => "for",
+            Keyword::While => "while",
+            Keyword::Do => "do",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::Const => "const",
+            Keyword::Restrict => "restrict",
+            Keyword::Volatile => "volatile",
+            Keyword::Unsigned => "unsigned",
+            Keyword::Signed => "signed",
+            Keyword::Struct => "struct",
+            Keyword::Typedef => "typedef",
+            Keyword::Sizeof => "sizeof",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Punctuation and operator tokens (variants name the glyphs).
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Question,
+    Colon,
+    // arithmetic
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    // bitwise
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    // logical
+    AmpAmp,
+    PipePipe,
+    Bang,
+    // comparison
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    // assignment
+    Eq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+    // increment / decrement
+    PlusPlus,
+    MinusMinus,
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::Semi => ";",
+            Punct::Comma => ",",
+            Punct::Dot => ".",
+            Punct::Arrow => "->",
+            Punct::Question => "?",
+            Punct::Colon => ":",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::Amp => "&",
+            Punct::Pipe => "|",
+            Punct::Caret => "^",
+            Punct::Tilde => "~",
+            Punct::Shl => "<<",
+            Punct::Shr => ">>",
+            Punct::AmpAmp => "&&",
+            Punct::PipePipe => "||",
+            Punct::Bang => "!",
+            Punct::Lt => "<",
+            Punct::Gt => ">",
+            Punct::Le => "<=",
+            Punct::Ge => ">=",
+            Punct::EqEq => "==",
+            Punct::Ne => "!=",
+            Punct::Eq => "=",
+            Punct::PlusEq => "+=",
+            Punct::MinusEq => "-=",
+            Punct::StarEq => "*=",
+            Punct::SlashEq => "/=",
+            Punct::PercentEq => "%=",
+            Punct::AmpEq => "&=",
+            Punct::PipeEq => "|=",
+            Punct::CaretEq => "^=",
+            Punct::ShlEq => "<<=",
+            Punct::ShrEq => ">>=",
+            Punct::PlusPlus => "++",
+            Punct::MinusMinus => "--",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier that is not a keyword, e.g. `gid` or `get_global_id`.
+    Ident(String),
+    /// A reserved word.
+    Keyword(Keyword),
+    /// An integer literal; suffixes (`u`, `l`) are folded away.
+    IntLit(i64),
+    /// A floating-point literal; the `f` suffix is folded away.
+    FloatLit(f64),
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// A `#pragma ...` line, carried verbatim (without the `#pragma` prefix).
+    Pragma(String),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::IntLit(v) => write!(f, "integer literal `{v}`"),
+            TokenKind::FloatLit(v) => write!(f, "float literal `{v}`"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Pragma(s) => write!(f, "#pragma {s}"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}

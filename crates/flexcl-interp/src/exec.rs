@@ -1,0 +1,840 @@
+//! The IR interpreter.
+//!
+//! Executes a lowered kernel over an NDRange, both to verify functional
+//! behaviour and — its main job inside FlexCL — to *dynamically profile*
+//! the kernel: loop trip counts that static analysis could not determine
+//! and the global-memory access trace that drives the DRAM model (§3.2).
+//!
+//! Work-items execute sequentially in id order within each work-group.
+//! `barrier()` is therefore a no-op here: for the profiling observables
+//! (indices, loop bounds) this is exact, since they derive from work-item
+//! ids; data read through local memory follows the common
+//! "write-own-slot, then read" idiom for which id-order execution is also
+//! functionally correct for forward neighbourhoods.
+
+use crate::profile::{EdgeCounts, MemAccess, Profile};
+use crate::value::{truncate_int, KernelArg, RtVal};
+use flexcl_frontend::ast::{BinOp, UnOp};
+use flexcl_frontend::builtins::{MathOp, WorkItemFn};
+use flexcl_frontend::types::{AddressSpace, Scalar, Type};
+use flexcl_ir::{Function, InstId, Literal, MemRoot, Op, Terminator, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The execution geometry of a kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NdRange {
+    /// Global work size per dimension.
+    pub global: [u64; 3],
+    /// Work-group size per dimension.
+    pub local: [u64; 3],
+}
+
+impl NdRange {
+    /// A 1-D NDRange.
+    pub fn new_1d(global: u64, local: u64) -> Self {
+        NdRange { global: [global, 1, 1], local: [local, 1, 1] }
+    }
+
+    /// A 2-D NDRange.
+    pub fn new_2d(gx: u64, gy: u64, lx: u64, ly: u64) -> Self {
+        NdRange { global: [gx, gy, 1], local: [lx, ly, 1] }
+    }
+
+    /// Total number of work-items.
+    pub fn total_work_items(&self) -> u64 {
+        self.global.iter().product()
+    }
+
+    /// Work-items per work-group.
+    pub fn work_group_size(&self) -> u64 {
+        self.local.iter().product()
+    }
+
+    /// Number of work-groups.
+    pub fn num_groups(&self) -> u64 {
+        (0..3).map(|d| self.global[d].div_ceil(self.local[d].max(1))).product()
+    }
+
+    /// Validates divisibility and non-zero sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a dimension is zero or the local size does not
+    /// divide the global size.
+    pub fn validate(&self) -> Result<(), String> {
+        for d in 0..3 {
+            if self.global[d] == 0 || self.local[d] == 0 {
+                return Err(format!("dimension {d} has zero size"));
+            }
+            if self.global[d] % self.local[d] != 0 {
+                return Err(format!(
+                    "global size {} not divisible by local size {} in dim {d}",
+                    self.global[d], self.local[d]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Interpreter failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// A buffer access was out of bounds.
+    OutOfBounds {
+        /// Parameter index of the buffer.
+        param: u32,
+        /// Offending element index.
+        index: i64,
+        /// Buffer length.
+        len: usize,
+    },
+    /// The kernel exceeded the execution step budget (runaway loop).
+    StepLimit(u64),
+    /// Argument count/type mismatch with the kernel signature.
+    BadArguments(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::OutOfBounds { param, index, len } => {
+                write!(f, "buffer access out of bounds: param {param}, index {index}, len {len}")
+            }
+            InterpError::StepLimit(n) => write!(f, "execution exceeded {n} steps"),
+            InterpError::BadArguments(m) => write!(f, "bad kernel arguments: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Options controlling a profiled run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Profile only `n` work-groups (the paper profiles "a few
+    /// work-groups"; traces are per-work-item so a subset suffices).
+    /// `None` executes everything.
+    pub profile_groups: Option<u64>,
+    /// When sampling a subset, spread the profiled groups evenly across
+    /// the NDRange instead of taking the first `n`. Kernels whose work is
+    /// non-uniform over the index space (guarded wavefronts, triangular
+    /// iteration spaces) need this for a representative trace.
+    pub profile_spread: bool,
+    /// Abort after this many interpreted instructions per work-item.
+    pub step_limit: u64,
+    /// Record the global memory trace.
+    pub record_trace: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            profile_groups: None,
+            profile_spread: false,
+            step_limit: 10_000_000,
+            record_trace: true,
+        }
+    }
+}
+
+/// Executes `func` over `ndrange` with the given arguments.
+///
+/// Buffers in `args` are mutated in place (stores write through). Returns
+/// the execution [`Profile`].
+///
+/// # Errors
+///
+/// Returns [`InterpError`] on out-of-bounds accesses, argument mismatches or
+/// runaway loops.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use flexcl_interp::{run, KernelArg, NdRange, RunOptions};
+///
+/// let program = flexcl_frontend::parse_and_check(
+///     "__kernel void inc(__global int* a) {
+///          int i = get_global_id(0);
+///          a[i] = a[i] + 1;
+///      }",
+/// )?;
+/// let func = flexcl_ir::lower_kernel(&program.kernels[0])?;
+/// let mut args = vec![KernelArg::IntBuf(vec![0; 8])];
+/// run(&func, &mut args, NdRange::new_1d(8, 4), RunOptions::default())?;
+/// assert_eq!(args[0], KernelArg::IntBuf(vec![1; 8]));
+/// # Ok(())
+/// # }
+/// ```
+pub fn run(
+    func: &Function,
+    args: &mut [KernelArg],
+    ndrange: NdRange,
+    opts: RunOptions,
+) -> Result<Profile, InterpError> {
+    ndrange.validate().map_err(InterpError::BadArguments)?;
+    if args.len() != func.params.len() {
+        return Err(InterpError::BadArguments(format!(
+            "kernel `{}` takes {} arguments, got {}",
+            func.name,
+            func.params.len(),
+            args.len()
+        )));
+    }
+    for (i, (p, a)) in func.params.iter().zip(args.iter()).enumerate() {
+        let ok = match (&p.ty, a) {
+            (Type::Pointer(_, _), KernelArg::IntBuf(_) | KernelArg::FloatBuf(_)) => true,
+            (Type::Pointer(_, _), _) => false,
+            (_, KernelArg::IntBuf(_) | KernelArg::FloatBuf(_)) => false,
+            _ => true,
+        };
+        if !ok {
+            return Err(InterpError::BadArguments(format!(
+                "argument {i} does not match parameter type {}",
+                p.ty
+            )));
+        }
+    }
+
+    let mut machine = Machine {
+        func,
+        args,
+        edge_counts: EdgeCounts::new(),
+        trace: Vec::new(),
+        opts,
+        work_items_executed: 0,
+    };
+
+    let groups = group_iter(&ndrange);
+    let total = groups.len() as u64;
+    let limit = opts.profile_groups.unwrap_or(u64::MAX);
+    // Evenly spread sample (ceil stride keeps the count ≤ limit).
+    let stride = if opts.profile_spread && limit < total {
+        total.div_ceil(limit)
+    } else {
+        1
+    };
+    let mut taken = 0u64;
+    for (g_idx, group) in groups.into_iter().enumerate() {
+        if taken >= limit {
+            break;
+        }
+        if g_idx as u64 % stride != 0 {
+            continue;
+        }
+        taken += 1;
+        machine.run_group(g_idx as u64, group, &ndrange)?;
+    }
+
+    Ok(Profile::from_parts(
+        func,
+        machine.edge_counts,
+        machine.trace,
+        machine.work_items_executed,
+    ))
+}
+
+/// Enumerates work-group origin coordinates.
+fn group_iter(nd: &NdRange) -> Vec<[u64; 3]> {
+    let mut out = Vec::new();
+    let counts: Vec<u64> = (0..3).map(|d| nd.global[d] / nd.local[d]).collect();
+    for gz in 0..counts[2] {
+        for gy in 0..counts[1] {
+            for gx in 0..counts[0] {
+                out.push([gx, gy, gz]);
+            }
+        }
+    }
+    out
+}
+
+struct Machine<'a> {
+    func: &'a Function,
+    args: &'a mut [KernelArg],
+    edge_counts: EdgeCounts,
+    trace: Vec<MemAccess>,
+    opts: RunOptions,
+    work_items_executed: u64,
+}
+
+/// Per-work-item geometry context.
+#[derive(Debug, Clone, Copy)]
+struct WiCtx {
+    global_id: [u64; 3],
+    local_id: [u64; 3],
+    group_id: [u64; 3],
+    global_size: [u64; 3],
+    local_size: [u64; 3],
+    num_groups: [u64; 3],
+    linear_id: u64,
+    group_linear: u64,
+}
+
+impl<'a> Machine<'a> {
+    fn run_group(
+        &mut self,
+        group_linear: u64,
+        group: [u64; 3],
+        nd: &NdRange,
+    ) -> Result<(), InterpError> {
+        // Local allocas shared across the work-group.
+        let mut local_mem: HashMap<InstId, Vec<RtVal>> = HashMap::new();
+        for inst in &self.func.insts {
+            if let Op::Alloca { space: AddressSpace::Local, elems } = inst.op {
+                let lanes = inst.ty.lanes() as u64;
+                local_mem
+                    .insert(inst.id, vec![RtVal::zero(&inst.ty); (elems * lanes.max(1)) as usize]);
+            }
+        }
+
+        for lz in 0..nd.local[2] {
+            for ly in 0..nd.local[1] {
+                for lx in 0..nd.local[0] {
+                    let local_id = [lx, ly, lz];
+                    let global_id = [
+                        group[0] * nd.local[0] + lx,
+                        group[1] * nd.local[1] + ly,
+                        group[2] * nd.local[2] + lz,
+                    ];
+                    let linear_id = global_id[2] * nd.global[1] * nd.global[0]
+                        + global_id[1] * nd.global[0]
+                        + global_id[0];
+                    let ctx = WiCtx {
+                        global_id,
+                        local_id,
+                        group_id: group,
+                        global_size: nd.global,
+                        local_size: nd.local,
+                        num_groups: [
+                            nd.global[0] / nd.local[0],
+                            nd.global[1] / nd.local[1],
+                            nd.global[2] / nd.local[2],
+                        ],
+                        linear_id,
+                        group_linear,
+                    };
+                    self.run_work_item(ctx, &mut local_mem)?;
+                    self.work_items_executed += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_work_item(
+        &mut self,
+        ctx: WiCtx,
+        local_mem: &mut HashMap<InstId, Vec<RtVal>>,
+    ) -> Result<(), InterpError> {
+        let func = self.func;
+        let mut regs: Vec<Option<RtVal>> = vec![None; func.insts.len()];
+        let mut private_mem: HashMap<InstId, Vec<RtVal>> = HashMap::new();
+        let mut steps: u64 = 0;
+        let mut block = func.entry;
+        let mut prev_block: Option<flexcl_ir::BlockId> = None;
+
+        loop {
+            if let Some(p) = prev_block {
+                self.edge_counts.record(p, block);
+            }
+            for &iid in &func.block(block).insts {
+                steps += 1;
+                if steps > self.opts.step_limit {
+                    return Err(InterpError::StepLimit(self.opts.step_limit));
+                }
+                let inst = func.inst(iid);
+                let result =
+                    self.exec_inst(inst, &ctx, &mut regs, &mut private_mem, local_mem)?;
+                regs[iid.0 as usize] = result;
+            }
+            let term = &func.block(block).term;
+            prev_block = Some(block);
+            match term {
+                Terminator::Br(t) => block = *t,
+                Terminator::CondBr(c, t, f) => {
+                    let cond = eval_value_with(c, &regs, self.args);
+                    block = if cond.as_bool() { *t } else { *f };
+                }
+                Terminator::Ret => return Ok(()),
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_inst(
+        &mut self,
+        inst: &flexcl_ir::Inst,
+        ctx: &WiCtx,
+        regs: &mut [Option<RtVal>],
+        private_mem: &mut HashMap<InstId, Vec<RtVal>>,
+        local_mem: &mut HashMap<InstId, Vec<RtVal>>,
+    ) -> Result<Option<RtVal>, InterpError> {
+        let arg = |i: usize| eval_value_with(&inst.args[i], regs, self.args);
+        Ok(match &inst.op {
+            Op::Alloca { space, elems } => {
+                if *space == AddressSpace::Private {
+                    private_mem
+                        .insert(inst.id, vec![RtVal::zero(&inst.ty); *elems as usize]);
+                }
+                // Local allocas were materialised per work-group.
+                Some(RtVal::Int(0))
+            }
+            Op::Bin(op) => Some(eval_bin(*op, &arg(0), &arg(1), &inst.ty)),
+            Op::Un(op) => Some(eval_un(*op, &arg(0), &inst.ty)),
+            Op::Select => {
+                let v = if arg(0).as_bool() { arg(1) } else { arg(2) };
+                Some(v.convert_to(&inst.ty))
+            }
+            Op::Convert => Some(arg(0).convert_to(&inst.ty)),
+            Op::Splat => Some(arg(0).convert_to(&inst.ty)),
+            Op::Extract(lane) => Some(match arg(0) {
+                RtVal::FloatVec(v) => RtVal::Float(v.get(*lane as usize).copied().unwrap_or(0.0)),
+                RtVal::IntVec(v) => RtVal::Int(v.get(*lane as usize).copied().unwrap_or(0)),
+                scalar => scalar,
+            }),
+            Op::Insert(lane) => {
+                let mut vec = arg(0).convert_to(&inst.ty);
+                let s = arg(1);
+                match &mut vec {
+                    RtVal::FloatVec(v) => {
+                        if let Some(slot) = v.get_mut(*lane as usize) {
+                            *slot = s.as_float();
+                        }
+                    }
+                    RtVal::IntVec(v) => {
+                        if let Some(slot) = v.get_mut(*lane as usize) {
+                            *slot = s.as_int();
+                        }
+                    }
+                    _ => {}
+                }
+                Some(vec)
+            }
+            Op::Math(m) => {
+                let vals: Vec<RtVal> = (0..inst.args.len()).map(arg).collect();
+                Some(eval_math(*m, &vals, &inst.ty))
+            }
+            Op::WorkItem(wi) => {
+                let dim = (arg(0).as_int().clamp(0, 2)) as usize;
+                let v = match wi {
+                    WorkItemFn::GlobalId => ctx.global_id[dim],
+                    WorkItemFn::LocalId => ctx.local_id[dim],
+                    WorkItemFn::GroupId => ctx.group_id[dim],
+                    WorkItemFn::GlobalSize => ctx.global_size[dim],
+                    WorkItemFn::LocalSize => ctx.local_size[dim],
+                    WorkItemFn::NumGroups => ctx.num_groups[dim],
+                    WorkItemFn::WorkDim => 3,
+                };
+                Some(RtVal::Int(v as i64))
+            }
+            Op::Barrier => None,
+            Op::Load { space, root } => {
+                let idx = arg(0).as_int();
+                Some(self.load(*space, *root, idx, &inst.ty, ctx, private_mem, local_mem)?)
+            }
+            Op::Store { space, root } => {
+                let idx = arg(0).as_int();
+                let val = arg(1);
+                self.store(*space, *root, idx, &val, ctx, private_mem, local_mem)?;
+                None
+            }
+        })
+    }
+
+    fn load(
+        &mut self,
+        space: AddressSpace,
+        root: MemRoot,
+        idx: i64,
+        ty: &Type,
+        ctx: &WiCtx,
+        private_mem: &HashMap<InstId, Vec<RtVal>>,
+        local_mem: &HashMap<InstId, Vec<RtVal>>,
+    ) -> Result<RtVal, InterpError> {
+        match (space, root) {
+            (AddressSpace::Global | AddressSpace::Constant, MemRoot::Param(p)) => {
+                let lanes = ty.lanes() as i64;
+                let buf = &self.args[p as usize];
+                let elem_bytes = ty.bytes().unwrap_or(4) as u32;
+                if self.opts.record_trace {
+                    self.trace.push(MemAccess {
+                        write: false,
+                        param: p,
+                        elem_index: idx,
+                        bytes: elem_bytes,
+                        work_item: ctx.linear_id,
+                        work_group: ctx.group_linear,
+                    });
+                }
+                if lanes == 1 {
+                    buf.read(usize::try_from(idx).map_err(|_| InterpError::OutOfBounds {
+                        param: p,
+                        index: idx,
+                        len: buf.len(),
+                    })?)
+                    .ok_or(InterpError::OutOfBounds { param: p, index: idx, len: buf.len() })
+                } else {
+                    let base = idx * lanes;
+                    let mut out_f = Vec::with_capacity(lanes as usize);
+                    let mut out_i = Vec::with_capacity(lanes as usize);
+                    let is_float = ty.is_float();
+                    for l in 0..lanes {
+                        let v = buf
+                            .read((base + l) as usize)
+                            .ok_or(InterpError::OutOfBounds {
+                                param: p,
+                                index: base + l,
+                                len: buf.len(),
+                            })?;
+                        if is_float {
+                            out_f.push(v.as_float());
+                        } else {
+                            out_i.push(v.as_int());
+                        }
+                    }
+                    Ok(if is_float { RtVal::FloatVec(out_f) } else { RtVal::IntVec(out_i) })
+                }
+            }
+            (AddressSpace::Local, MemRoot::Param(p)) => {
+                // __local pointer parameter: host-allocated scratch; treat as
+                // a work-group buffer keyed by param index via a pseudo
+                // buffer in args.
+                let buf = &self.args[p as usize];
+                buf.read(usize::try_from(idx).unwrap_or(usize::MAX)).ok_or(
+                    InterpError::OutOfBounds { param: p, index: idx, len: buf.len() },
+                )
+            }
+            (_, MemRoot::Alloca(a)) => {
+                let mem = if space == AddressSpace::Local {
+                    local_mem.get(&a)
+                } else {
+                    private_mem.get(&a)
+                };
+                let mem = mem.ok_or(InterpError::OutOfBounds { param: 0, index: idx, len: 0 })?;
+                mem.get(usize::try_from(idx).unwrap_or(usize::MAX)).cloned().ok_or(
+                    InterpError::OutOfBounds { param: 0, index: idx, len: mem.len() },
+                )
+            }
+            (space, root) => Err(InterpError::BadArguments(format!(
+                "unsupported load: {space} from {root:?}"
+            ))),
+        }
+    }
+
+    fn store(
+        &mut self,
+        space: AddressSpace,
+        root: MemRoot,
+        idx: i64,
+        val: &RtVal,
+        ctx: &WiCtx,
+        private_mem: &mut HashMap<InstId, Vec<RtVal>>,
+        local_mem: &mut HashMap<InstId, Vec<RtVal>>,
+    ) -> Result<(), InterpError> {
+        match (space, root) {
+            (AddressSpace::Global, MemRoot::Param(p)) => {
+                let (lanes, elem_bytes, is_float) = match val {
+                    RtVal::FloatVec(v) => (v.len() as i64, 4 * v.len() as u32, true),
+                    RtVal::IntVec(v) => (v.len() as i64, 4 * v.len() as u32, false),
+                    RtVal::Float(_) => (1, 4, true),
+                    RtVal::Int(_) => (1, 4, false),
+                };
+                let _ = is_float;
+                if self.opts.record_trace {
+                    self.trace.push(MemAccess {
+                        write: true,
+                        param: p,
+                        elem_index: idx,
+                        bytes: elem_bytes,
+                        work_item: ctx.linear_id,
+                        work_group: ctx.group_linear,
+                    });
+                }
+                let buf = &mut self.args[p as usize];
+                if lanes == 1 {
+                    if !buf.write(usize::try_from(idx).unwrap_or(usize::MAX), val) {
+                        return Err(InterpError::OutOfBounds {
+                            param: p,
+                            index: idx,
+                            len: buf.len(),
+                        });
+                    }
+                } else {
+                    let base = idx * lanes;
+                    for l in 0..lanes {
+                        let scalar = match val {
+                            RtVal::FloatVec(v) => RtVal::Float(v[l as usize]),
+                            RtVal::IntVec(v) => RtVal::Int(v[l as usize]),
+                            _ => unreachable!(),
+                        };
+                        if !buf.write((base + l) as usize, &scalar) {
+                            return Err(InterpError::OutOfBounds {
+                                param: p,
+                                index: base + l,
+                                len: buf.len(),
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            }
+            (AddressSpace::Local, MemRoot::Param(p)) => {
+                let buf = &mut self.args[p as usize];
+                if buf.write(usize::try_from(idx).unwrap_or(usize::MAX), val) {
+                    Ok(())
+                } else {
+                    Err(InterpError::OutOfBounds { param: p, index: idx, len: buf.len() })
+                }
+            }
+            (_, MemRoot::Alloca(a)) => {
+                let mem = if space == AddressSpace::Local {
+                    local_mem.get_mut(&a)
+                } else {
+                    private_mem.get_mut(&a)
+                };
+                let mem = mem.ok_or(InterpError::OutOfBounds { param: 0, index: idx, len: 0 })?;
+                let len = mem.len();
+                match mem.get_mut(usize::try_from(idx).unwrap_or(usize::MAX)) {
+                    Some(slot) => {
+                        *slot = val.clone();
+                        Ok(())
+                    }
+                    None => Err(InterpError::OutOfBounds { param: 0, index: idx, len }),
+                }
+            }
+            (space, root) => Err(InterpError::BadArguments(format!(
+                "unsupported store: {space} to {root:?}"
+            ))),
+        }
+    }
+}
+
+fn eval_value_with(v: &Value, regs: &[Option<RtVal>], args: &[KernelArg]) -> RtVal {
+    match v {
+        Value::Literal(Literal::Int(i)) => RtVal::Int(*i),
+        Value::Literal(Literal::Float(f)) => RtVal::Float(*f),
+        Value::Inst(id) => regs[id.0 as usize].clone().unwrap_or(RtVal::Int(0)),
+        Value::Param(p) => match args.get(*p as usize) {
+            Some(KernelArg::Int(i)) => RtVal::Int(*i),
+            Some(KernelArg::Float(f)) => RtVal::Float(*f),
+            _ => RtVal::Int(0), // pointer params never appear in value position
+        },
+    }
+}
+
+fn eval_bin(op: BinOp, a: &RtVal, b: &RtVal, ty: &Type) -> RtVal {
+    // Vector case: lane-wise recursion.
+    if ty.lanes() > 1 {
+        let n = ty.lanes() as usize;
+        let elem_ty = Type::Scalar(ty.element_scalar().expect("vector"));
+        let lane = |v: &RtVal, i: usize| -> RtVal {
+            match v {
+                RtVal::FloatVec(x) => RtVal::Float(x.get(i).copied().unwrap_or(0.0)),
+                RtVal::IntVec(x) => RtVal::Int(x.get(i).copied().unwrap_or(0)),
+                s => s.clone(),
+            }
+        };
+        let results: Vec<RtVal> = (0..n).map(|i| eval_bin(op, &lane(a, i), &lane(b, i), &elem_ty)).collect();
+        return if elem_ty.is_float() {
+            RtVal::FloatVec(results.iter().map(RtVal::as_float).collect())
+        } else {
+            RtVal::IntVec(results.iter().map(RtVal::as_int).collect())
+        };
+    }
+
+    let float_op = ty.is_float()
+        || matches!(
+            (a, b),
+            (RtVal::Float(_), _) | (_, RtVal::Float(_))
+        ) && !op.is_comparison();
+    let is_cmp = op.is_comparison();
+    let float_inputs = matches!(a, RtVal::Float(_) | RtVal::FloatVec(_))
+        || matches!(b, RtVal::Float(_) | RtVal::FloatVec(_));
+
+    if is_cmp {
+        let r = if float_inputs {
+            let (x, y) = (a.as_float(), b.as_float());
+            match op {
+                BinOp::Lt => x < y,
+                BinOp::Gt => x > y,
+                BinOp::Le => x <= y,
+                BinOp::Ge => x >= y,
+                BinOp::Eq => x == y,
+                BinOp::Ne => x != y,
+                BinOp::LogAnd => x != 0.0 && y != 0.0,
+                BinOp::LogOr => x != 0.0 || y != 0.0,
+                _ => unreachable!(),
+            }
+        } else {
+            let (x, y) = (a.as_int(), b.as_int());
+            match op {
+                BinOp::Lt => x < y,
+                BinOp::Gt => x > y,
+                BinOp::Le => x <= y,
+                BinOp::Ge => x >= y,
+                BinOp::Eq => x == y,
+                BinOp::Ne => x != y,
+                BinOp::LogAnd => x != 0 && y != 0,
+                BinOp::LogOr => x != 0 || y != 0,
+                _ => unreachable!(),
+            }
+        };
+        return RtVal::Int(i64::from(r));
+    }
+
+    if float_op {
+        let (x, y) = (a.as_float(), b.as_float());
+        let r = match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::Div => x / y,
+            BinOp::Rem => x % y,
+            _ => return RtVal::Int(0),
+        };
+        RtVal::Float(r)
+    } else {
+        let (x, y) = (a.as_int(), b.as_int());
+        let r = match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Div => {
+                if y == 0 {
+                    0
+                } else {
+                    x.wrapping_div(y)
+                }
+            }
+            BinOp::Rem => {
+                if y == 0 {
+                    0
+                } else {
+                    x.wrapping_rem(y)
+                }
+            }
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y as u32 & 63),
+            BinOp::Shr => x.wrapping_shr(y as u32 & 63),
+            _ => 0,
+        };
+        let s = ty.element_scalar().unwrap_or(Scalar::I64);
+        RtVal::Int(truncate_int(r, s))
+    }
+}
+
+fn eval_un(op: UnOp, a: &RtVal, ty: &Type) -> RtVal {
+    match op {
+        UnOp::Neg => {
+            if ty.is_float() {
+                RtVal::Float(-a.as_float())
+            } else if let RtVal::FloatVec(v) = a {
+                RtVal::FloatVec(v.iter().map(|x| -x).collect())
+            } else if let RtVal::IntVec(v) = a {
+                RtVal::IntVec(v.iter().map(|x| -x).collect())
+            } else if matches!(a, RtVal::Float(_)) {
+                RtVal::Float(-a.as_float())
+            } else {
+                RtVal::Int(-a.as_int())
+            }
+        }
+        UnOp::Not => RtVal::Int(i64::from(!a.as_bool())),
+        UnOp::BitNot => RtVal::Int(!a.as_int()),
+    }
+}
+
+fn eval_math(m: MathOp, args: &[RtVal], ty: &Type) -> RtVal {
+    // Vector math: lane-wise.
+    if ty.lanes() > 1 {
+        let n = ty.lanes() as usize;
+        let elem_ty = Type::Scalar(ty.element_scalar().expect("vector"));
+        let lane = |v: &RtVal, i: usize| -> RtVal {
+            match v {
+                RtVal::FloatVec(x) => RtVal::Float(x.get(i).copied().unwrap_or(0.0)),
+                RtVal::IntVec(x) => RtVal::Int(x.get(i).copied().unwrap_or(0)),
+                s => s.clone(),
+            }
+        };
+        let results: Vec<RtVal> = (0..n)
+            .map(|i| {
+                let lane_args: Vec<RtVal> = args.iter().map(|a| lane(a, i)).collect();
+                eval_math(m, &lane_args, &elem_ty)
+            })
+            .collect();
+        return if elem_ty.is_float() {
+            RtVal::FloatVec(results.iter().map(RtVal::as_float).collect())
+        } else {
+            RtVal::IntVec(results.iter().map(RtVal::as_int).collect())
+        };
+    }
+
+    use MathOp::*;
+    let f = |i: usize| args.get(i).map_or(0.0, RtVal::as_float);
+    let n = |i: usize| args.get(i).map_or(0, RtVal::as_int);
+    let float_result = |v: f64| {
+        if ty.is_float() {
+            RtVal::Float(v)
+        } else {
+            RtVal::Int(v as i64)
+        }
+    };
+    match m {
+        Sqrt => float_result(f(0).sqrt()),
+        Rsqrt => float_result(1.0 / f(0).sqrt()),
+        Exp => float_result(f(0).exp()),
+        Exp2 => float_result(f(0).exp2()),
+        Log => float_result(f(0).ln()),
+        Log2 => float_result(f(0).log2()),
+        Sin => float_result(f(0).sin()),
+        Cos => float_result(f(0).cos()),
+        Tan => float_result(f(0).tan()),
+        Fabs => float_result(f(0).abs()),
+        Floor => float_result(f(0).floor()),
+        Ceil => float_result(f(0).ceil()),
+        Round => float_result(f(0).round()),
+        Trunc => float_result(f(0).trunc()),
+        Pow => float_result(f(0).powf(f(1))),
+        Fmod => float_result(f(0) % f(1)),
+        Atan2 => float_result(f(0).atan2(f(1))),
+        Hypot => float_result(f(0).hypot(f(1))),
+        Fmin => float_result(f(0).min(f(1))),
+        Fmax => float_result(f(0).max(f(1))),
+        Mad | Fma => float_result(f(0) * f(1) + f(2)),
+        Clamp => float_result(f(0).clamp(f(1), f(2).max(f(1)))),
+        Mix => float_result(f(0) + (f(1) - f(0)) * f(2)),
+        Min => {
+            if ty.is_float() {
+                RtVal::Float(f(0).min(f(1)))
+            } else {
+                RtVal::Int(n(0).min(n(1)))
+            }
+        }
+        Max => {
+            if ty.is_float() {
+                RtVal::Float(f(0).max(f(1)))
+            } else {
+                RtVal::Int(n(0).max(n(1)))
+            }
+        }
+        Abs => {
+            if ty.is_float() {
+                RtVal::Float(f(0).abs())
+            } else {
+                RtVal::Int(n(0).abs())
+            }
+        }
+        Mul24 => RtVal::Int((n(0) & 0xFF_FFFF).wrapping_mul(n(1) & 0xFF_FFFF)),
+        Mad24 => RtVal::Int((n(0) & 0xFF_FFFF).wrapping_mul(n(1) & 0xFF_FFFF).wrapping_add(n(2))),
+        Select => {
+            if args.get(2).is_some_and(RtVal::as_bool) {
+                args[1].clone()
+            } else {
+                args[0].clone()
+            }
+        }
+    }
+}

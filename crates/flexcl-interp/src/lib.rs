@@ -1,0 +1,269 @@
+//! # flexcl-interp
+//!
+//! IR interpreter and dynamic profiler for FlexCL (DAC'17 reproduction).
+//!
+//! FlexCL uses lightweight dynamic profiling — executing a few work-groups
+//! on the host — to obtain loop trip counts and the global-memory access
+//! trace that static analysis cannot produce (§3.2 of the paper). This
+//! crate provides that profiler, and doubles as a functional reference
+//! executor used by the test suite to validate the kernel corpus.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use flexcl_interp::{run, KernelArg, NdRange, RunOptions};
+//!
+//! let program = flexcl_frontend::parse_and_check(
+//!     "__kernel void scale(__global float* x, float a) {
+//!          int i = get_global_id(0);
+//!          x[i] = x[i] * a;
+//!      }",
+//! )?;
+//! let func = flexcl_ir::lower_kernel(&program.kernels[0])?;
+//! let mut args = vec![KernelArg::FloatBuf(vec![1.0; 4]), KernelArg::Float(2.5)];
+//! let profile = run(&func, &mut args, NdRange::new_1d(4, 4), RunOptions::default())?;
+//! assert_eq!(args[0], KernelArg::FloatBuf(vec![2.5; 4]));
+//! assert_eq!(profile.trace.len(), 8); // 4 loads + 4 stores
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod profile;
+pub mod value;
+
+pub use exec::{run, InterpError, NdRange, RunOptions};
+pub use profile::{EdgeCounts, LoopTrips, MemAccess, Profile};
+pub use value::{KernelArg, RtVal};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcl_ir::lower_kernel;
+
+    fn exec(src: &str, args: &mut [KernelArg], nd: NdRange) {
+        let p = flexcl_frontend::parse_and_check(src).expect("frontend");
+        let f = lower_kernel(&p.kernels[0]).expect("lowering");
+        run(&f, args, nd, RunOptions::default()).expect("run");
+    }
+
+    #[test]
+    fn vector_add_is_correct() {
+        let mut args = vec![
+            KernelArg::FloatBuf((0..16).map(f64::from).collect()),
+            KernelArg::FloatBuf((0..16).map(|i| f64::from(i) * 10.0).collect()),
+            KernelArg::FloatBuf(vec![0.0; 16]),
+        ];
+        exec(
+            "__kernel void vadd(__global float* a, __global float* b, __global float* c) {
+                int i = get_global_id(0);
+                c[i] = a[i] + b[i];
+            }",
+            &mut args,
+            NdRange::new_1d(16, 4),
+        );
+        let KernelArg::FloatBuf(c) = &args[2] else { panic!() };
+        for (i, v) in c.iter().enumerate() {
+            assert_eq!(*v, i as f64 * 11.0);
+        }
+    }
+
+    #[test]
+    fn reduction_loop_is_correct() {
+        let mut args = vec![
+            KernelArg::FloatBuf((1..=10).map(f64::from).collect()),
+            KernelArg::FloatBuf(vec![0.0; 1]),
+        ];
+        exec(
+            "__kernel void sum(__global float* a, __global float* out) {
+                float s = 0.0f;
+                for (int i = 0; i < 10; i++) { s += a[i]; }
+                out[0] = s;
+            }",
+            &mut args,
+            NdRange::new_1d(1, 1),
+        );
+        let KernelArg::FloatBuf(out) = &args[1] else { panic!() };
+        assert_eq!(out[0], 55.0);
+    }
+
+    #[test]
+    fn conditional_guard_is_respected() {
+        let mut args = vec![KernelArg::IntBuf(vec![0; 8]), KernelArg::Int(5)];
+        exec(
+            "__kernel void k(__global int* a, int n) {
+                int i = get_global_id(0);
+                if (i < n) { a[i] = 1; }
+            }",
+            &mut args,
+            NdRange::new_1d(8, 8),
+        );
+        let KernelArg::IntBuf(a) = &args[0] else { panic!() };
+        assert_eq!(a, &vec![1, 1, 1, 1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn local_tile_roundtrip() {
+        // Each work-item writes its own slot then reads it back (id-order
+        // safe pattern).
+        let mut args = vec![KernelArg::IntBuf((0..8).map(|i| i * 3).collect())];
+        exec(
+            "__kernel void k(__global int* a) {
+                __local int tile[8];
+                int l = get_local_id(0);
+                tile[l] = a[get_global_id(0)];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[get_global_id(0)] = tile[l] + 1;
+            }",
+            &mut args,
+            NdRange::new_1d(8, 8),
+        );
+        let KernelArg::IntBuf(a) = &args[0] else { panic!() };
+        for (i, v) in a.iter().enumerate() {
+            assert_eq!(*v, i as i64 * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn math_builtins_evaluate() {
+        let mut args = vec![KernelArg::FloatBuf(vec![4.0, 9.0, 16.0, 25.0])];
+        exec(
+            "__kernel void k(__global float* a) {
+                int i = get_global_id(0);
+                a[i] = sqrt(a[i]);
+            }",
+            &mut args,
+            NdRange::new_1d(4, 4),
+        );
+        let KernelArg::FloatBuf(a) = &args[0] else { panic!() };
+        assert_eq!(a, &vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn two_dimensional_ids() {
+        let mut args = vec![KernelArg::IntBuf(vec![0; 16])];
+        exec(
+            "__kernel void k(__global int* a) {
+                int x = get_global_id(0);
+                int y = get_global_id(1);
+                a[y * 4 + x] = y * 4 + x;
+            }",
+            &mut args,
+            NdRange::new_2d(4, 4, 2, 2),
+        );
+        let KernelArg::IntBuf(a) = &args[0] else { panic!() };
+        assert_eq!(a, &(0..16).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let p = flexcl_frontend::parse_and_check(
+            "__kernel void k(__global int* a) { a[100] = 1; }",
+        )
+        .expect("frontend");
+        let f = lower_kernel(&p.kernels[0]).expect("lowering");
+        let mut args = vec![KernelArg::IntBuf(vec![0; 4])];
+        let err = run(&f, &mut args, NdRange::new_1d(1, 1), RunOptions::default()).unwrap_err();
+        assert!(matches!(err, InterpError::OutOfBounds { index: 100, .. }));
+    }
+
+    #[test]
+    fn step_limit_stops_runaway_loops() {
+        let p = flexcl_frontend::parse_and_check(
+            "__kernel void k(__global int* a) {
+                int i = 0;
+                while (i >= 0) { i = i + 0; }
+                a[0] = i;
+            }",
+        )
+        .expect("frontend");
+        let f = lower_kernel(&p.kernels[0]).expect("lowering");
+        let mut args = vec![KernelArg::IntBuf(vec![0; 1])];
+        let opts = RunOptions { step_limit: 10_000, ..RunOptions::default() };
+        let err = run(&f, &mut args, NdRange::new_1d(1, 1), opts).unwrap_err();
+        assert!(matches!(err, InterpError::StepLimit(_)));
+    }
+
+    #[test]
+    fn argument_mismatch_is_reported() {
+        let p = flexcl_frontend::parse_and_check(
+            "__kernel void k(__global int* a, int n) { a[0] = n; }",
+        )
+        .expect("frontend");
+        let f = lower_kernel(&p.kernels[0]).expect("lowering");
+        let mut args = vec![KernelArg::IntBuf(vec![0; 1])];
+        let err = run(&f, &mut args, NdRange::new_1d(1, 1), RunOptions::default()).unwrap_err();
+        assert!(matches!(err, InterpError::BadArguments(_)));
+    }
+
+    #[test]
+    fn vector_types_execute_lanewise() {
+        let mut args = vec![KernelArg::FloatBuf(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])];
+        exec(
+            "__kernel void k(__global float4* a) {
+                int i = get_global_id(0);
+                float4 v = a[i];
+                a[i] = v * 2.0f;
+            }",
+            &mut args,
+            NdRange::new_1d(2, 2),
+        );
+        let KernelArg::FloatBuf(a) = &args[0] else { panic!() };
+        assert_eq!(a, &vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn ir_optimization_preserves_semantics() {
+        let src = "__kernel void k(__global int* a, int n) {
+            int i = get_global_id(0);
+            int base = i * 2 + 0;
+            int dead = 123 * 456;
+            a[base] = a[base] + (3 - 2) * n;
+            a[base + 1] = a[base] + n * 1;
+        }";
+        let p = flexcl_frontend::parse_and_check(src).expect("frontend");
+        let plain = lower_kernel(&p.kernels[0]).expect("lowering");
+        let mut opt = plain.clone();
+        let removed = flexcl_ir::optimize(&mut opt);
+        assert!(removed > 0, "dead code and constants must fold");
+
+        let mut args1 = vec![KernelArg::IntBuf((0..64).collect()), KernelArg::Int(5)];
+        let mut args2 = args1.clone();
+        run(&plain, &mut args1, NdRange::new_1d(32, 8), RunOptions::default()).expect("run");
+        run(&opt, &mut args2, NdRange::new_1d(32, 8), RunOptions::default()).expect("run");
+        assert_eq!(args1, args2, "optimization must not change results");
+    }
+
+    #[test]
+    fn vector_literal_constructs_lanes() {
+        let mut args = vec![KernelArg::FloatBuf(vec![0.0; 8]), KernelArg::Float(3.0)];
+        exec(
+            "__kernel void k(__global float4* a, float s) {
+                a[0] = (float4)(1.0f, 2.0f, s, 4.0f);
+                a[1] = (float4)(s);
+            }",
+            &mut args,
+            NdRange::new_1d(1, 1),
+        );
+        let KernelArg::FloatBuf(a) = &args[0] else { panic!() };
+        assert_eq!(a, &vec![1.0, 2.0, 3.0, 4.0, 3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn profiled_subset_limits_trace() {
+        let p = flexcl_frontend::parse_and_check(
+            "__kernel void k(__global int* a) {
+                int i = get_global_id(0);
+                a[i] = i;
+            }",
+        )
+        .expect("frontend");
+        let f = lower_kernel(&p.kernels[0]).expect("lowering");
+        let mut args = vec![KernelArg::IntBuf(vec![0; 64])];
+        let opts = RunOptions { profile_groups: Some(2), ..RunOptions::default() };
+        let prof = run(&f, &mut args, NdRange::new_1d(64, 8), opts).expect("run");
+        assert_eq!(prof.work_items, 16); // 2 groups × 8 work-items
+        assert_eq!(prof.trace.len(), 16);
+    }
+}

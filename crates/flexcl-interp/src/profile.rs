@@ -1,0 +1,290 @@
+//! Dynamic-profiling results: loop trip counts and the global-memory trace.
+//!
+//! FlexCL profiles "a few work-groups" to obtain (a) trip counts of loops
+//! whose bounds static analysis could not resolve and (b) the sequence of
+//! global-memory indices each work-item touches, which the DRAM model turns
+//! into per-bank access patterns (§3.2, §3.4 of the paper).
+
+use flexcl_ir::{BlockId, Function, LoopId, Region, TripCount};
+use std::collections::HashMap;
+
+/// CFG edge execution counts gathered during interpretation.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeCounts {
+    counts: HashMap<(u32, u32), u64>,
+}
+
+impl EdgeCounts {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        EdgeCounts::default()
+    }
+
+    /// Records one traversal of `from → to`.
+    pub fn record(&mut self, from: BlockId, to: BlockId) {
+        *self.counts.entry((from.0, to.0)).or_insert(0) += 1;
+    }
+
+    /// Number of traversals of `from → to`.
+    pub fn count(&self, from: BlockId, to: BlockId) -> u64 {
+        self.counts.get(&(from.0, to.0)).copied().unwrap_or(0)
+    }
+
+    /// Total traversals into `to`.
+    pub fn into_block(&self, to: BlockId) -> u64 {
+        self.counts.iter().filter(|((_, t), _)| *t == to.0).map(|(_, c)| c).sum()
+    }
+
+    /// Total traversals into `to` from blocks in `from_set`.
+    pub fn into_block_from(&self, to: BlockId, from_set: &[BlockId]) -> u64 {
+        from_set.iter().map(|f| self.count(*f, to)).sum()
+    }
+}
+
+/// One recorded global-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// `true` for stores.
+    pub write: bool,
+    /// Which pointer parameter was accessed.
+    pub param: u32,
+    /// Element index into the parameter's buffer (may be negative when the
+    /// kernel mis-indexes; the interpreter reports bounds errors separately).
+    pub elem_index: i64,
+    /// Access width in bytes.
+    pub bytes: u32,
+    /// Linear work-item id that issued the access.
+    pub work_item: u64,
+    /// Linear work-group id.
+    pub work_group: u64,
+}
+
+/// Average trip counts observed for each loop.
+#[derive(Debug, Clone, Default)]
+pub struct LoopTrips {
+    /// `loop id → (entries, total iterations)`.
+    pub raw: HashMap<u32, (u64, u64)>,
+}
+
+impl LoopTrips {
+    /// Average iterations per loop entry, `None` if the loop never ran.
+    pub fn average(&self, id: LoopId) -> Option<f64> {
+        let (entries, iters) = self.raw.get(&id.0)?;
+        if *entries == 0 {
+            return None;
+        }
+        Some(*iters as f64 / *entries as f64)
+    }
+}
+
+/// Full profiling result of a kernel run.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Observed loop trip statistics.
+    pub trips: LoopTrips,
+    /// Global memory accesses in execution order.
+    pub trace: Vec<MemAccess>,
+    /// Number of work-items executed (may be a subset of the NDRange when
+    /// `profile_groups` limits profiling).
+    pub work_items: u64,
+}
+
+impl Profile {
+    /// Assembles a profile from the machine's raw observations.
+    pub fn from_parts(
+        func: &Function,
+        edges: EdgeCounts,
+        trace: Vec<MemAccess>,
+        work_items: u64,
+    ) -> Profile {
+        let mut trips = LoopTrips::default();
+        collect_loop_trips(func, &func.region, &edges, &mut trips);
+        Profile { trips, trace, work_items }
+    }
+
+    /// Effective trip count for a loop: static when known, else profiled,
+    /// else 0 (loop never entered in the profile).
+    pub fn trip_count(&self, func: &Function, id: LoopId) -> f64 {
+        match func.loops[id.0 as usize].trip {
+            TripCount::Static(n) => n as f64,
+            TripCount::Profiled => self.trips.average(id).unwrap_or(0.0),
+        }
+    }
+
+    /// Per-work-item access sequences, in work-item order.
+    pub fn per_work_item_traces(&self) -> HashMap<u64, Vec<MemAccess>> {
+        let mut out: HashMap<u64, Vec<MemAccess>> = HashMap::new();
+        for a in &self.trace {
+            out.entry(a.work_item).or_default().push(*a);
+        }
+        out
+    }
+
+    /// Average number of global accesses issued per work-item.
+    pub fn accesses_per_work_item(&self) -> f64 {
+        if self.work_items == 0 {
+            return 0.0;
+        }
+        self.trace.len() as f64 / self.work_items as f64
+    }
+}
+
+/// Walks the region tree accumulating trip statistics for every loop.
+fn collect_loop_trips(
+    func: &Function,
+    region: &Region,
+    edges: &EdgeCounts,
+    out: &mut LoopTrips,
+) {
+    match region {
+        Region::Block(_) => {}
+        Region::Seq(rs) => rs.iter().for_each(|r| collect_loop_trips(func, r, edges, out)),
+        Region::If { then_region, else_region, .. } => {
+            collect_loop_trips(func, then_region, edges, out);
+            collect_loop_trips(func, else_region, edges, out);
+        }
+        Region::Loop { id, header, body, latch } => {
+            let body_blocks = body.blocks();
+            let body_first = body_blocks.first().copied();
+
+            // Iterations: entries into the first body block from the header
+            // (for/while) — or from anywhere (do-while, where the entry edge
+            // jumps straight into the body).
+            let (entries, iters) = match body_first {
+                Some(bf) => {
+                    let header_to_body = edges.count(*header, bf);
+                    let total_into_body = edges.into_block(bf);
+                    if header_to_body < total_into_body {
+                        // do-while: entry edge bypasses the header.
+                        let outside = total_into_body - header_to_body;
+                        (outside, total_into_body)
+                    } else {
+                        // for/while: entries into the header from outside.
+                        let mut inside: Vec<BlockId> = body_blocks.clone();
+                        if let Some(l) = latch {
+                            inside.push(*l);
+                        }
+                        let back = edges.into_block_from(*header, &inside);
+                        let total_into_header = edges.into_block(*header);
+                        (total_into_header.saturating_sub(back), header_to_body)
+                    }
+                }
+                None => (0, 0),
+            };
+            let slot = out.raw.entry(id.0).or_insert((0, 0));
+            slot.0 += entries;
+            slot.1 += iters;
+
+            collect_loop_trips(func, body, edges, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run, NdRange, RunOptions};
+    use crate::value::KernelArg;
+    use flexcl_ir::lower_kernel;
+
+    fn profile(src: &str, args: &mut [KernelArg], nd: NdRange) -> (Function, Profile) {
+        let p = flexcl_frontend::parse_and_check(src).expect("frontend");
+        let f = lower_kernel(&p.kernels[0]).expect("lowering");
+        let prof = run(&f, args, nd, RunOptions::default()).expect("run");
+        (f, prof)
+    }
+
+    #[test]
+    fn dynamic_trip_count_profiled() {
+        let (f, prof) = profile(
+            "__kernel void k(__global int* a, int n) {
+                for (int i = 0; i < n; i++) { a[i] = i; }
+            }",
+            &mut [KernelArg::IntBuf(vec![0; 16]), KernelArg::Int(10)],
+            NdRange::new_1d(1, 1),
+        );
+        assert_eq!(f.loops.len(), 1);
+        assert_eq!(prof.trip_count(&f, LoopId(0)), 10.0);
+    }
+
+    #[test]
+    fn while_loop_trip_profiled() {
+        let (f, prof) = profile(
+            "__kernel void k(__global int* a) {
+                int i = 0;
+                while (i < 7) { i++; }
+                a[0] = i;
+            }",
+            &mut [KernelArg::IntBuf(vec![0; 1])],
+            NdRange::new_1d(1, 1),
+        );
+        assert_eq!(prof.trip_count(&f, LoopId(0)), 7.0);
+    }
+
+    #[test]
+    fn do_while_counts_first_iteration() {
+        let (f, prof) = profile(
+            "__kernel void k(__global int* a) {
+                int i = 0;
+                do { i++; } while (i < 5);
+                a[0] = i;
+            }",
+            &mut [KernelArg::IntBuf(vec![0; 1])],
+            NdRange::new_1d(1, 1),
+        );
+        assert_eq!(prof.trip_count(&f, LoopId(0)), 5.0);
+    }
+
+    #[test]
+    fn break_shortens_observed_trips() {
+        let (f, prof) = profile(
+            "__kernel void k(__global int* a) {
+                for (int i = 0; i < 100; i++) {
+                    if (i == 9) { break; }
+                    a[i] = i;
+                }
+            }",
+            &mut [KernelArg::IntBuf(vec![0; 100])],
+            NdRange::new_1d(1, 1),
+        );
+        // The loop body runs 10 times (i = 0..9, breaking on the 10th).
+        let trip = prof.trip_count(&f, LoopId(0));
+        assert!((trip - 10.0).abs() < 1e-9, "trip {trip}");
+    }
+
+    #[test]
+    fn trace_records_reads_and_writes() {
+        let (_f, prof) = profile(
+            "__kernel void k(__global int* a, __global int* b) {
+                int i = get_global_id(0);
+                b[i] = a[i] + 1;
+            }",
+            &mut [KernelArg::IntBuf(vec![1; 8]), KernelArg::IntBuf(vec![0; 8])],
+            NdRange::new_1d(8, 4),
+        );
+        assert_eq!(prof.trace.len(), 16); // 8 loads + 8 stores
+        assert_eq!(prof.trace.iter().filter(|a| a.write).count(), 8);
+        assert_eq!(prof.accesses_per_work_item(), 2.0);
+        let per_wi = prof.per_work_item_traces();
+        assert_eq!(per_wi.len(), 8);
+        assert!(per_wi.values().all(|t| t.len() == 2));
+    }
+
+    #[test]
+    fn nested_loop_average_trips() {
+        let (f, prof) = profile(
+            "__kernel void k(__global int* a, int n) {
+                for (int i = 0; i < 4; i++) {
+                    for (int j = 0; j < n; j++) {
+                        a[i * 8 + j] = j;
+                    }
+                }
+            }",
+            &mut [KernelArg::IntBuf(vec![0; 32]), KernelArg::Int(8)],
+            NdRange::new_1d(1, 1),
+        );
+        // Outer: static 4. Inner: profiled, entered 4 times, 8 iters each.
+        assert_eq!(prof.trip_count(&f, LoopId(1)), 4.0);
+        assert_eq!(prof.trip_count(&f, LoopId(0)), 8.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Small CFG utilities: successors, predecessors, reverse postorder and
+//! reachability.
+
+use crate::function::{BlockId, Function};
+
+/// Successor blocks of `b`.
+pub fn successors(func: &Function, b: BlockId) -> Vec<BlockId> {
+    func.block(b).term.successors()
+}
+
+/// Predecessor lists for every block, indexed by block id.
+pub fn predecessors(func: &Function) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); func.blocks.len()];
+    for block in &func.blocks {
+        for s in block.term.successors() {
+            preds[s.0 as usize].push(block.id);
+        }
+    }
+    preds
+}
+
+/// Reverse postorder over the CFG starting from the entry block.
+///
+/// Unreachable blocks (dead code after early `return`/`break`) are appended
+/// at the end in id order so every block appears exactly once.
+pub fn reverse_postorder(func: &Function) -> Vec<BlockId> {
+    let n = func.blocks.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
+    visited[func.entry.0 as usize] = true;
+    while let Some((b, i)) = stack.pop() {
+        let succs = successors(func, b);
+        if i < succs.len() {
+            stack.push((b, i + 1));
+            let s = succs[i];
+            if !visited[s.0 as usize] {
+                visited[s.0 as usize] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+        }
+    }
+    post.reverse();
+    for (i, v) in visited.iter().enumerate() {
+        if !v {
+            post.push(BlockId(i as u32));
+        }
+    }
+    post
+}
+
+/// Blocks reachable from the entry.
+pub fn reachable(func: &Function) -> Vec<bool> {
+    let mut seen = vec![false; func.blocks.len()];
+    let mut work = vec![func.entry];
+    seen[func.entry.0 as usize] = true;
+    while let Some(b) = work.pop() {
+        for s in successors(func, b) {
+            if !seen[s.0 as usize] {
+                seen[s.0 as usize] = true;
+                work.push(s);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_kernel;
+    use flexcl_frontend::parse_and_check;
+
+    fn lower(src: &str) -> Function {
+        let p = parse_and_check(src).expect("frontend");
+        lower_kernel(&p.kernels[0]).expect("lowering")
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_all_blocks() {
+        let f = lower(
+            "__kernel void k(__global int* a, int n) {
+                int i = get_global_id(0);
+                if (i < n) { a[i] = 1; } else { a[i] = 2; }
+                for (int j = 0; j < 4; j++) { a[j] = j; }
+            }",
+        );
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], f.entry);
+        assert_eq!(rpo.len(), f.blocks.len());
+        let mut sorted: Vec<u32> = rpo.iter().map(|b| b.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..f.blocks.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn predecessors_are_consistent_with_successors() {
+        let f = lower(
+            "__kernel void k(__global int* a) {
+                for (int i = 0; i < 4; i++) { a[i] = i; }
+            }",
+        );
+        let preds = predecessors(&f);
+        for block in &f.blocks {
+            for s in successors(&f, block.id) {
+                assert!(preds[s.0 as usize].contains(&block.id));
+            }
+        }
+    }
+
+    #[test]
+    fn loop_header_is_reachable_and_has_two_preds() {
+        let f = lower(
+            "__kernel void k(__global int* a) {
+                for (int i = 0; i < 4; i++) { a[i] = i; }
+            }",
+        );
+        let header = f.loops[0].header;
+        let preds = predecessors(&f);
+        assert_eq!(preds[header.0 as usize].len(), 2, "preheader + latch");
+        assert!(reachable(&f)[header.0 as usize]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # flexcl-ir
+//!
+//! Typed intermediate representation for FlexCL (DAC'17 reproduction).
+//!
+//! The original FlexCL consumed LLVM IR produced by Clang; this crate plays
+//! that role with a purpose-built IR that exposes exactly the observables
+//! the performance model needs:
+//!
+//! * per-operation opcodes keyed to an FPGA latency database,
+//! * explicit loads/stores annotated with address space and root object
+//!   (for local-memory port counting and global-memory trace generation),
+//! * a structured region tree with loop trip counts — the simplified CDFG
+//!   of §3.2 of the paper,
+//! * dependence-graph extraction ([`dfg`]) feeding the schedulers, and
+//! * inter-work-item recurrence detection ([`affine`]) feeding `RecMII`.
+//!
+//! ```
+//! # fn main() -> Result<(), flexcl_frontend::FrontendError> {
+//! let program = flexcl_frontend::parse_and_check(
+//!     "__kernel void axpy(__global float* x, __global float* y, float a) {
+//!          int i = get_global_id(0);
+//!          y[i] = a * x[i] + y[i];
+//!      }",
+//! )?;
+//! let func = flexcl_ir::lower_kernel(&program.kernels[0])?;
+//! assert_eq!(func.global_accesses().len(), 3); // two loads + one store
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod cfg;
+pub mod dfg;
+pub mod function;
+pub mod lower;
+pub mod opt;
+
+pub use affine::{find_recurrences, Affine, Recurrence};
+pub use dfg::{build_deps, DepEdge, DepKind};
+pub use function::{
+    Block, BlockId, Function, Inst, InstId, Literal, LoopId, LoopMeta, MemRoot, Op, ParamInfo,
+    Region, Terminator, TripCount, Value,
+};
+pub use lower::{lower_kernel, lower_program};
+pub use opt::optimize;

@@ -1,0 +1,181 @@
+//! # flexcl-kernels
+//!
+//! The benchmark corpus of the FlexCL evaluation (DAC'17 reproduction):
+//! the 45 Rodinia kernels of Table 2 and 15 PolyBench kernels, written in
+//! the OpenCL C subset the `flexcl-frontend` accepts, plus deterministic
+//! input generators.
+//!
+//! Fidelity note: each kernel reproduces its benchmark's *computational
+//! idiom* — the memory access patterns, loop structure, local-memory and
+//! math-function mix that drive the performance model — at workload sizes
+//! that simulate quickly. They are not line-for-line copies of the Rodinia
+//! sources (which depend on helper functions and host-side staging outside
+//! the subset), and the experiments do not require them to be: model
+//! accuracy is always measured against the System Run of the *same*
+//! kernel.
+//!
+//! ```
+//! let corpus = flexcl_kernels::rodinia();
+//! assert_eq!(corpus.len(), 45);
+//! for spec in &corpus {
+//!     let program = flexcl_frontend::parse_and_check(spec.source).expect(spec.kernel);
+//!     assert!(program.kernel(spec.kernel).is_some());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod polybench;
+pub mod rodinia;
+
+use flexcl_core::Workload;
+use flexcl_interp::KernelArg;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which suite a kernel belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Rodinia heterogeneous-computing suite (Table 2).
+    Rodinia,
+    /// PolyBench linear-algebra/stencil suite (§4.2).
+    PolyBench,
+}
+
+/// Workload scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Small inputs for unit/integration tests.
+    #[default]
+    Test,
+    /// Evaluation-sized inputs for the experiment harness.
+    Eval,
+}
+
+/// One benchmark kernel with its workload generator.
+pub struct KernelSpec {
+    /// Suite.
+    pub suite: Suite,
+    /// Benchmark name (Table 2 first column).
+    pub benchmark: &'static str,
+    /// Kernel name (Table 2 second column).
+    pub kernel: &'static str,
+    /// OpenCL source.
+    pub source: &'static str,
+    /// Global NDRange at `Scale::Test`; `Eval` multiplies x (and y if 2-D)
+    /// by 4 (2 per dimension for 2-D kernels).
+    pub base_global: (u64, u64),
+    /// Builds the argument list for a given global size.
+    pub build_args: fn(nx: u64, ny: u64, rng: &mut StdRng) -> Vec<KernelArg>,
+}
+
+impl std::fmt::Debug for KernelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "KernelSpec({}/{})", self.benchmark, self.kernel)
+    }
+}
+
+impl KernelSpec {
+    /// Builds the workload at the given scale (deterministic per seed).
+    pub fn workload(&self, scale: Scale, seed: u64) -> Workload {
+        let (mut nx, mut ny) = self.base_global;
+        if scale == Scale::Eval {
+            if ny > 1 {
+                nx *= 2;
+                ny *= 2;
+            } else {
+                nx *= 4;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        Workload { args: (self.build_args)(nx, ny, &mut rng), global: (nx, ny) }
+    }
+
+    /// Fully-qualified name, e.g. `srad/reduce`.
+    pub fn full_name(&self) -> String {
+        format!("{}/{}", self.benchmark, self.kernel)
+    }
+}
+
+/// All 45 Rodinia kernels (Table 2 order).
+pub fn rodinia() -> Vec<KernelSpec> {
+    rodinia::all()
+}
+
+/// The 15 PolyBench kernels.
+pub fn polybench() -> Vec<KernelSpec> {
+    polybench::all()
+}
+
+/// The whole corpus.
+pub fn all() -> Vec<KernelSpec> {
+    let mut v = rodinia();
+    v.extend(polybench());
+    v
+}
+
+// ---------------------------------------------------------------- helpers
+
+/// Random float buffer in [0.25, 1.75] (keeps transcendentals finite).
+pub(crate) fn fbuf(len: u64, rng: &mut StdRng) -> KernelArg {
+    KernelArg::FloatBuf((0..len).map(|_| rng.gen_range(0.25..1.75)).collect())
+}
+
+/// Zeroed float buffer.
+pub(crate) fn fzero(len: u64) -> KernelArg {
+    KernelArg::FloatBuf(vec![0.0; len as usize])
+}
+
+/// Random int buffer in `[0, modulo)`.
+pub(crate) fn ibuf_mod(len: u64, modulo: i64, rng: &mut StdRng) -> KernelArg {
+    KernelArg::IntBuf((0..len).map(|_| rng.gen_range(0..modulo.max(1))).collect())
+}
+
+/// Zeroed int buffer.
+pub(crate) fn izero(len: u64) -> KernelArg {
+    KernelArg::IntBuf(vec![0; len as usize])
+}
+
+/// Int buffer of ones with probability `p`, zeros otherwise.
+pub(crate) fn iflags(len: u64, p: f64, rng: &mut StdRng) -> KernelArg {
+    KernelArg::IntBuf((0..len).map(|_| i64::from(rng.gen_bool(p))).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_counts_match_the_paper() {
+        assert_eq!(rodinia().len(), 45, "Table 2 lists 45 Rodinia kernels");
+        assert_eq!(polybench().len(), 15);
+        assert_eq!(all().len(), 60);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = all().iter().map(KernelSpec::full_name).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let spec = &rodinia()[0];
+        let a = spec.workload(Scale::Test, 1);
+        let b = spec.workload(Scale::Test, 1);
+        assert_eq!(a.args, b.args);
+        assert_eq!(a.global, b.global);
+    }
+
+    #[test]
+    fn eval_scale_is_larger() {
+        for spec in all() {
+            let t = spec.workload(Scale::Test, 0);
+            let e = spec.workload(Scale::Eval, 0);
+            assert!(e.total_work_items() > t.total_work_items(), "{}", spec.full_name());
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Minimum initiation interval: `MII = max(RecMII, ResMII)` (Eq. 2–4).
+
+use crate::graph::{NodeId, ResourceBudget, ResourceClass, SchedGraph};
+
+/// Resource-constrained MII: for each resource class, the number of uses
+/// divided by the number of units (Eq. 3–4 of the paper).
+pub fn res_mii(graph: &SchedGraph, budget: &ResourceBudget) -> u32 {
+    let classes = [
+        ResourceClass::LocalRead,
+        ResourceClass::LocalWrite,
+        ResourceClass::Dsp,
+        ResourceClass::GlobalPort,
+    ];
+    let mut mii = 1;
+    for c in classes {
+        let uses = graph.resource_usage(c);
+        let limit = budget.limit(c);
+        if uses == 0 {
+            continue;
+        }
+        let need = if limit == 0 {
+            // No units at all: modeled as fully serialised on one virtual unit.
+            uses
+        } else {
+            uses.div_ceil(limit)
+        };
+        mii = mii.max(need);
+    }
+    mii
+}
+
+/// Recurrence-constrained MII.
+///
+/// A recurrence cycle with total latency `L` and total distance `D` forces
+/// `II ≥ ceil(L / D)`. We find the smallest feasible `II` by binary search:
+/// `II` is feasible iff the graph with edge weights `latency(from) − II·distance`
+/// has no positive-weight cycle (checked with Bellman–Ford).
+pub fn rec_mii(graph: &SchedGraph) -> u32 {
+    if graph.is_empty() || graph.edges().iter().all(|e| e.distance == 0) {
+        return 1;
+    }
+    let mut lo = 1u32;
+    let mut hi = (graph.total_latency().min(u64::from(u32::MAX / 2)) as u32).max(1);
+    if !feasible(graph, hi) {
+        // Degenerate (distance edges with zero-latency cycles of positive
+        // weight cannot occur); bail conservatively.
+        return hi;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(graph, mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// The combined minimum initiation interval (Eq. 2).
+pub fn mii(graph: &SchedGraph, budget: &ResourceBudget) -> u32 {
+    res_mii(graph, budget).max(rec_mii(graph))
+}
+
+/// Bellman–Ford positive-cycle check with weights `lat(from) − II·dist`.
+fn feasible(graph: &SchedGraph, ii: u32) -> bool {
+    let n = graph.len();
+    let mut dist = vec![0i64; n];
+    for pass in 0..=n {
+        let mut changed = false;
+        for e in graph.edges() {
+            let w = i64::from(graph.node(e.from).latency) - i64::from(ii) * i64::from(e.distance);
+            let cand = dist[e.from.0 as usize] + w;
+            if cand > dist[e.to.0 as usize] {
+                dist[e.to.0 as usize] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return true;
+        }
+        if pass == n {
+            return false; // positive cycle
+        }
+    }
+    true
+}
+
+/// Longest combinational path assuming infinite resources — the lower bound
+/// for pipeline depth (also used as the ASAP schedule for SMS priorities).
+pub fn asap_times(graph: &SchedGraph, ii: u32) -> Vec<i64> {
+    let n = graph.len();
+    let mut t = vec![0i64; n];
+    for _ in 0..=n {
+        let mut changed = false;
+        for e in graph.edges() {
+            let w = i64::from(graph.node(e.from).latency) - i64::from(ii) * i64::from(e.distance);
+            let cand = t[e.from.0 as usize] + w;
+            if cand > t[e.to.0 as usize] {
+                t[e.to.0 as usize] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Clamp to non-negative issue slots.
+    for v in &mut t {
+        *v = (*v).max(0);
+    }
+    t
+}
+
+/// ALAP times relative to the ASAP critical-path length.
+pub fn alap_times(graph: &SchedGraph, ii: u32) -> Vec<i64> {
+    let n = graph.len();
+    let asap = asap_times(graph, ii);
+    let horizon: i64 = (0..n)
+        .map(|i| asap[i] + i64::from(graph.node(NodeId(i as u32)).latency))
+        .max()
+        .unwrap_or(0);
+    let mut t = vec![horizon; n];
+    for i in 0..n {
+        t[i] = horizon - i64::from(graph.node(NodeId(i as u32)).latency);
+    }
+    for _ in 0..=n {
+        let mut changed = false;
+        for e in graph.edges() {
+            if e.distance > 0 {
+                continue; // backward slack only constrained within instance
+            }
+            let w = i64::from(graph.node(e.from).latency);
+            let cand = t[e.to.0 as usize] - w;
+            if cand < t[e.from.0 as usize] {
+                t[e.from.0 as usize] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn res_mii_counts_ports() {
+        let mut g = SchedGraph::new();
+        for _ in 0..6 {
+            g.add_node(2, ResourceClass::LocalRead);
+        }
+        for _ in 0..2 {
+            g.add_node(1, ResourceClass::LocalWrite);
+        }
+        let budget = ResourceBudget {
+            local_read_ports: 2,
+            local_write_ports: 1,
+            dsps: 8,
+            global_ports: 8,
+        };
+        // 6 reads / 2 ports = 3; 2 writes / 1 port = 2.
+        assert_eq!(res_mii(&g, &budget), 3);
+    }
+
+    #[test]
+    fn rec_mii_simple_recurrence() {
+        // Cycle a → b → a with distance 1 and latencies 2 + 2 → II ≥ 4? No:
+        // the recurrence length is lat(a)+lat(b) = 4 over distance 1 → 4.
+        let mut g = SchedGraph::new();
+        let a = g.add_node(2, ResourceClass::Fabric);
+        let b = g.add_node(2, ResourceClass::Fabric);
+        g.add_edge(a, b);
+        g.add_edge_with_distance(b, a, 1);
+        assert_eq!(rec_mii(&g), 4);
+    }
+
+    #[test]
+    fn rec_mii_distance_divides() {
+        // Same cycle but distance 2: II ≥ ceil(4/2) = 2.
+        let mut g = SchedGraph::new();
+        let a = g.add_node(2, ResourceClass::Fabric);
+        let b = g.add_node(2, ResourceClass::Fabric);
+        g.add_edge(a, b);
+        g.add_edge_with_distance(b, a, 2);
+        assert_eq!(rec_mii(&g), 2);
+    }
+
+    #[test]
+    fn no_recurrence_gives_one() {
+        let mut g = SchedGraph::new();
+        let a = g.add_node(5, ResourceClass::Fabric);
+        let b = g.add_node(5, ResourceClass::Fabric);
+        g.add_edge(a, b);
+        assert_eq!(rec_mii(&g), 1);
+        assert_eq!(mii(&g, &ResourceBudget::unconstrained()), 1);
+    }
+
+    #[test]
+    fn figure3_example_mii_is_two() {
+        // The paper's Figure 3: inter work-item dependency with II = 2.
+        // Model: load b[i] (lat 1) → add (lat 1) → store b[i+1], recurrence
+        // distance 1 from store back to load. Cycle latency = 1 + 1 = 2 over
+        // distance 1 → RecMII = 2 (store issue completes the cycle).
+        let mut g = SchedGraph::new();
+        let load = g.add_node(1, ResourceClass::LocalRead);
+        let add = g.add_node(1, ResourceClass::Fabric);
+        let store = g.add_node(0, ResourceClass::LocalWrite);
+        g.add_edge(load, add);
+        g.add_edge(add, store);
+        g.add_edge_with_distance(store, load, 1);
+        assert_eq!(rec_mii(&g), 2);
+    }
+
+    #[test]
+    fn asap_respects_latency_chain() {
+        let mut g = SchedGraph::new();
+        let a = g.add_node(3, ResourceClass::Fabric);
+        let b = g.add_node(2, ResourceClass::Fabric);
+        let c = g.add_node(1, ResourceClass::Fabric);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        let t = asap_times(&g, 1);
+        assert_eq!(t, vec![0, 3, 5]);
+        let l = alap_times(&g, 1);
+        assert_eq!(l, vec![0, 3, 5]); // pure chain: no slack
+    }
+
+    #[test]
+    fn alap_slack_on_short_branch() {
+        let mut g = SchedGraph::new();
+        let a = g.add_node(10, ResourceClass::Fabric);
+        let b = g.add_node(1, ResourceClass::Fabric);
+        let c = g.add_node(1, ResourceClass::Fabric);
+        g.add_edge(a, c);
+        g.add_edge(b, c);
+        let asap = asap_times(&g, 1);
+        let alap = alap_times(&g, 1);
+        assert_eq!(asap[1], 0);
+        assert!(alap[1] > asap[1], "short branch has slack");
+        assert_eq!(alap[0], asap[0], "critical path has none");
+    }
+}

@@ -1,0 +1,115 @@
+//! Synthesis-variance perturbation.
+//!
+//! The paper names FlexCL's two residual error sources (§4.2): (1) SDAccel
+//! chooses among several hardware implementations per IR operation, with
+//! different latencies, while the model uses the *average*; and (2) actual
+//! per-access memory latency differs from the per-pattern average. The
+//! System Run simulator reproduces source (1) by sampling a per-operation
+//! implementation factor around the latency table — deterministic per seed,
+//! as a given synthesis run is deterministic — and source (2) by servicing
+//! every access through the behavioural DRAM model.
+
+use flexcl_sched::{ResourceClass, SchedGraph};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Implementation-choice latency factors and their selection weights.
+const FACTORS: [(f64, u32); 3] = [(0.8, 1), (1.0, 2), (1.3, 1)];
+
+/// Samples one implementation factor.
+pub fn sample_factor(rng: &mut StdRng) -> f64 {
+    let total: u32 = FACTORS.iter().map(|(_, w)| w).sum();
+    let mut pick = rng.gen_range(0..total);
+    for (f, w) in FACTORS {
+        if pick < w {
+            return f;
+        }
+        pick -= w;
+    }
+    1.0
+}
+
+/// Returns a copy of `graph` whose node latencies are perturbed by
+/// per-node implementation factors.
+pub fn perturb_graph(graph: &SchedGraph, rng: &mut StdRng) -> SchedGraph {
+    let mut out = SchedGraph::new();
+    for (_, node) in graph.nodes() {
+        let factor = sample_factor(rng);
+        let lat = (f64::from(node.latency) * factor).round().max(0.0) as u32;
+        // Zero-latency wires stay zero: there is nothing to implement.
+        let lat = if node.latency == 0 { 0 } else { lat.max(1) };
+        out.add_node(lat, node.resource);
+    }
+    for e in graph.edges() {
+        out.add_edge_with_distance(e.from, e.to, e.distance);
+    }
+    out
+}
+
+/// Average factor drawn for a whole-kernel scalar quantity (serial
+/// work-item latency): the mean of `n` per-op draws.
+pub fn sample_aggregate_factor(rng: &mut StdRng, n: usize) -> f64 {
+    let n = n.max(1);
+    (0..n).map(|_| sample_factor(rng)).sum::<f64>() / n as f64
+}
+
+/// Marker: perturbation never changes resource classes.
+pub fn preserves_resources(a: &SchedGraph, b: &SchedGraph) -> bool {
+    a.len() == b.len()
+        && a.nodes()
+            .zip(b.nodes())
+            .all(|((_, x), (_, y))| x.resource == y.resource)
+        && a.edges() == b.edges()
+}
+
+/// Convenience used in tests: a graph with `n` fabric nodes in a chain.
+pub fn chain_for_tests(lats: &[u32]) -> SchedGraph {
+    let mut g = SchedGraph::new();
+    let ids: Vec<_> = lats.iter().map(|l| g.add_node(*l, ResourceClass::Fabric)).collect();
+    for w in ids.windows(2) {
+        g.add_edge(w[0], w[1]);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn factors_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(sample_factor(&mut a), sample_factor(&mut b));
+        }
+    }
+
+    #[test]
+    fn factors_are_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = sample_factor(&mut rng);
+            assert!((0.8..=1.3).contains(&f));
+        }
+    }
+
+    #[test]
+    fn perturbed_graph_preserves_structure() {
+        let g = chain_for_tests(&[2, 4, 6, 0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = perturb_graph(&g, &mut rng);
+        assert!(preserves_resources(&g, &p));
+        // Zero-latency nodes stay zero.
+        let last = p.nodes().last().expect("node").1;
+        assert_eq!(last.latency, 0);
+    }
+
+    #[test]
+    fn aggregate_factor_concentrates_near_one() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let f = sample_aggregate_factor(&mut rng, 1000);
+        assert!((0.95..=1.15).contains(&f), "aggregate factor {f}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Reproducibility: every stochastic component is seeded, so the whole
+//! reproduction — workload generation, profiling, model, System Run —
+//! must be bit-identical across runs.
+
+use flexcl_bench::find_spec;
+use flexcl_core::{estimate, KernelAnalysis, OptimizationConfig, Platform};
+use flexcl_kernels::Scale;
+use flexcl_sim::{system_run, SimOptions};
+
+#[test]
+fn workloads_are_deterministic() {
+    let spec = find_spec("kmeans/center");
+    let a = spec.workload(Scale::Test, 99);
+    let spec = find_spec("kmeans/center");
+    let b = spec.workload(Scale::Test, 99);
+    assert_eq!(a.args, b.args);
+}
+
+#[test]
+fn estimates_are_deterministic() {
+    let spec = find_spec("polybench/atax");
+    let func = flexcl_bench::compile(&spec);
+    let workload = spec.workload(Scale::Test, 5);
+    let platform = Platform::virtex7_adm7v3();
+    let config = OptimizationConfig {
+        work_item_pipeline: true,
+        ..OptimizationConfig::baseline((64, 1))
+    };
+    let e1 = {
+        let a = KernelAnalysis::analyze(&func, &platform, &workload, (64, 1)).expect("a");
+        estimate(&a, &config).cycles
+    };
+    let e2 = {
+        let a = KernelAnalysis::analyze(&func, &platform, &workload, (64, 1)).expect("a");
+        estimate(&a, &config).cycles
+    };
+    assert_eq!(e1, e2);
+}
+
+#[test]
+fn system_runs_are_deterministic_and_seed_sensitive() {
+    let spec = find_spec("nn/nn");
+    let func = flexcl_bench::compile(&spec);
+    let workload = spec.workload(Scale::Test, 5);
+    let platform = Platform::virtex7_adm7v3();
+    let config = OptimizationConfig {
+        work_item_pipeline: true,
+        ..OptimizationConfig::baseline((64, 1))
+    };
+    let r1 = system_run(&func, &platform, &workload, &config, SimOptions::default())
+        .expect("run");
+    let r2 = system_run(&func, &platform, &workload, &config, SimOptions::default())
+        .expect("run");
+    assert_eq!(r1, r2, "same seed, same bitstream, same measurement");
+
+    let r3 = system_run(
+        &func,
+        &platform,
+        &workload,
+        &config,
+        SimOptions { seed: 777, ..SimOptions::default() },
+    )
+    .expect("run");
+    assert_ne!(
+        r1.cycles, r3.cycles,
+        "a different synthesis seed must perturb the measurement"
+    );
+}
+
+#[test]
+fn different_configs_get_different_synthesis_variance() {
+    // The perturbation is keyed by configuration (like real synthesis):
+    // two distinct configs must not share identical realized latencies by
+    // construction.
+    let spec = find_spec("srad/extract");
+    let func = flexcl_bench::compile(&spec);
+    let workload = spec.workload(Scale::Test, 5);
+    let platform = Platform::virtex7_adm7v3();
+    let a = system_run(
+        &func,
+        &platform,
+        &workload,
+        &OptimizationConfig {
+            work_item_pipeline: true,
+            ..OptimizationConfig::baseline((64, 1))
+        },
+        SimOptions::default(),
+    )
+    .expect("run");
+    let b = system_run(
+        &func,
+        &platform,
+        &workload,
+        &OptimizationConfig {
+            work_item_pipeline: true,
+            ..OptimizationConfig::baseline((128, 1))
+        },
+        SimOptions::default(),
+    )
+    .expect("run");
+    assert_ne!((a.ii, a.depth, a.cycles), (b.ii, b.depth, b.cycles));
+}
