@@ -1,0 +1,68 @@
+//! Criterion benchmark of the DSE sweep engine.
+//!
+//! Compares the serial exhaustive sweep against the multi-threaded and
+//! branch-and-bound variants on the vadd fixture. Run with
+//! `cargo bench -p flexcl-bench --bench dse`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexcl_core::{explore_with, DseOptions, Platform, Workload};
+use flexcl_interp::KernelArg;
+
+fn vadd() -> (flexcl_ir::Function, Workload) {
+    let p = flexcl_frontend::parse_and_check(
+        "__kernel void vadd(__global float* a, __global float* b, __global float* c) {
+            int i = get_global_id(0);
+            c[i] = a[i] + b[i];
+        }",
+    )
+    .expect("frontend");
+    let f = flexcl_ir::lower_kernel(&p.kernels[0]).expect("lowering");
+    let w = Workload {
+        args: vec![
+            KernelArg::FloatBuf(vec![1.0; 1024]),
+            KernelArg::FloatBuf(vec![2.0; 1024]),
+            KernelArg::FloatBuf(vec![0.0; 1024]),
+        ],
+        global: (1024, 1),
+    };
+    (f, w)
+}
+
+fn bench_dse(c: &mut Criterion) {
+    let (func, workload) = vadd();
+    let platform = Platform::virtex7_adm7v3();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    c.bench_function("dse/serial", |b| {
+        b.iter(|| {
+            explore_with(&func, &platform, &workload, DseOptions::default())
+                .expect("sweep")
+                .points
+                .len()
+        })
+    });
+    c.bench_function(&format!("dse/parallel-{threads}"), |b| {
+        b.iter(|| {
+            explore_with(&func, &platform, &workload, DseOptions::parallel(threads))
+                .expect("sweep")
+                .points
+                .len()
+        })
+    });
+    c.bench_function("dse/pruned", |b| {
+        b.iter(|| {
+            explore_with(
+                &func,
+                &platform,
+                &workload,
+                DseOptions { prune: true, threads: 1 },
+            )
+            .expect("sweep")
+            .points
+            .len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

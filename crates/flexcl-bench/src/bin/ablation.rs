@@ -73,12 +73,19 @@ fn ablation_flat_memory() {
         let workload = spec.workload(Scale::Test, 1234);
         let mut flat_err_sum = 0.0;
         let mut n = 0usize;
+        // One analysis per work-group size (records sharing a work-group
+        // share the analysis; negative results are cached too).
+        let mut analyses: std::collections::HashMap<(u32, u32), Option<KernelAnalysis>> =
+            std::collections::HashMap::new();
         for r in &sweep.records {
-            let analysis =
-                match KernelAnalysis::analyze(&func, &platform, &workload, r.config.work_group) {
-                    Ok(a) => a,
-                    Err(_) => continue,
-                };
+            let analysis = match analyses
+                .entry(r.config.work_group)
+                .or_insert_with(|| {
+                    KernelAnalysis::analyze(&func, &platform, &workload, r.config.work_group).ok()
+                }) {
+                Some(a) => a,
+                None => continue,
+            };
             let avg_dt: f64 = Pattern::all()
                 .iter()
                 .map(|p| analysis.pattern_latencies[*p])

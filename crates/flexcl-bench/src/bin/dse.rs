@@ -15,12 +15,123 @@
 //!   with step-by-step search of HPCA'16 rarely does (96% vs 12%).
 //!
 //! Regenerate with `cargo run -p flexcl-bench --bin dse --release`.
+//!
+//! In addition to the E5 tables, the binary measures the raw sweep-engine
+//! throughput (serial vs multi-threaded) and writes it to the repo-root
+//! `BENCH_dse.json`. Pass `--bench-only` to run just that measurement.
 
 use flexcl_bench::{compile, sweep_kernel, write_csv, SYNTHESIS_HOURS_PER_DESIGN};
-use flexcl_core::{KernelAnalysis, Platform};
+use flexcl_core::{explore_with, DseOptions, KernelAnalysis, Platform, Workload};
+use flexcl_interp::KernelArg;
 use flexcl_kernels::{polybench, Scale};
+use std::time::Instant;
+
+/// One BENCH_dse.json entry: a full model-only sweep of one kernel.
+struct BenchRow {
+    kernel: String,
+    points: usize,
+    threads: usize,
+    elapsed_ms: f64,
+    configs_per_sec: f64,
+}
+
+/// The vadd fixture used by the unit tests (3 × 4096 floats, 1-D range).
+fn vadd() -> (flexcl_ir::Function, Workload) {
+    let p = flexcl_frontend::parse_and_check(
+        "__kernel void vadd(__global float* a, __global float* b, __global float* c) {
+            int i = get_global_id(0);
+            c[i] = a[i] + b[i];
+        }",
+    )
+    .expect("vadd frontend");
+    let f = flexcl_ir::lower_kernel(&p.kernels[0]).expect("vadd lowering");
+    let w = Workload {
+        args: vec![
+            KernelArg::FloatBuf(vec![1.0; 4096]),
+            KernelArg::FloatBuf(vec![2.0; 4096]),
+            KernelArg::FloatBuf(vec![0.0; 4096]),
+        ],
+        global: (4096, 1),
+    };
+    (f, w)
+}
+
+/// Times model-only sweeps (no System Run) at 1 and `available_parallelism`
+/// threads over vadd and a few PolyBench kernels.
+fn bench_sweeps() -> Vec<BenchRow> {
+    let platform = Platform::virtex7_adm7v3();
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut thread_counts = vec![1usize];
+    if avail > 1 {
+        thread_counts.push(avail);
+    }
+
+    let mut targets: Vec<(String, flexcl_ir::Function, Workload)> = Vec::new();
+    let (f, w) = vadd();
+    targets.push(("vadd".to_string(), f, w));
+    for spec in polybench().into_iter().take(3) {
+        let func = compile(&spec);
+        let workload = spec.workload(Scale::Test, 1234);
+        targets.push((spec.full_name(), func, workload));
+    }
+
+    let mut rows = Vec::new();
+    for (name, func, workload) in &targets {
+        for &threads in &thread_counts {
+            // Warm the process-wide caches once so both thread counts
+            // measure the same steady state.
+            let opts = DseOptions { threads, prune: false };
+            let _ = explore_with(func, &platform, workload, opts);
+            let start = Instant::now();
+            let res = explore_with(func, &platform, workload, opts).expect("bench sweep");
+            let secs = start.elapsed().as_secs_f64();
+            rows.push(BenchRow {
+                kernel: name.clone(),
+                points: res.points.len(),
+                threads,
+                elapsed_ms: secs * 1e3,
+                configs_per_sec: res.points.len() as f64 / secs.max(1e-9),
+            });
+        }
+    }
+    rows
+}
+
+/// Writes the throughput rows to `BENCH_dse.json` at the repo root.
+fn write_bench_json(rows: &[BenchRow]) {
+    let mut body = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "  {{\"kernel\": \"{}\", \"points\": {}, \"threads\": {}, \
+             \"elapsed_ms\": {:.3}, \"configs_per_sec\": {:.1}}}{}\n",
+            r.kernel,
+            r.points,
+            r.threads,
+            r.elapsed_ms,
+            r.configs_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("]\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_dse.json");
+    std::fs::write(&path, body).expect("write BENCH_dse.json");
+    println!("\nSweep throughput (model only):");
+    for r in rows {
+        println!(
+            "  {:<26} {:>4} points  threads={}  {:>8.1} ms  {:>8.0} configs/s",
+            r.kernel, r.points, r.threads, r.elapsed_ms, r.configs_per_sec
+        );
+    }
+    println!("wrote {}", path.display());
+}
 
 fn main() {
+    if std::env::args().any(|a| a == "--bench-only") {
+        write_bench_json(&bench_sweeps());
+        return;
+    }
     let platform = Platform::virtex7_adm7v3();
     let mut rows = Vec::new();
     let mut flexcl_optimal = 0usize;
@@ -160,4 +271,5 @@ fn main() {
          synthesis_seconds_extrapolated,exploration_speedup,stepwise_optimal",
         &rows,
     );
+    write_bench_json(&bench_sweeps());
 }

@@ -11,13 +11,14 @@
 //! and small schedules.
 
 use crate::platform::Platform;
-use flexcl_dram::{coalesce, microbench, AccessKind, Burst, DramSim, ElementAccess, PatternTable,
-    Request};
+use flexcl_dram::{coalesce, microbench, AccessKind, Burst, DramConfig, DramSim, ElementAccess,
+    PatternTable, Request};
 use flexcl_interp::{run, InterpError, KernelArg, MemAccess, NdRange, Profile, RunOptions};
 use flexcl_ir::{build_deps, find_recurrences, Function, InstId, MemRoot, Op, Region, Value};
 use flexcl_sched::{list, sms, NodeId, ResourceBudget, ResourceClass, SchedGraph};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Base byte address assigned to pointer parameter `p` when turning element
 /// indices into DRAM addresses (16 MiB apart, so distinct buffers never
@@ -36,6 +37,46 @@ pub struct OwnedBurst {
     pub work_item: u64,
 }
 
+/// Reusable buffers for repeated analyses (one per DSE worker thread).
+///
+/// A design-space sweep re-runs [`KernelAnalysis::analyze_interned`] once
+/// per work-group size; the intermediate allocations (trace staging, the
+/// coalescing element buffer and the DRAM replay simulator) are identical
+/// in shape each time, so a sweep holds one scratch per worker and reuses
+/// it instead of reallocating. A fresh `AnalysisScratch::default()` gives
+/// bit-identical results to a reused one: every buffer is cleared (and the
+/// simulator fully [`DramSim::reset`]) before use.
+#[derive(Debug, Default)]
+pub struct AnalysisScratch {
+    /// Trace staging: `(work_group, param, work_item, access)`.
+    entries: Vec<(u64, u32, u64, ElementAccess)>,
+    /// Per-stream element buffer handed to `coalesce`.
+    elements: Vec<ElementAccess>,
+    /// DRAM replay simulator, reset between uses.
+    replay: Option<DramSim>,
+}
+
+impl AnalysisScratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A freshly-reset simulator for `config`, reusing the held one when
+    /// the configuration matches ([`DramSim::reset`] restores the exact
+    /// initial state, so reuse is bit-identical to construction).
+    fn dram(&mut self, config: DramConfig) -> &mut DramSim {
+        let reusable = matches!(&self.replay, Some(sim) if *sim.config() == config);
+        if reusable {
+            let sim = self.replay.as_mut().expect("checked above");
+            sim.reset();
+            sim
+        } else {
+            self.replay.insert(DramSim::new(config))
+        }
+    }
+}
+
 /// Converts an interpreter trace into per-work-group burst lists.
 ///
 /// Within each work-group, each global buffer's access stream is coalesced
@@ -46,11 +87,29 @@ pub struct OwnedBurst {
 /// disagree only where the model genuinely approximates (average pattern
 /// latencies vs per-access bank state).
 pub fn trace_to_group_bursts(trace: &[MemAccess], unit_bytes: u32) -> Vec<(u64, Vec<OwnedBurst>)> {
-    let mut groups: HashMap<u64, HashMap<u32, Vec<(u64, ElementAccess)>>> = HashMap::new();
+    trace_to_group_bursts_into(trace, unit_bytes, &mut AnalysisScratch::new())
+}
+
+/// [`trace_to_group_bursts`] with caller-provided scratch buffers.
+///
+/// Streams are segmented by a single stable sort on `(work_group, param)`:
+/// stability preserves trace order within each stream, parameters come out
+/// ascending per group and groups ascending overall, so the output is
+/// bit-identical to grouping via nested maps.
+pub fn trace_to_group_bursts_into(
+    trace: &[MemAccess],
+    unit_bytes: u32,
+    scratch: &mut AnalysisScratch,
+) -> Vec<(u64, Vec<OwnedBurst>)> {
+    let AnalysisScratch { entries, elements, .. } = scratch;
+    entries.clear();
+    entries.reserve(trace.len());
     for a in trace {
         let addr =
             (param_base(a.param) as i64 + a.elem_index * i64::from(a.bytes)).max(0) as u64;
-        groups.entry(a.work_group).or_default().entry(a.param).or_default().push((
+        entries.push((
+            a.work_group,
+            a.param,
             a.work_item,
             ElementAccess {
                 addr,
@@ -59,17 +118,25 @@ pub fn trace_to_group_bursts(trace: &[MemAccess], unit_bytes: u32) -> Vec<(u64, 
             },
         ));
     }
-    let mut out: Vec<(u64, Vec<OwnedBurst>)> = Vec::with_capacity(groups.len());
-    for (g, streams) in groups {
+    entries.sort_by_key(|(g, p, _, _)| (*g, *p));
+
+    let mut out: Vec<(u64, Vec<OwnedBurst>)> = Vec::new();
+    let mut i = 0usize;
+    while i < entries.len() {
+        let g = entries[i].0;
         let mut bursts = Vec::new();
-        let mut params: Vec<u32> = streams.keys().copied().collect();
-        params.sort_unstable();
-        for p in params {
-            let stream = &streams[&p];
-            let elements: Vec<ElementAccess> = stream.iter().map(|(_, e)| *e).collect();
+        while i < entries.len() && entries[i].0 == g {
+            let p = entries[i].1;
+            let start = i;
+            while i < entries.len() && entries[i].0 == g && entries[i].1 == p {
+                i += 1;
+            }
+            let stream = &entries[start..i];
+            elements.clear();
+            elements.extend(stream.iter().map(|(_, _, _, e)| *e));
             let mut cursor = 0usize;
-            for b in coalesce(&elements, unit_bytes) {
-                let owner = stream[cursor].0;
+            for b in coalesce(elements, unit_bytes) {
+                let owner = stream[cursor].2;
                 cursor += b.merged as usize;
                 bursts.push(OwnedBurst { burst: b, work_item: owner });
             }
@@ -77,7 +144,6 @@ pub fn trace_to_group_bursts(trace: &[MemAccess], unit_bytes: u32) -> Vec<(u64, 
         bursts.sort_by_key(|b| b.work_item);
         out.push((g, bursts));
     }
-    out.sort_by_key(|(g, _)| *g);
     out
 }
 
@@ -140,10 +206,12 @@ pub struct ResolvedRecurrence {
 /// work-group size) combination.
 #[derive(Debug, Clone)]
 pub struct KernelAnalysis {
-    /// The analyzed kernel.
-    pub func: Function,
-    /// Target platform.
-    pub platform: Platform,
+    /// The analyzed kernel, shared by reference: a sweep produces one
+    /// `KernelAnalysis` per work-group size against the same function, and
+    /// interning keeps them all pointing at a single allocation.
+    pub func: Arc<Function>,
+    /// Target platform, shared by reference (see `func`).
+    pub platform: Arc<Platform>,
     /// Work-group size used for profiling (x, y).
     pub work_group: (u32, u32),
     /// Global NDRange of the workload.
@@ -202,6 +270,28 @@ impl KernelAnalysis {
         workload: &Workload,
         work_group: (u32, u32),
     ) -> Result<KernelAnalysis, AnalysisError> {
+        Self::analyze_interned(
+            Arc::new(func.clone()),
+            Arc::new(platform.clone()),
+            workload,
+            work_group,
+            &mut AnalysisScratch::new(),
+        )
+    }
+
+    /// [`Self::analyze`] with interned inputs and reusable scratch buffers.
+    ///
+    /// The sweep path: the caller holds the kernel and platform in [`Arc`]s
+    /// (so five work-group analyses share one `Function` allocation instead
+    /// of cloning it five times) and keeps one [`AnalysisScratch`] per
+    /// worker thread. Results are bit-identical to [`Self::analyze`].
+    pub fn analyze_interned(
+        func: Arc<Function>,
+        platform: Arc<Platform>,
+        workload: &Workload,
+        work_group: (u32, u32),
+        scratch: &mut AnalysisScratch,
+    ) -> Result<KernelAnalysis, AnalysisError> {
         let nd = NdRange {
             global: [workload.global.0, workload.global.1, 1],
             local: [u64::from(work_group.0), u64::from(work_group.1), 1],
@@ -217,16 +307,16 @@ impl KernelAnalysis {
             profile_spread: true,
             ..RunOptions::default()
         };
-        let profile = run(func, &mut args, nd, opts)?;
+        let profile = run(&func, &mut args, nd, opts)?;
 
         // ---- memory: coalesce per buffer, interleave in work-item order,
         // and classify against the banked DRAM (Table 1).
         let unit_bytes = platform.mem_access_unit_bits / 8;
-        let group_bursts = trace_to_group_bursts(&profile.trace, unit_bytes);
+        let group_bursts = trace_to_group_bursts_into(&profile.trace, unit_bytes, scratch);
         let wi = profile.work_items.max(1) as f64;
 
         // Work-item order (pipeline mode).
-        let mut dram = DramSim::new(platform.dram);
+        let dram = scratch.dram(platform.dram);
         let mut t = 0u64;
         let mut n_bursts = 0usize;
         for (_, bursts) in &group_bursts {
@@ -247,7 +337,7 @@ impl KernelAnalysis {
         }
 
         // Phased order (barrier mode): per group, reads then writes.
-        let mut dram_phased = DramSim::new(platform.dram);
+        let dram_phased = scratch.dram(platform.dram);
         let mut t = 0u64;
         for (_, bursts) in &group_bursts {
             for pass in [AccessKind::Read, AccessKind::Write] {
@@ -267,11 +357,11 @@ impl KernelAnalysis {
             pattern_counts_phased[p] = c as f64 / wi;
         }
         let global_accesses_per_wi = n_bursts as f64 / wi;
-        let pattern_latencies = microbench::profile(platform.dram);
-        let channel_contention = measure_channel_contention(platform, &group_bursts);
+        let pattern_latencies = microbench::profile_cached(platform.dram);
+        let channel_contention = measure_channel_contention(&platform, &group_bursts, scratch);
 
         // ---- static analysis with trip-count weighting.
-        let multipliers = instruction_multipliers(func, &profile);
+        let multipliers = instruction_multipliers(&func, &profile);
         let mut local_reads: HashMap<MemRoot, f64> = HashMap::new();
         let mut local_writes: HashMap<MemRoot, f64> = HashMap::new();
         let mut dsp_ops_per_wi = 0.0;
@@ -297,19 +387,20 @@ impl KernelAnalysis {
         }
 
         // ---- recurrences with resolved cycle latencies.
-        let recurrences = find_recurrences(func)
+        let recurrences = find_recurrences(&func)
             .into_iter()
             .map(|r| ResolvedRecurrence {
                 distance: r.distance,
-                cycle_latency: dep_path_latency(func, platform, r.load, r.store),
+                cycle_latency: dep_path_latency(&func, &platform, r.load, r.store),
                 load: r.load,
                 store: r.store,
             })
             .collect();
 
+        let local_bytes = func.local_bytes();
         Ok(KernelAnalysis {
-            func: func.clone(),
-            platform: platform.clone(),
+            func,
+            platform,
             work_group,
             global: workload.global,
             profile,
@@ -322,7 +413,7 @@ impl KernelAnalysis {
             dsp_ops_per_wi,
             static_dsps_per_pe,
             dsp_op_instances,
-            local_bytes: func.local_bytes(),
+            local_bytes,
             recurrences,
             channel_contention,
             multipliers,
@@ -623,6 +714,7 @@ impl KernelAnalysis {
 fn measure_channel_contention(
     platform: &Platform,
     group_bursts: &[(u64, Vec<OwnedBurst>)],
+    scratch: &mut AnalysisScratch,
 ) -> f64 {
     let Some((_, g0)) = group_bursts.first() else { return 1.0 };
     if g0.is_empty() {
@@ -642,7 +734,7 @@ fn measure_channel_contention(
     };
 
     // Solo replay.
-    let mut dram = DramSim::new(platform.dram);
+    let dram = scratch.dram(platform.dram);
     let mut t = 0u64;
     for ob in g0 {
         let info = dram.access(Request {
@@ -656,7 +748,7 @@ fn measure_channel_contention(
     let t1 = t.max(1);
 
     // Concurrent replay: two serial engines, shared banks.
-    let mut dram = DramSim::new(platform.dram);
+    let dram = scratch.dram(platform.dram);
     let (mut a_free, mut b_free) = (0u64, 0u64);
     let (mut ai, mut bi) = (0usize, 0usize);
     while ai < g0.len() || bi < g1.len() {

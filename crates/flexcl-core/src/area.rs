@@ -119,16 +119,15 @@ pub fn pareto_frontier(
     platform: &crate::platform::Platform,
     points: impl IntoIterator<Item = ParetoPoint>,
 ) -> Vec<ParetoPoint> {
-    let mut pts: Vec<ParetoPoint> = points.into_iter().collect();
-    pts.sort_by(|a, b| {
-        a.cycles
-            .total_cmp(&b.cycles)
-            .then(a.area.cost(platform).total_cmp(&b.area.cost(platform)))
-    });
+    // Decorate each point with its cost once; `cost` is three normalised
+    // divisions and the comparator would otherwise recompute it O(n log n)
+    // times.
+    let mut pts: Vec<(f64, ParetoPoint)> =
+        points.into_iter().map(|p| (p.area.cost(platform), p)).collect();
+    pts.sort_by(|(ca, a), (cb, b)| a.cycles.total_cmp(&b.cycles).then(ca.total_cmp(cb)));
     let mut frontier: Vec<ParetoPoint> = Vec::new();
     let mut best_cost = f64::INFINITY;
-    for p in pts {
-        let cost = p.area.cost(platform);
+    for (cost, p) in pts {
         if cost < best_cost {
             best_cost = cost;
             frontier.push(p);

@@ -108,6 +108,15 @@ pub struct DesignSpaceLimits {
     pub vectorizable: bool,
 }
 
+/// Largest PE replication factor [`enumerate`] generates.
+pub const MAX_PES: u32 = 16;
+
+/// Largest CU replication factor [`enumerate`] generates.
+pub const MAX_CUS: u32 = 4;
+
+/// Largest vectorization width [`enumerate`] generates.
+pub const MAX_VECTOR_WIDTH: u32 = 4;
+
 /// Enumerates the design space the experiments sweep.
 ///
 /// The defaults produce 100–200 configurations per kernel, matching the
@@ -123,9 +132,9 @@ pub fn enumerate(limits: &DesignSpaceLimits) -> Vec<OptimizationConfig> {
             }
         }
     };
-    let pes = [1u32, 2, 4, 8, 16];
-    let cus = [1u32, 2, 4];
-    let vecs: &[u32] = if limits.vectorizable { &[1, 4] } else { &[1] };
+    let pes = [1u32, 2, 4, 8, MAX_PES];
+    let cus = [1u32, 2, MAX_CUS];
+    let vecs: &[u32] = if limits.vectorizable { &[1, MAX_VECTOR_WIDTH] } else { &[1] };
     let modes: &[CommMode] = if limits.has_barrier {
         &[CommMode::Barrier]
     } else {

@@ -5,15 +5,64 @@
 //! kernel — hundreds of configurations — can be ranked exhaustively within
 //! seconds. Kernel analysis is shared across all configurations with the
 //! same work-group size, so the sweep re-runs only the closed-form model.
+//!
+//! The sweep engine is organised around **families**: the contiguous runs
+//! of enumerated configurations that share one work-group size and hence
+//! one [`KernelAnalysis`]. Families are independent, which gives the three
+//! levers [`DseOptions`] exposes:
+//!
+//! * **Parallelism** — families are distributed over `threads` scoped
+//!   worker threads ([`std::thread::scope`], no external dependencies);
+//!   results are merged back in enumeration order, so the returned
+//!   [`DseResult`] is bit-identical to the serial sweep.
+//! * **Memoization** — kernel and platform are interned behind [`Arc`]s,
+//!   DRAM micro-benchmark profiles are cached per configuration, and each
+//!   worker reuses one [`AnalysisScratch`] across its families.
+//! * **Pruning** — optionally, a family/mode whose cheap monotonic lower
+//!   bound ([`cycle_lower_bound`]) already exceeds the best feasible cycle
+//!   count seen so far is skipped without evaluating its configurations.
+//!   Every point tied for the global minimum always survives (its family's
+//!   bound can never exceed the incumbent), so [`DseResult::best`] is
+//!   identical to the exhaustive sweep; the exhaustive sweep remains the
+//!   default.
 
-use crate::analysis::{AnalysisError, KernelAnalysis, Workload};
-use crate::config::{self, DesignSpaceLimits, OptimizationConfig};
-use crate::model::{estimate, Estimate};
+use crate::analysis::{AnalysisError, AnalysisScratch, KernelAnalysis, Workload};
+use crate::config::{self, CommMode, DesignSpaceLimits, OptimizationConfig};
+use crate::model::{cycle_lower_bound, estimate, Estimate};
 use crate::platform::Platform;
 use flexcl_frontend::types::Type;
 use flexcl_ir::Function;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Knobs of the sweep engine. The default — one thread, no pruning — is
+/// the exhaustive serial sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DseOptions {
+    /// Worker threads. `1` runs the classic serial sweep on the calling
+    /// thread; larger values fan families out over scoped threads. The
+    /// explored points are bit-identical either way.
+    pub threads: usize,
+    /// Branch-and-bound pruning. When enabled, whole `(work_group,
+    /// comm_mode)` families may be skipped once the incumbent proves they
+    /// cannot contain the fastest point; [`DseResult::best`] is unchanged,
+    /// but dominated points may be missing from [`DseResult::points`].
+    pub prune: bool,
+}
+
+impl Default for DseOptions {
+    fn default() -> Self {
+        DseOptions { threads: 1, prune: false }
+    }
+}
+
+impl DseOptions {
+    /// An exhaustive sweep over `threads` workers.
+    pub fn parallel(threads: usize) -> Self {
+        DseOptions { threads: threads.max(1), ..Self::default() }
+    }
+}
 
 /// One explored configuration with its estimate.
 #[derive(Debug, Clone)]
@@ -24,7 +73,7 @@ pub struct DesignPoint {
     pub estimate: Estimate,
 }
 
-/// The outcome of an exhaustive sweep.
+/// The outcome of a sweep.
 #[derive(Debug, Clone)]
 pub struct DseResult {
     /// All evaluated points, in enumeration order.
@@ -35,11 +84,20 @@ pub struct DseResult {
 
 impl DseResult {
     /// The fastest feasible point.
+    ///
+    /// Ties on the cycle count are broken toward the earliest enumerated
+    /// configuration, so the answer is a deterministic function of the
+    /// explored set — independent of thread count, pruning, or iteration
+    /// internals.
     pub fn best(&self) -> Option<&DesignPoint> {
         self.points
             .iter()
-            .filter(|p| p.estimate.feasible)
-            .min_by(|a, b| a.estimate.cycles.total_cmp(&b.estimate.cycles))
+            .enumerate()
+            .filter(|(_, p)| p.estimate.feasible)
+            .min_by(|(ia, a), (ib, b)| {
+                a.estimate.cycles.total_cmp(&b.estimate.cycles).then(ia.cmp(ib))
+            })
+            .map(|(_, p)| p)
     }
 
     /// Number of feasible points.
@@ -49,7 +107,8 @@ impl DseResult {
 
     /// Among configurations meeting a cycle budget, the one with the
     /// smallest estimated area — the paper's "solutions subject to a user
-    /// defined performance constraint" query (§1).
+    /// defined performance constraint" query (§1). Each candidate's area
+    /// is costed once; ties break toward the earliest enumerated point.
     pub fn cheapest_meeting(
         &self,
         analysis: &KernelAnalysis,
@@ -57,15 +116,15 @@ impl DseResult {
     ) -> Option<DesignPoint> {
         self.points
             .iter()
-            .filter(|p| p.estimate.feasible && p.estimate.cycles <= max_cycles)
-            .min_by(|a, b| {
-                let ca = crate::area::estimate_area(analysis, &a.config)
-                    .cost(&analysis.platform);
-                let cb = crate::area::estimate_area(analysis, &b.config)
-                    .cost(&analysis.platform);
-                ca.total_cmp(&cb)
+            .enumerate()
+            .filter(|(_, p)| p.estimate.feasible && p.estimate.cycles <= max_cycles)
+            .map(|(i, p)| {
+                let cost =
+                    crate::area::estimate_area(analysis, &p.config).cost(&analysis.platform);
+                (i, p, cost)
             })
-            .cloned()
+            .min_by(|(ia, _, ca), (ib, _, cb)| ca.total_cmp(cb).then(ia.cmp(ib)))
+            .map(|(_, p, _)| p.clone())
     }
 
     /// The performance/area Pareto frontier of the explored space.
@@ -82,19 +141,30 @@ impl DseResult {
 
     /// Speedup of the best point over the unoptimized baseline
     /// configuration (the §4.3 "273× on average" metric).
+    ///
+    /// Baseline selection rule: among feasible points with every knob at
+    /// its default (no work-item pipelining, one scalar PE, one CU, no
+    /// vectorization — work-group size and communication mode free), the
+    /// *slowest* is the baseline: it represents the naive port before any
+    /// optimization attention. Ties on the cycle count break toward the
+    /// earliest enumerated configuration.
     pub fn speedup_over_baseline(&self) -> Option<f64> {
         let best = self.best()?;
         let baseline = self
             .points
             .iter()
-            .filter(|p| {
+            .enumerate()
+            .filter(|(_, p)| {
                 p.estimate.feasible
                     && !p.config.work_item_pipeline
                     && p.config.num_pes == 1
                     && p.config.num_cus == 1
                     && p.config.vector_width == 1
             })
-            .max_by(|a, b| a.estimate.cycles.total_cmp(&b.estimate.cycles))?;
+            .max_by(|(ia, a), (ib, b)| {
+                a.estimate.cycles.total_cmp(&b.estimate.cycles).then(ib.cmp(ia))
+            })
+            .map(|(_, p)| p)?;
         Some(baseline.estimate.cycles / best.estimate.cycles)
     }
 }
@@ -114,7 +184,90 @@ pub fn limits_for(func: &Function, workload: &Workload) -> DesignSpaceLimits {
     }
 }
 
-/// Exhaustively explores the design space of `func` on `workload`.
+/// A contiguous run of enumerated configurations sharing one work-group
+/// size (hence one kernel analysis), tagged with enumeration indices so
+/// results can be merged back in order.
+struct Family {
+    work_group: (u32, u32),
+    entries: Vec<(usize, OptimizationConfig)>,
+}
+
+/// Best feasible cycle count seen so far across all workers, stored as the
+/// bit pattern of a positive `f64` (for which integer ordering coincides
+/// with float ordering, so `fetch_min` maintains the float minimum).
+struct Incumbent(AtomicU64);
+
+impl Incumbent {
+    fn new() -> Self {
+        Incumbent(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn offer(&self, cycles: f64) {
+        if cycles.is_finite() && cycles >= 0.0 {
+            self.0.fetch_min(cycles.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Analyzes one family and evaluates its configurations.
+///
+/// `BadGeometry` (work-group does not tile the NDRange) skips the family,
+/// matching the serial sweep's historical behaviour; other analysis errors
+/// abort the sweep.
+fn run_family(
+    func: &Arc<Function>,
+    platform: &Arc<Platform>,
+    workload: &Workload,
+    family: &Family,
+    opts: DseOptions,
+    incumbent: &Incumbent,
+    scratch: &mut AnalysisScratch,
+) -> Result<Vec<(usize, DesignPoint)>, AnalysisError> {
+    let analysis = match KernelAnalysis::analyze_interned(
+        Arc::clone(func),
+        Arc::clone(platform),
+        workload,
+        family.work_group,
+        scratch,
+    ) {
+        Ok(a) => a,
+        Err(AnalysisError::BadGeometry(_)) => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+
+    // Branch-and-bound: a mode whose optimistic bound cannot beat the
+    // incumbent is skipped wholesale. The comparison is strict, so any
+    // family containing a point tied with the global minimum survives
+    // (its bound is ≤ that minimum ≤ the incumbent at all times).
+    let skip = |mode: CommMode| {
+        opts.prune && cycle_lower_bound(&analysis, mode) > incumbent.get()
+    };
+    let (skip_barrier, skip_pipeline) = (skip(CommMode::Barrier), skip(CommMode::Pipeline));
+
+    let mut out = Vec::with_capacity(family.entries.len());
+    for &(idx, cfg) in &family.entries {
+        let skipped = match cfg.comm_mode {
+            CommMode::Barrier => skip_barrier,
+            CommMode::Pipeline => skip_pipeline,
+        };
+        if skipped {
+            continue;
+        }
+        let est = estimate(&analysis, &cfg);
+        if est.feasible {
+            incumbent.offer(est.cycles);
+        }
+        out.push((idx, DesignPoint { config: cfg, estimate: est }));
+    }
+    Ok(out)
+}
+
+/// Exhaustively explores the design space of `func` on `workload` with the
+/// default [`DseOptions`] (serial, no pruning).
 ///
 /// # Errors
 ///
@@ -125,26 +278,90 @@ pub fn explore(
     platform: &Platform,
     workload: &Workload,
 ) -> Result<DseResult, AnalysisError> {
+    explore_with(func, platform, workload, DseOptions::default())
+}
+
+/// Explores the design space of `func` on `workload` under `opts`.
+///
+/// With `opts.prune == false` the explored points are exactly the
+/// enumerated space in enumeration order, bit-identical for every thread
+/// count. With pruning, dominated families may be absent but
+/// [`DseResult::best`] matches the exhaustive sweep.
+///
+/// # Errors
+///
+/// Propagates kernel-analysis failures (profiling errors). Work-group
+/// sizes that do not tile the workload are skipped silently.
+pub fn explore_with(
+    func: &Function,
+    platform: &Platform,
+    workload: &Workload,
+    opts: DseOptions,
+) -> Result<DseResult, AnalysisError> {
     let start = Instant::now();
     let limits = limits_for(func, workload);
     let configs = config::enumerate(&limits);
 
-    let mut analyses: HashMap<(u32, u32), KernelAnalysis> = HashMap::new();
-    let mut points = Vec::with_capacity(configs.len());
-    for cfg in configs {
-        let wg = cfg.work_group;
-        if !analyses.contains_key(&wg) {
-            match KernelAnalysis::analyze(func, platform, workload, wg) {
-                Ok(a) => {
-                    analyses.insert(wg, a);
-                }
-                Err(AnalysisError::BadGeometry(_)) => continue,
-                Err(e) => return Err(e),
-            }
+    // Intern the kernel and platform once; every family's analysis shares
+    // these allocations instead of cloning them.
+    let func = Arc::new(func.clone());
+    let platform = Arc::new(platform.clone());
+
+    // Partition into per-work-group families, remembering each config's
+    // enumeration index for the ordered merge.
+    let mut families: Vec<Family> = Vec::new();
+    for (idx, cfg) in configs.into_iter().enumerate() {
+        match families.iter_mut().find(|f| f.work_group == cfg.work_group) {
+            Some(f) => f.entries.push((idx, cfg)),
+            None => families
+                .push(Family { work_group: cfg.work_group, entries: vec![(idx, cfg)] }),
         }
-        let analysis = &analyses[&wg];
-        points.push(DesignPoint { config: cfg, estimate: estimate(analysis, &cfg) });
     }
+
+    let incumbent = Incumbent::new();
+    let mut indexed: Vec<(usize, DesignPoint)> = Vec::new();
+
+    if opts.threads <= 1 || families.len() <= 1 {
+        let mut scratch = AnalysisScratch::new();
+        for family in &families {
+            indexed.extend(run_family(
+                &func, &platform, workload, family, opts, &incumbent, &mut scratch,
+            )?);
+        }
+    } else {
+        let workers = opts.threads.min(families.len());
+        let next = AtomicUsize::new(0);
+        type FamilyResult = Result<Vec<(usize, DesignPoint)>, AnalysisError>;
+        let slots: Vec<Mutex<Option<FamilyResult>>> =
+            families.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut scratch = AnalysisScratch::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(family) = families.get(i) else { break };
+                        let r = run_family(
+                            &func, &platform, workload, family, opts, &incumbent, &mut scratch,
+                        );
+                        *slots[i].lock().expect("family slot poisoned") = Some(r);
+                    }
+                });
+            }
+        });
+        // Merge in family order so the first error (in enumeration order)
+        // wins, exactly as the serial loop reports it.
+        for slot in slots {
+            let result = slot
+                .into_inner()
+                .expect("family slot poisoned")
+                .expect("every family index was claimed by a worker");
+            indexed.extend(result?);
+        }
+    }
+
+    indexed.sort_by_key(|(idx, _)| *idx);
+    let points = indexed.into_iter().map(|(_, p)| p).collect();
     Ok(DseResult { points, elapsed: start.elapsed() })
 }
 
@@ -173,6 +390,30 @@ mod tests {
         (f, w)
     }
 
+    fn barrier_kernel() -> (Function, Workload) {
+        let p = flexcl_frontend::parse_and_check(
+            "__kernel void k(__global float* a) {
+                __local float t[256];
+                int l = get_local_id(0);
+                t[l] = a[get_global_id(0)];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                a[get_global_id(0)] = t[l];
+            }",
+        )
+        .expect("frontend");
+        let f = flexcl_ir::lower_kernel(&p.kernels[0]).expect("lowering");
+        let w = Workload { args: vec![KernelArg::FloatBuf(vec![0.0; 1024])], global: (1024, 1) };
+        (f, w)
+    }
+
+    fn assert_points_identical(a: &DseResult, b: &DseResult) {
+        assert_eq!(a.points.len(), b.points.len());
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.config, pb.config);
+            assert_eq!(pa.estimate, pb.estimate, "{}", pa.config);
+        }
+    }
+
     #[test]
     fn sweep_covers_hundreds_of_points_quickly() {
         let (f, w) = vadd();
@@ -198,22 +439,79 @@ mod tests {
 
     #[test]
     fn barrier_kernel_space_restricted() {
-        let p = flexcl_frontend::parse_and_check(
-            "__kernel void k(__global float* a) {
-                __local float t[256];
-                int l = get_local_id(0);
-                t[l] = a[get_global_id(0)];
-                barrier(CLK_LOCAL_MEM_FENCE);
-                a[get_global_id(0)] = t[l];
-            }",
-        )
-        .expect("frontend");
-        let f = flexcl_ir::lower_kernel(&p.kernels[0]).expect("lowering");
-        let w = Workload { args: vec![KernelArg::FloatBuf(vec![0.0; 1024])], global: (1024, 1) };
+        let (f, w) = barrier_kernel();
         let result = explore(&f, &Platform::virtex7_adm7v3(), &w).expect("dse");
         assert!(result
             .points
             .iter()
             .all(|p| p.config.comm_mode == crate::config::CommMode::Barrier));
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_for_pipeline_kernel() {
+        // vadd has no barrier, so its space includes pipeline-mode points.
+        let (f, w) = vadd();
+        let platform = Platform::virtex7_adm7v3();
+        let serial = explore(&f, &platform, &w).expect("serial");
+        let parallel =
+            explore_with(&f, &platform, &w, DseOptions::parallel(4)).expect("parallel");
+        assert!(serial
+            .points
+            .iter()
+            .any(|p| p.config.comm_mode == CommMode::Pipeline));
+        assert_points_identical(&serial, &parallel);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_for_barrier_kernel() {
+        let (f, w) = barrier_kernel();
+        let platform = Platform::virtex7_adm7v3();
+        let serial = explore(&f, &platform, &w).expect("serial");
+        let parallel =
+            explore_with(&f, &platform, &w, DseOptions::parallel(3)).expect("parallel");
+        assert_points_identical(&serial, &parallel);
+    }
+
+    #[test]
+    fn pruned_sweep_finds_the_same_best() {
+        let (f, w) = vadd();
+        let platform = Platform::virtex7_adm7v3();
+        let full = explore(&f, &platform, &w).expect("exhaustive");
+        let pruned = explore_with(
+            &f,
+            &platform,
+            &w,
+            DseOptions { prune: true, ..DseOptions::default() },
+        )
+        .expect("pruned");
+        assert!(pruned.points.len() <= full.points.len());
+        let (fb, pb) = (full.best().expect("full best"), pruned.best().expect("pruned best"));
+        assert_eq!(fb.config, pb.config);
+        assert_eq!(fb.estimate.cycles, pb.estimate.cycles);
+        // Every surviving point carries the same estimate as in the full
+        // sweep (pruning may drop points but never alters them).
+        let mut fi = full.points.iter();
+        for p in &pruned.points {
+            let twin = fi
+                .by_ref()
+                .find(|q| q.config == p.config)
+                .expect("pruned point present in exhaustive sweep, in order");
+            assert_eq!(twin.estimate, p.estimate);
+        }
+    }
+
+    #[test]
+    fn tie_breaks_are_deterministic() {
+        let (f, w) = vadd();
+        let result = explore(&f, &Platform::virtex7_adm7v3(), &w).expect("dse");
+        // best() must return the earliest enumerated point among minima.
+        let best = result.best().expect("best");
+        let min_cycles = best.estimate.cycles;
+        let first_min = result
+            .points
+            .iter()
+            .find(|p| p.estimate.feasible && p.estimate.cycles == min_cycles)
+            .expect("minimum exists");
+        assert_eq!(first_min.config, best.config);
     }
 }

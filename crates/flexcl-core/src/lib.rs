@@ -57,11 +57,11 @@ pub mod dse;
 pub mod model;
 pub mod platform;
 
-pub use analysis::{AnalysisError, KernelAnalysis, ResolvedRecurrence, Workload};
+pub use analysis::{AnalysisError, AnalysisScratch, KernelAnalysis, ResolvedRecurrence, Workload};
 pub use area::{estimate_area, pareto_frontier, AreaEstimate, ParetoPoint};
 pub use config::{enumerate, CommMode, DesignSpaceLimits, OptimizationConfig};
-pub use dse::{explore, limits_for, DesignPoint, DseResult};
-pub use model::{estimate, pe_budget, Estimate};
+pub use dse::{explore, explore_with, limits_for, DesignPoint, DseOptions, DseResult};
+pub use model::{cycle_lower_bound, estimate, pe_budget, Estimate};
 pub use platform::Platform;
 
 use std::fmt;
@@ -168,12 +168,28 @@ impl FlexCl {
         name: &str,
         workload: &Workload,
     ) -> Result<DseResult, FlexClError> {
+        self.explore_source_with(src, name, workload, DseOptions::default())
+    }
+
+    /// [`Self::explore_source`] with explicit sweep options (worker
+    /// threads, branch-and-bound pruning).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexClError`] on frontend, lowering or profiling failures.
+    pub fn explore_source_with(
+        &self,
+        src: &str,
+        name: &str,
+        workload: &Workload,
+        opts: DseOptions,
+    ) -> Result<DseResult, FlexClError> {
         let program = flexcl_frontend::parse_and_check(src)?;
         let kernel = program
             .kernel(name)
             .ok_or_else(|| FlexClError::NoSuchKernel(name.to_string()))?;
         let func = flexcl_ir::lower_kernel(kernel)?;
-        Ok(dse::explore(&func, &self.platform, workload)?)
+        Ok(dse::explore_with(&func, &self.platform, workload, opts)?)
     }
 }
 

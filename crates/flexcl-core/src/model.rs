@@ -21,7 +21,7 @@
 //! toolchain applies when unrolling.
 
 use crate::analysis::KernelAnalysis;
-use crate::config::{CommMode, OptimizationConfig};
+use crate::config::{CommMode, OptimizationConfig, MAX_CUS, MAX_PES, MAX_VECTOR_WIDTH};
 use flexcl_sched::ResourceBudget;
 use std::fmt;
 
@@ -224,6 +224,57 @@ pub fn estimate(analysis: &KernelAnalysis, config: &OptimizationConfig) -> Estim
         feasible: true,
         infeasible_reason: None,
     }
+}
+
+/// A cheap monotonic lower bound on [`estimate`]'s `cycles` over every
+/// configuration [`crate::config::enumerate`] can generate for this
+/// analysis (i.e. this work-group size) and communication mode.
+///
+/// Used by branch-and-bound pruning in the design-space sweep: if the
+/// bound for a `(work_group, comm_mode)` family already exceeds the best
+/// feasible cycle count seen so far, no configuration in the family can
+/// win and the whole family is skipped without scheduling a single PE.
+///
+/// Soundness: the bound relaxes every knob to its most optimistic
+/// enumerated extreme simultaneously —
+///
+/// * `L_mem^wi` is a property of the analysis and mode alone (Eq. 9);
+///   every configuration pays at least the group's memory volume
+///   (barrier mode adds it, pipeline mode floors group time with it);
+/// * computation is bounded below by the wave count at maximal PE
+///   parallelism (`MAX_PES · MAX_VECTOR_WIDTH` scalar lanes) with
+///   `II = 1` and `depth = 0`;
+/// * rounds are bounded below with full CU replication (`MAX_CUS`);
+/// * the fixed `ΔL`/launch overheads of Eq. 7 and Eq. 10–12 are always
+///   paid.
+///
+/// Infeasible configurations cost `f64::INFINITY`, so any finite bound
+/// trivially under-estimates them.
+pub fn cycle_lower_bound(analysis: &KernelAnalysis, mode: CommMode) -> f64 {
+    let platform = &analysis.platform;
+    let n_wi_kernel = (analysis.global.0 * analysis.global.1) as f64;
+    let n_wi_wg = (u64::from(analysis.work_group.0) * u64::from(analysis.work_group.1)) as f64;
+    let l_mem_wi = match mode {
+        CommMode::Barrier => analysis.l_mem_wi_phased(),
+        CommMode::Pipeline => analysis.l_mem_wi(),
+    };
+    let mem_group = l_mem_wi * n_wi_wg;
+
+    // Best enumerable computation: every wave issues in one cycle.
+    let max_lanes = f64::from(MAX_PES * MAX_VECTOR_WIDTH);
+    let waves_min = ((n_wi_wg - max_lanes) / max_lanes).ceil().max(0.0);
+
+    // Fewest rounds: full CU replication.
+    let rounds_min = (n_wi_kernel / (n_wi_wg * f64::from(MAX_CUS))).ceil().max(1.0);
+
+    let dl = f64::from(platform.schedule_overhead);
+    let dl_warm = dl * (1.0 - platform.dispatch_overlap).max(0.0);
+    let launch = f64::from(platform.launch_overhead);
+    let per_round = match mode {
+        CommMode::Barrier => mem_group + waves_min,
+        CommMode::Pipeline => waves_min.max(mem_group),
+    };
+    (per_round + dl_warm) * rounds_min + dl + launch
 }
 
 /// Eq. 6 (standard resource-sharing form; see module docs).
@@ -492,6 +543,29 @@ mod tests {
         // Eq. 10 decomposition: total ≥ memory term alone.
         let mem_total = est.l_mem_wi * 1024.0;
         assert!(est.cycles > mem_total, "cycles {} vs mem {}", est.cycles, mem_total);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_any_estimate() {
+        let a = vadd_analysis();
+        let limits = crate::config::DesignSpaceLimits {
+            global_x: 1024,
+            global_y: 1,
+            has_barrier: false,
+            reqd_work_group: Some((64, 1)),
+            vectorizable: true,
+        };
+        let space = crate::config::enumerate(&limits);
+        assert!(!space.is_empty());
+        for cfg in space {
+            let est = estimate(&a, &cfg);
+            let bound = cycle_lower_bound(&a, cfg.comm_mode);
+            assert!(
+                bound <= est.cycles,
+                "{cfg}: bound {bound} exceeds estimate {}",
+                est.cycles
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! cycles* (200 MHz), i.e. DDR3-1600 timings divided by four.
 
 /// DRAM timing parameters, in kernel-clock cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramTiming {
     /// Row-to-column delay (ACT → READ/WRITE).
     pub t_rcd: u32,
@@ -59,7 +59,7 @@ impl DramTiming {
 }
 
 /// DRAM organisation and address mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramConfig {
     /// Number of banks.
     pub num_banks: u32,

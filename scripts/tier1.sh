@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the whole workspace must build in release mode and every
+# test must pass. Run from anywhere; the script cds to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release
+cargo test -q

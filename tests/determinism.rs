@@ -3,7 +3,9 @@
 //! must be bit-identical across runs.
 
 use flexcl_bench::find_spec;
-use flexcl_core::{estimate, KernelAnalysis, OptimizationConfig, Platform};
+use flexcl_core::{
+    estimate, explore, explore_with, DseOptions, KernelAnalysis, OptimizationConfig, Platform,
+};
 use flexcl_kernels::Scale;
 use flexcl_sim::{system_run, SimOptions};
 
@@ -35,6 +37,42 @@ fn estimates_are_deterministic() {
         estimate(&a, &config).cycles
     };
     assert_eq!(e1, e2);
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let spec = find_spec("polybench/atax");
+    let func = flexcl_bench::compile(&spec);
+    let workload = spec.workload(Scale::Test, 5);
+    let platform = Platform::virtex7_adm7v3();
+    let serial = explore(&func, &platform, &workload).expect("serial sweep");
+    let parallel = explore_with(&func, &platform, &workload, DseOptions::parallel(4))
+        .expect("parallel sweep");
+    assert_eq!(serial.points.len(), parallel.points.len());
+    for (a, b) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.estimate, b.estimate, "{}", a.config);
+    }
+}
+
+#[test]
+fn pruned_sweep_matches_exhaustive_best_on_polybench() {
+    let spec = find_spec("polybench/atax");
+    let func = flexcl_bench::compile(&spec);
+    let workload = spec.workload(Scale::Test, 5);
+    let platform = Platform::virtex7_adm7v3();
+    let full = explore(&func, &platform, &workload).expect("exhaustive sweep");
+    let pruned = explore_with(
+        &func,
+        &platform,
+        &workload,
+        DseOptions { prune: true, threads: 2 },
+    )
+    .expect("pruned sweep");
+    let fb = full.best().expect("exhaustive best");
+    let pb = pruned.best().expect("pruned best");
+    assert_eq!(fb.config, pb.config);
+    assert_eq!(fb.estimate.cycles, pb.estimate.cycles);
 }
 
 #[test]

@@ -1,0 +1,126 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the small API surface the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and
+//! the `criterion_group!` / `criterion_main!` macros. Instead of
+//! criterion's statistical machinery it runs a short warm-up, then times
+//! batches until a fixed measurement window elapses and prints the mean
+//! time per iteration. Good enough for relative before/after numbers;
+//! not a precision instrument.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_secs(2);
+
+/// Benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        // Warm up until the window elapses, then measure.
+        let start = Instant::now();
+        while start.elapsed() < WARMUP {
+            b.reset();
+            f(&mut b);
+        }
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE {
+            b.reset();
+            f(&mut b);
+            iters += b.iters;
+            elapsed += b.elapsed;
+        }
+        if iters == 0 {
+            println!("{id:40} (no iterations recorded)");
+        } else {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{id:40} {:>12.1} ns/iter ({iters} iters)", ns);
+        }
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// Per-benchmark timing handle (stand-in for `criterion::Bencher`).
+#[derive(Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn reset(&mut self) {
+        self.iters = 0;
+        self.elapsed = Duration::ZERO;
+    }
+
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        const BATCH: u64 = 16;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+/// Declares a benchmark group runner (stand-in for `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point (stand-in for `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(1 + 1));
+        assert!(b.iters > 0);
+    }
+}

@@ -1,0 +1,535 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of proptest the workspace actually uses:
+//! the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, strategies for integer ranges, tuples,
+//! [`Just`], `collection::vec`, `sample::select`, `any::<T>()`, the
+//! `prop_oneof!` union macro, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` test macros. Generation is deterministic (seeded
+//! from the test name), and there is no shrinking — a failing case
+//! panics with the `Debug` rendering of the sampled inputs so it can be
+//! reproduced by rerunning the test.
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Deterministic generator used to drive sampling (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary byte string (the test name),
+    /// so every `proptest!` test gets a stable, reproducible stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self::from_seed(h)
+    }
+
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Unbiased uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            if x >= threshold {
+                return x % bound;
+            }
+        }
+    }
+}
+
+/// A value generator (stand-in for `proptest::strategy::Strategy`).
+///
+/// Unlike upstream there is no value tree or shrinking: a strategy is
+/// just a cloneable sampler.
+pub trait Strategy: Clone + 'static {
+    type Value: Debug + 'static;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        U: Debug + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        BoxedStrategy::new(move |rng| f(self.sample(rng)))
+    }
+
+    fn prop_flat_map<R, F>(self, f: F) -> BoxedStrategy<R::Value>
+    where
+        R: Strategy,
+        F: Fn(Self::Value) -> R + 'static,
+    {
+        BoxedStrategy::new(move |rng| f(self.sample(rng)).sample(rng))
+    }
+
+    /// Builds recursive structures of bounded depth. `desired_size` and
+    /// `expected_branch_size` are accepted for API compatibility but only
+    /// `depth` bounds generation here.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let leaf = self.clone().boxed();
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            let deeper = recurse(cur).boxed();
+            let l = leaf.clone();
+            // Recurse three times out of four so trees reach interesting
+            // depths while every level can still terminate at a leaf.
+            cur = BoxedStrategy::new(move |rng| {
+                if rng.below(4) < 3 {
+                    deeper.sample(rng)
+                } else {
+                    l.sample(rng)
+                }
+            });
+        }
+        cur
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value> {
+        BoxedStrategy::new(move |rng| self.sample(rng))
+    }
+}
+
+/// A type-erased strategy (stand-in for `proptest::strategy::BoxedStrategy`).
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> BoxedStrategy<V> {
+    fn new(f: impl Fn(&mut TestRng) -> V + 'static) -> Self {
+        BoxedStrategy(Rc::new(f))
+    }
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V: Debug + 'static> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// String patterns as strategies, mirroring proptest's regex support for
+/// the two shapes this workspace uses: `\PC*` (any printable string) and
+/// `[class]*` (repetition over a character class, with `a-z` ranges and
+/// backslash escapes). Anything else is treated as a literal string.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let Some(inner) = self.strip_suffix('*') else {
+            return (*self).to_string();
+        };
+        let pool: Vec<char> = if inner == "\\PC" {
+            let mut p: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+            p.extend(['é', 'λ', '中', '✓']);
+            p
+        } else if let Some(body) = inner
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+        {
+            parse_char_class(body)
+        } else {
+            inner.chars().collect()
+        };
+        assert!(!pool.is_empty(), "string pattern {self:?} has an empty pool");
+        let len = rng.below(64) as usize;
+        (0..len)
+            .map(|_| pool[rng.below(pool.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_char_class(body: &str) -> Vec<char> {
+    // Resolve escapes into (char, was_escaped) tokens, then expand x-y ranges.
+    let mut toks: Vec<(char, bool)> = Vec::new();
+    let mut it = body.chars();
+    while let Some(c) = it.next() {
+        if c == '\\' {
+            if let Some(n) = it.next() {
+                let m = match n {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                };
+                toks.push((m, true));
+            }
+        } else {
+            toks.push((c, false));
+        }
+    }
+    let mut pool = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if i + 2 < toks.len() && toks[i + 1] == ('-', false) {
+            for c in toks[i].0..=toks[i + 2].0 {
+                pool.push(c);
+            }
+            i += 3;
+        } else {
+            pool.push(toks[i].0);
+            i += 1;
+        }
+    }
+    pool
+}
+
+/// Uniform union over same-valued strategies (backs `prop_oneof!`).
+pub fn union<V: Debug + 'static>(arms: Vec<BoxedStrategy<V>>) -> BoxedStrategy<V> {
+    assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+    BoxedStrategy::new(move |rng| {
+        let i = rng.below(arms.len() as u64) as usize;
+        arms[i].sample(rng)
+    })
+}
+
+/// `proptest::collection` stand-in.
+pub mod collection {
+    use super::*;
+
+    /// Vector of `len in size_range` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size_range: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S::Value: Debug,
+    {
+        BoxedStrategy::new(move |rng| {
+            let len = if size_range.start < size_range.end {
+                size_range.start + rng.below((size_range.end - size_range.start) as u64) as usize
+            } else {
+                size_range.start
+            };
+            (0..len).map(|_| elem.sample(rng)).collect()
+        })
+    }
+}
+
+/// `proptest::sample` stand-in.
+pub mod sample {
+    use super::*;
+
+    /// Uniformly selects one of the given values.
+    pub fn select<T: Clone + Debug + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        BoxedStrategy::new(move |rng| options[rng.below(options.len() as u64) as usize].clone())
+    }
+}
+
+/// Types with a canonical whole-domain strategy (stand-in for `Arbitrary`).
+pub trait Arbitrary: Sized + Debug + 'static {
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<Self> {
+                BoxedStrategy::new(|rng| rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<Self> {
+        BoxedStrategy::new(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+/// Whole-domain strategy for `T` (stand-in for `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+/// Runner configuration (stand-in for `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, union, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Fallible assertion: aborts the current case with a message instead of
+/// panicking, so the runner can attach the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fallible equality assertion; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if l != r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if l != r {
+            return ::std::result::Result::Err(format!(
+                "{}: {:?} != {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Declares property tests. Each case samples the bound strategies with a
+/// per-test deterministic RNG and runs the body; `prop_assert*` failures
+/// panic with the case index and the sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident ($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let inputs = ($($crate::Strategy::sample(&($strat), &mut rng),)+);
+                    let desc = format!("{:?}", inputs);
+                    let ($($pat,)+) = inputs;
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninput: {}",
+                            case + 1,
+                            config.cases,
+                            msg,
+                            desc
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = (3u32..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let strat = (0u32..10, 0u32..10).prop_map(|(a, b)| a + b);
+        let mut rng = TestRng::for_test("compose");
+        for _ in 0..100 {
+            assert!(strat.sample(&mut rng) < 19);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..100).prop_map(Tree::Leaf).prop_recursive(4, 32, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::for_test("recursive");
+        let mut seen_node = false;
+        for _ in 0..200 {
+            let t = strat.sample(&mut rng);
+            assert!(depth(&t) <= 4);
+            seen_node |= matches!(t, Tree::Node(..));
+        }
+        assert!(seen_node, "recursion never fired");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_harness_runs(x in 0u32..100, v in prop::collection::vec(0u8..4, 1..6)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len(), "lengths trivially match at x={}", x);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_select_cover_arms(c in prop_oneof![Just(1u8), Just(2u8)],
+                                       s in prop::sample::select(vec![10i32, 20, 30])) {
+            prop_assert!(c == 1 || c == 2);
+            prop_assert!([10, 20, 30].contains(&s));
+        }
+    }
+}
