@@ -176,15 +176,16 @@ mod tests {
         let chosen = stepwise_search(&a, &sp).expect("choice");
         let flexcl_best = sp
             .iter()
-            .filter(|c| flexcl_core::estimate(&a, c).feasible)
+            .filter(|c| flexcl_core::estimate(&a, c).expect("estimate").feasible)
             .min_by(|x, y| {
                 flexcl_core::estimate(&a, x)
+                    .expect("estimate")
                     .cycles
-                    .total_cmp(&flexcl_core::estimate(&a, y).cycles)
+                    .total_cmp(&flexcl_core::estimate(&a, y).expect("estimate").cycles)
             })
             .expect("best");
-        let chosen_cycles = flexcl_core::estimate(&a, &chosen).cycles;
-        let best_cycles = flexcl_core::estimate(&a, flexcl_best).cycles;
+        let chosen_cycles = flexcl_core::estimate(&a, &chosen).expect("estimate").cycles;
+        let best_cycles = flexcl_core::estimate(&a, flexcl_best).expect("estimate").cycles;
         assert!(
             chosen_cycles >= best_cycles,
             "stepwise cannot beat the exhaustive optimum"

@@ -55,7 +55,7 @@ fn bench_dse(c: &mut Criterion) {
                 &func,
                 &platform,
                 &workload,
-                DseOptions { prune: true, threads: 1 },
+                DseOptions { prune: true, threads: 1, ..DseOptions::default() },
             )
             .expect("sweep")
             .points

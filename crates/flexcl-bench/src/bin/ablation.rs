@@ -96,7 +96,9 @@ fn ablation_flat_memory() {
             let flat_l_mem = avg_dt * total_accesses;
             let true_l_mem = analysis.l_mem_wi();
             // Replace the memory term proportionally in the estimate.
-            let est = flexcl_core::estimate(&analysis, &r.config);
+            let Ok(est) = flexcl_core::estimate(&analysis, &r.config) else {
+                continue;
+            };
             let flat_cycles = if true_l_mem > 1e-9 {
                 // Re-evaluate with scaled memory: approximate by scaling the
                 // memory-dependent share of the estimate.
@@ -153,7 +155,9 @@ fn ablation_sms_vs_mii() {
             global_ports: 1,
         };
         let mii = analysis.rec_mii().max(analysis.res_mii(&budget));
-        let (ii, _) = analysis.pipeline_params(&budget);
+        let Ok((ii, _)) = analysis.pipeline_params(&budget) else {
+            continue;
+        };
         println!("{:<28} {:>8} {:>8}", spec.full_name(), mii, ii);
         rows.push(format!("{},{mii},{ii}", spec.full_name()));
         if ii > mii {

@@ -80,11 +80,19 @@ fn bench_sweeps() -> Vec<BenchRow> {
         for &threads in &thread_counts {
             // Warm the process-wide caches once so both thread counts
             // measure the same steady state.
-            let opts = DseOptions { threads, prune: false };
+            let opts = DseOptions { threads, ..DseOptions::default() };
             let _ = explore_with(func, &platform, workload, opts);
             let start = Instant::now();
             let res = explore_with(func, &platform, workload, opts).expect("bench sweep");
             let secs = start.elapsed().as_secs_f64();
+            if !res.diagnostics.is_clean() {
+                eprintln!(
+                    "  warning: {} skipped {} candidate(s): {}",
+                    name,
+                    res.diagnostics.skipped_count(),
+                    res.diagnostics.failed[0].message
+                );
+            }
             rows.push(BenchRow {
                 kernel: name.clone(),
                 points: res.points.len(),

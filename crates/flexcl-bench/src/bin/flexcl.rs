@@ -233,7 +233,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     let analysis =
         KernelAnalysis::analyze(&loaded.func, &platform, &loaded.workload, config.work_group)
             .map_err(|e| format!("{e}\nhint: if out of bounds, raise --buf-elems"))?;
-    let est = estimate(&analysis, &config);
+    let est = estimate(&analysis, &config).map_err(|e| e.to_string())?;
     let area = estimate_area(&analysis, &config);
 
     println!("kernel   : {}", loaded.func.name);
@@ -269,11 +269,20 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
     let result = flexcl_core::explore(&loaded.func, &platform, &loaded.workload)
         .map_err(|e| format!("{e}\nhint: if out of bounds, raise --buf-elems"))?;
     println!(
-        "explored {} configurations ({} feasible) in {:.2} s\n",
+        "explored {} configurations ({} feasible) in {:.2} s",
         result.points.len(),
         result.feasible_count(),
         result.elapsed.as_secs_f64()
     );
+    if result.diagnostics.is_clean() {
+        println!();
+    } else {
+        println!(
+            "skipped {} candidate(s); first failure: {}\n",
+            result.diagnostics.skipped_count(),
+            result.diagnostics.failed[0].message
+        );
+    }
     let mut ranked: Vec<_> = result.points.iter().filter(|p| p.estimate.feasible).collect();
     ranked.sort_by(|a, b| a.estimate.cycles.total_cmp(&b.estimate.cycles));
     println!("{:<46} {:>12}", "configuration", "cycles");

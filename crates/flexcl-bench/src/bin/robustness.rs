@@ -25,7 +25,6 @@ fn main() {
     for name in ["hotspot/hotspot", "pathfinder/dynproc"] {
         let spec = find_spec(name);
         let v7 = sweep_kernel(&spec, &Platform::virtex7_adm7v3(), Scale::Test);
-        let spec = find_spec(name);
         let ku = sweep_kernel(&spec, &Platform::ku060_nas120a(), Scale::Test);
         println!(
             "{:<26} {:>11.1}% {:>11.1}%",

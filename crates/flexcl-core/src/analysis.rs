@@ -10,6 +10,7 @@
 //! of optimization configurations only re-evaluates closed-form equations
 //! and small schedules.
 
+use crate::error::FlexclError;
 use crate::platform::Platform;
 use flexcl_dram::{coalesce, microbench, AccessKind, Burst, DramConfig, DramSim, ElementAccess,
     PatternTable, Request};
@@ -17,7 +18,6 @@ use flexcl_interp::{run, InterpError, KernelArg, MemAccess, NdRange, Profile, Ru
 use flexcl_ir::{build_deps, find_recurrences, Function, InstId, MemRoot, Op, Region, Value};
 use flexcl_sched::{list, sms, NodeId, ResourceBudget, ResourceClass, SchedGraph};
 use std::collections::HashMap;
-use std::fmt;
 use std::sync::Arc;
 
 /// Base byte address assigned to pointer parameter `p` when turning element
@@ -163,29 +163,26 @@ impl Workload {
     }
 }
 
-/// Errors produced during kernel analysis.
-#[derive(Debug, Clone, PartialEq)]
-pub enum AnalysisError {
-    /// Dynamic profiling failed.
-    Profiling(InterpError),
-    /// The work-group size does not tile the workload.
-    BadGeometry(String),
+/// The fuel budget of one dynamic-profiling run.
+///
+/// Profiling interprets the kernel, so a runaway loop or a trip-count
+/// explosion would otherwise hang the analysis (and, in a sweep, a worker
+/// thread). Both limits degrade to a typed
+/// [`FlexclError::ResourceLimit`] instead: `step_limit` bounds the
+/// interpreter steps per work-item, `trace_limit` bounds the recorded
+/// global-memory trace across the profiled work-groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileFuel {
+    /// Interpreter steps allowed per work-item.
+    pub step_limit: u64,
+    /// Total recorded memory accesses allowed per profiling run.
+    pub trace_limit: usize,
 }
 
-impl fmt::Display for AnalysisError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            AnalysisError::Profiling(e) => write!(f, "profiling failed: {e}"),
-            AnalysisError::BadGeometry(m) => write!(f, "bad geometry: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for AnalysisError {}
-
-impl From<InterpError> for AnalysisError {
-    fn from(e: InterpError) -> Self {
-        AnalysisError::Profiling(e)
+impl Default for ProfileFuel {
+    fn default() -> Self {
+        let d = RunOptions::default();
+        ProfileFuel { step_limit: d.step_limit, trace_limit: d.trace_limit }
     }
 }
 
@@ -258,45 +255,58 @@ pub struct KernelAnalysis {
 }
 
 impl KernelAnalysis {
-    /// Runs the full §3.2 analysis.
+    /// Runs the full §3.2 analysis with the default [`ProfileFuel`].
     ///
     /// # Errors
     ///
-    /// Returns [`AnalysisError`] if the geometry is invalid or profiling
-    /// fails (out-of-bounds kernel, runaway loop).
+    /// Returns [`FlexclError::Geometry`] if the work-group does not tile
+    /// the NDRange, [`FlexclError::Profiling`] if dynamic profiling fails
+    /// (out-of-bounds kernel), and [`FlexclError::ResourceLimit`] if
+    /// profiling exhausts its fuel (runaway loop, trace explosion).
     pub fn analyze(
         func: &Function,
         platform: &Platform,
         workload: &Workload,
         work_group: (u32, u32),
-    ) -> Result<KernelAnalysis, AnalysisError> {
+    ) -> Result<KernelAnalysis, FlexclError> {
         Self::analyze_interned(
             Arc::new(func.clone()),
             Arc::new(platform.clone()),
             workload,
             work_group,
+            ProfileFuel::default(),
             &mut AnalysisScratch::new(),
         )
     }
 
-    /// [`Self::analyze`] with interned inputs and reusable scratch buffers.
+    /// [`Self::analyze`] with interned inputs, an explicit fuel budget and
+    /// reusable scratch buffers.
     ///
     /// The sweep path: the caller holds the kernel and platform in [`Arc`]s
     /// (so five work-group analyses share one `Function` allocation instead
     /// of cloning it five times) and keeps one [`AnalysisScratch`] per
     /// worker thread. Results are bit-identical to [`Self::analyze`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::analyze`].
     pub fn analyze_interned(
         func: Arc<Function>,
         platform: Arc<Platform>,
         workload: &Workload,
         work_group: (u32, u32),
+        fuel: ProfileFuel,
         scratch: &mut AnalysisScratch,
-    ) -> Result<KernelAnalysis, AnalysisError> {
+    ) -> Result<KernelAnalysis, FlexclError> {
         let nd = NdRange {
             global: [workload.global.0, workload.global.1, 1],
             local: [u64::from(work_group.0), u64::from(work_group.1), 1],
         };
-        nd.validate().map_err(AnalysisError::BadGeometry)?;
+        nd.validate().map_err(|source| FlexclError::Geometry {
+            kernel: func.name.clone(),
+            work_group,
+            source,
+        })?;
 
         // Dynamic profiling over a few work-groups (the paper: "only a few
         // work-groups are profiled in practice").
@@ -305,9 +315,24 @@ impl KernelAnalysis {
         let opts = RunOptions {
             profile_groups: Some(groups.min(4)),
             profile_spread: true,
+            step_limit: fuel.step_limit,
+            trace_limit: fuel.trace_limit,
             ..RunOptions::default()
         };
-        let profile = run(&func, &mut args, nd, opts)?;
+        let profile = run(&func, &mut args, nd, opts).map_err(|e| match e {
+            InterpError::StepLimit(_) | InterpError::TraceLimit(_) => {
+                FlexclError::ResourceLimit {
+                    kernel: func.name.clone(),
+                    work_group,
+                    detail: e.to_string(),
+                }
+            }
+            other => FlexclError::Profiling {
+                kernel: func.name.clone(),
+                work_group,
+                source: other,
+            },
+        })?;
 
         // ---- memory: coalesce per buffer, interleave in work-item order,
         // and classify against the banked DRAM (Table 1).
@@ -358,6 +383,14 @@ impl KernelAnalysis {
         }
         let global_accesses_per_wi = n_bursts as f64 / wi;
         let pattern_latencies = microbench::profile_cached(platform.dram);
+        if pattern_latencies.iter().any(|(_, dt)| !dt.is_finite() || dt < 0.0) {
+            return Err(FlexclError::MemoryModel {
+                kernel: func.name.clone(),
+                detail: "micro-benchmarked pattern latency table contains a non-finite or \
+                         negative entry (corrupt DRAM configuration?)"
+                    .into(),
+            });
+        }
         let channel_contention = measure_channel_contention(&platform, &group_bursts, scratch);
 
         // ---- static analysis with trip-count weighting.
@@ -473,14 +506,27 @@ impl KernelAnalysis {
     /// One work-item's end-to-end latency through the CDFG (the critical
     /// path, i.e. the non-pipelined execution time and the floor of the
     /// pipeline depth `D_comp^PE`).
-    pub fn work_item_latency(&self, budget: &ResourceBudget) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexclError::Scheduling`] if a basic block cannot be
+    /// scheduled under `budget` (an op class with a zero budget).
+    pub fn work_item_latency(&self, budget: &ResourceBudget) -> Result<f64, FlexclError> {
         self.region_latency(&self.func.region, budget)
     }
 
-    fn block_latency(&self, block: flexcl_ir::BlockId, budget: &ResourceBudget) -> f64 {
+    fn sched_error(&self, e: flexcl_sched::SchedError) -> FlexclError {
+        FlexclError::Scheduling { kernel: self.func.name.clone(), detail: e.to_string() }
+    }
+
+    fn block_latency(
+        &self,
+        block: flexcl_ir::BlockId,
+        budget: &ResourceBudget,
+    ) -> Result<f64, FlexclError> {
         let insts = &self.func.block(block).insts;
         if insts.is_empty() {
-            return 0.0;
+            return Ok(0.0);
         }
         let mut g = SchedGraph::new();
         let mut map: HashMap<InstId, NodeId> = HashMap::new();
@@ -495,30 +541,40 @@ impl KernelAnalysis {
         for e in build_deps(&self.func, insts) {
             g.add_edge(map[&e.from], map[&e.to]);
         }
-        f64::from(list::schedule(&g, budget).length)
+        list::schedule(&g, budget)
+            .map(|s| f64::from(s.length))
+            .map_err(|e| self.sched_error(e))
     }
 
-    fn region_latency(&self, region: &Region, budget: &ResourceBudget) -> f64 {
+    fn region_latency(&self, region: &Region, budget: &ResourceBudget) -> Result<f64, FlexclError> {
         match region {
             Region::Block(b) => self.block_latency(*b, budget),
-            Region::Seq(rs) => rs.iter().map(|r| self.region_latency(r, budget)).sum(),
+            Region::Seq(rs) => {
+                let mut total = 0.0;
+                for r in rs {
+                    total += self.region_latency(r, budget)?;
+                }
+                Ok(total)
+            }
             Region::If { cond_block, then_region, else_region } => {
                 // Independent branches execute in parallel circuits (§3.2);
                 // the merged node costs the longer branch.
-                self.block_latency(*cond_block, budget)
+                Ok(self.block_latency(*cond_block, budget)?
                     + self
-                        .region_latency(then_region, budget)
-                        .max(self.region_latency(else_region, budget))
+                        .region_latency(then_region, budget)?
+                        .max(self.region_latency(else_region, budget)?))
             }
             Region::Loop { id, header, body, latch } => {
                 let meta = &self.func.loops[id.0 as usize];
                 let trip = self.profile.trip_count(&self.func, *id).max(0.0);
-                let header_lat = self.block_latency(*header, budget);
-                let latch_lat =
-                    latch.map_or(0.0, |l| self.block_latency(l, budget));
-                let body_lat = self.region_latency(body, budget) + latch_lat + header_lat;
+                let header_lat = self.block_latency(*header, budget)?;
+                let latch_lat = match latch {
+                    Some(l) => self.block_latency(*l, budget)?,
+                    None => 0.0,
+                };
+                let body_lat = self.region_latency(body, budget)? + latch_lat + header_lat;
                 if meta.pipeline {
-                    return self.pipelined_loop_latency(*header, body, *latch, trip, budget);
+                    return Ok(self.pipelined_loop_latency(*header, body, *latch, trip, budget));
                 }
                 let unroll = match meta.unroll {
                     Some(0) => trip.max(1.0) as u32, // full unroll
@@ -526,13 +582,13 @@ impl KernelAnalysis {
                     None => 1,
                 };
                 if unroll <= 1 {
-                    header_lat + trip * body_lat
+                    Ok(header_lat + trip * body_lat)
                 } else {
                     // Unrolled iterations share PE resources; the iteration
                     // latency cannot beat the resource floor.
                     let floor = self.unroll_resource_floor(body, budget, unroll);
                     let iters = (trip / f64::from(unroll)).ceil();
-                    header_lat + iters * body_lat.max(floor)
+                    Ok(header_lat + iters * body_lat.max(floor))
                 }
             }
         }
@@ -632,7 +688,15 @@ impl KernelAnalysis {
     /// Builds the work-item-level scheduling graph: top-level straight-line
     /// instructions as individual nodes, control regions (ifs, loops)
     /// collapsed into macro nodes, recurrence edges attached.
-    pub fn work_item_graph(&self, budget: &ResourceBudget) -> (SchedGraph, Vec<Option<NodeId>>) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexclError::Scheduling`] if a collapsed region cannot be
+    /// scheduled under `budget`.
+    pub fn work_item_graph(
+        &self,
+        budget: &ResourceBudget,
+    ) -> Result<(SchedGraph, Vec<Option<NodeId>>), FlexclError> {
         let mut g = SchedGraph::new();
         let mut inst_node: Vec<Option<NodeId>> = vec![None; self.func.insts.len()];
 
@@ -652,7 +716,7 @@ impl KernelAnalysis {
                     }
                 }
                 region => {
-                    let lat = self.region_latency(region, budget).min(f64::from(u32::MAX / 4));
+                    let lat = self.region_latency(region, budget)?.min(f64::from(u32::MAX / 4));
                     let node = g.add_node(lat.round() as u32, ResourceClass::Fabric);
                     for b in region.blocks() {
                         for inst in self.func.block_insts(b) {
@@ -685,20 +749,25 @@ impl KernelAnalysis {
             };
             g.add_edge_with_distance(from, to, r.distance);
         }
-        (g, inst_node)
+        Ok((g, inst_node))
     }
 
     /// The PE pipeline parameters: `(II_comp^wi, D_comp^PE)` via
     /// `MII = max(RecMII, ResMII)` refined by swing modulo scheduling.
-    pub fn pipeline_params(&self, budget: &ResourceBudget) -> (u32, u32) {
-        let (g, _) = self.work_item_graph(budget);
-        let depth_floor = self.work_item_latency(budget).round() as u32;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexclError::Scheduling`] if the work-item graph cannot be
+    /// scheduled under `budget`.
+    pub fn pipeline_params(&self, budget: &ResourceBudget) -> Result<(u32, u32), FlexclError> {
+        let (g, _) = self.work_item_graph(budget)?;
+        let depth_floor = self.work_item_latency(budget)?.round() as u32;
         let schedule = sms::schedule(&g, budget, depth_floor);
         let ii = schedule
             .ii
             .max(self.rec_mii())
             .max(self.res_mii(budget));
-        (ii, schedule.depth)
+        Ok((ii, schedule.depth))
     }
 
     /// Execution multiplier of an instruction (product of enclosing loop
@@ -900,7 +969,7 @@ mod tests {
         assert!(a.global_accesses_per_wi < 3.0 / 4.0, "{}", a.global_accesses_per_wi);
         assert!(a.l_mem_wi() > 0.0);
         let budget = ResourceBudget::unconstrained();
-        let (ii, depth) = a.pipeline_params(&budget);
+        let (ii, depth) = a.pipeline_params(&budget).expect("pipeline params");
         assert!(ii >= 1);
         assert!(depth >= 4, "fadd latency must show up in depth, got {depth}");
     }
@@ -989,7 +1058,9 @@ mod tests {
             (64, 1),
         );
         let budget = ResourceBudget::unconstrained();
-        assert!(long.work_item_latency(&budget) > 4.0 * short.work_item_latency(&budget));
+        let long_lat = long.work_item_latency(&budget).expect("latency");
+        let short_lat = short.work_item_latency(&budget).expect("latency");
+        assert!(long_lat > 4.0 * short_lat);
     }
 
     #[test]
@@ -1046,8 +1117,8 @@ mod tests {
             (64, 1),
         );
         let budget = ResourceBudget::unconstrained();
-        let ls = serial.work_item_latency(&budget);
-        let lp = piped.work_item_latency(&budget);
+        let ls = serial.work_item_latency(&budget).expect("latency");
+        let lp = piped.work_item_latency(&budget).expect("latency");
         assert!(
             lp < ls * 0.7,
             "pipelined loop {lp} should beat serial {ls}"
@@ -1073,7 +1144,7 @@ mod tests {
             (64, 1),
         );
         let budget = ResourceBudget::unconstrained();
-        let lp = piped.work_item_latency(&budget);
+        let lp = piped.work_item_latency(&budget).expect("latency");
         // The loop induction variable is itself a slot-carried recurrence
         // (j += 1, integer add, latency 1): II floor is small but not the
         // serial body latency.
@@ -1091,6 +1162,37 @@ mod tests {
         let workload =
             Workload { args: vec![KernelArg::IntBuf(vec![0; 100])], global: (100, 1) };
         let err = KernelAnalysis::analyze(&f, &platform, &workload, (64, 1)).unwrap_err();
-        assert!(matches!(err, AnalysisError::BadGeometry(_)));
+        assert_eq!(err.kind(), crate::error::ErrorKind::Geometry);
+        assert!(matches!(err, FlexclError::Geometry { work_group: (64, 1), .. }));
+        assert!(err.to_string().contains('k'), "error names the kernel: {err}");
+    }
+
+    #[test]
+    fn runaway_loop_degrades_to_resource_limit() {
+        let p = flexcl_frontend::parse_and_check(
+            "__kernel void spin(__global int* a) {
+                int i = get_global_id(0);
+                int s = 0;
+                for (int j = 0; j < 1000000; j++) { s = s + j; }
+                a[i] = s;
+            }",
+        )
+        .expect("frontend");
+        let f = flexcl_ir::lower_kernel(&p.kernels[0]).expect("lowering");
+        let platform = Platform::virtex7_adm7v3();
+        let workload =
+            Workload { args: vec![KernelArg::IntBuf(vec![0; 64])], global: (64, 1) };
+        let fuel = ProfileFuel { step_limit: 1000, trace_limit: 1 << 20 };
+        let err = KernelAnalysis::analyze_interned(
+            Arc::new(f),
+            Arc::new(platform),
+            &workload,
+            (64, 1),
+            fuel,
+            &mut AnalysisScratch::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), crate::error::ErrorKind::ResourceLimit);
+        assert!(err.to_string().contains("spin"), "error names the kernel: {err}");
     }
 }

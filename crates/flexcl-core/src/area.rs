@@ -62,7 +62,7 @@ impl fmt::Display for AreaEstimate {
 /// Rough LUT cost of one non-DSP operation instance.
 fn lut_cost(op: &Op, ty: &flexcl_frontend::types::Type) -> u64 {
     use flexcl_frontend::ast::BinOp;
-    let wide = ty.element_scalar().map_or(false, |s| s.bits() == 64);
+    let wide = ty.element_scalar().is_some_and(|s| s.bits() == 64);
     let scale = if wide { 2 } else { 1 };
     let base: u64 = match op {
         Op::Bin(BinOp::Div | BinOp::Rem) => 1200, // iterative divider
@@ -207,7 +207,7 @@ mod tests {
         let pts: Vec<ParetoPoint> = crate::config::enumerate(&limits)
             .into_iter()
             .filter_map(|cfg| {
-                let est = crate::model::estimate(&a, &cfg);
+                let est = crate::model::estimate(&a, &cfg).expect("estimate");
                 est.feasible.then(|| ParetoPoint {
                     config: cfg,
                     cycles: est.cycles,

@@ -67,6 +67,39 @@ impl OptimizationConfig {
     pub fn effective_pes(&self) -> u32 {
         self.num_pes * self.vector_width
     }
+
+    /// Checks the configuration's structural invariants (non-zero
+    /// work-group dimensions and replication factors).
+    ///
+    /// [`enumerate`] only generates valid configurations; this guards the
+    /// hand-built ones entering through [`crate::dse::explore_configs`] or
+    /// the public [`crate::estimate`] API.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::FlexclError::Config`] naming the first
+    /// violated invariant.
+    pub fn validate(&self) -> Result<(), crate::error::FlexclError> {
+        let fail = |detail: &str| {
+            Err(crate::error::FlexclError::Config { config: *self, detail: detail.into() })
+        };
+        if self.work_group.0 == 0 || self.work_group.1 == 0 {
+            return fail("work-group dimensions must be non-zero");
+        }
+        if self.num_pes == 0 {
+            return fail("PE replication must be at least 1");
+        }
+        if self.num_cus == 0 {
+            return fail("CU replication must be at least 1");
+        }
+        if self.vector_width == 0 {
+            return fail("vector width must be at least 1");
+        }
+        if self.num_pes.checked_mul(self.vector_width).is_none() {
+            return fail("PE replication times vector width overflows");
+        }
+        Ok(())
+    }
 }
 
 impl Default for OptimizationConfig {
@@ -146,10 +179,10 @@ pub fn enumerate(limits: &DesignSpaceLimits) -> Vec<OptimizationConfig> {
         if u64::from(wg.0) > limits.global_x || u64::from(wg.1) > limits.global_y.max(1) {
             continue;
         }
-        if limits.global_x % u64::from(wg.0) != 0 {
+        if !limits.global_x.is_multiple_of(u64::from(wg.0)) {
             continue;
         }
-        if limits.global_y > 1 && limits.global_y % u64::from(wg.1) != 0 {
+        if limits.global_y > 1 && !limits.global_y.is_multiple_of(u64::from(wg.1)) {
             continue;
         }
         for pipe in [false, true] {
@@ -250,5 +283,31 @@ mod tests {
     fn config_display_is_readable() {
         let c = OptimizationConfig::default();
         assert_eq!(c.to_string(), "wg=64x1 pipe=0 P=1 C=1 V=1 mode=barrier");
+    }
+
+    #[test]
+    fn every_enumerated_config_validates() {
+        for cfg in enumerate(&limits_1d()) {
+            cfg.validate().expect("enumerated configs are always valid");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_with_context() {
+        use crate::error::ErrorKind;
+        let zero_wg = OptimizationConfig { work_group: (0, 1), ..Default::default() };
+        let err = zero_wg.validate().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
+        assert!(err.to_string().contains("work-group"));
+
+        let zero_pes = OptimizationConfig { num_pes: 0, ..Default::default() };
+        assert_eq!(zero_pes.validate().unwrap_err().kind(), ErrorKind::Config);
+
+        let overflow = OptimizationConfig {
+            num_pes: u32::MAX,
+            vector_width: u32::MAX,
+            ..Default::default()
+        };
+        assert!(overflow.validate().is_err());
     }
 }

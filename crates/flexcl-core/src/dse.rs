@@ -8,7 +8,7 @@
 //!
 //! The sweep engine is organised around **families**: the contiguous runs
 //! of enumerated configurations that share one work-group size and hence
-//! one [`KernelAnalysis`]. Families are independent, which gives the three
+//! one [`KernelAnalysis`]. Families are independent, which gives the four
 //! levers [`DseOptions`] exposes:
 //!
 //! * **Parallelism** — families are distributed over `threads` scoped
@@ -25,19 +25,29 @@
 //!   bound can never exceed the incumbent), so [`DseResult::best`] is
 //!   identical to the exhaustive sweep; the exhaustive sweep remains the
 //!   default.
+//! * **Fault tolerance** — a candidate that fails (typed [`FlexclError`]
+//!   on the normal path, a panic contained by [`std::panic::catch_unwind`]
+//!   as a backstop) is recorded in the sweep's [`DiagnosticsReport`] and
+//!   the sweep continues; the surviving points are bit-identical to a
+//!   clean sweep over the same subset. Profiling runs under the
+//!   [`ProfileFuel`] budget in [`DseOptions::fuel`], so a runaway kernel
+//!   costs a bounded amount of work, not a hung worker.
 
-use crate::analysis::{AnalysisError, AnalysisScratch, KernelAnalysis, Workload};
+use crate::analysis::{AnalysisScratch, KernelAnalysis, ProfileFuel, Workload};
 use crate::config::{self, CommMode, DesignSpaceLimits, OptimizationConfig};
+use crate::error::{ErrorKind, FlexclError};
 use crate::model::{cycle_lower_bound, estimate, Estimate};
 use crate::platform::Platform;
 use flexcl_frontend::types::Type;
 use flexcl_ir::Function;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Knobs of the sweep engine. The default — one thread, no pruning — is
-/// the exhaustive serial sweep.
+/// Knobs of the sweep engine. The default — one thread, no pruning,
+/// default fuel — is the exhaustive serial sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DseOptions {
     /// Worker threads. `1` runs the classic serial sweep on the calling
@@ -49,11 +59,15 @@ pub struct DseOptions {
     /// cannot contain the fastest point; [`DseResult::best`] is unchanged,
     /// but dominated points may be missing from [`DseResult::points`].
     pub prune: bool,
+    /// Fuel budget for each family's dynamic-profiling run. A kernel that
+    /// exhausts it fails that family with
+    /// [`ErrorKind::ResourceLimit`] instead of hanging the sweep.
+    pub fuel: ProfileFuel,
 }
 
 impl Default for DseOptions {
     fn default() -> Self {
-        DseOptions { threads: 1, prune: false }
+        DseOptions { threads: 1, prune: false, fuel: ProfileFuel::default() }
     }
 }
 
@@ -73,6 +87,49 @@ pub struct DesignPoint {
     pub estimate: Estimate,
 }
 
+/// One candidate the sweep had to skip, with the typed reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedPoint {
+    /// Enumeration index of the candidate in the swept configuration list.
+    pub index: usize,
+    /// The configuration that failed.
+    pub config: OptimizationConfig,
+    /// Classification of the failure.
+    pub kind: ErrorKind,
+    /// Human-readable detail (the error's display form, or the panic
+    /// payload).
+    pub message: String,
+}
+
+/// Per-sweep failure accounting: which candidates were skipped and why.
+///
+/// A fault-tolerant sweep never aborts on a bad candidate; it records the
+/// failure here and keeps going. An empty report means every enumerated
+/// candidate was evaluated (modulo branch-and-bound pruning, which is not
+/// a failure).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiagnosticsReport {
+    /// Failed candidates in enumeration order.
+    pub failed: Vec<FailedPoint>,
+}
+
+impl DiagnosticsReport {
+    /// Number of candidates skipped because of failures.
+    pub fn skipped_count(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// `true` when no candidate failed.
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// Number of failures of a given kind.
+    pub fn count_of(&self, kind: ErrorKind) -> usize {
+        self.failed.iter().filter(|f| f.kind == kind).count()
+    }
+}
+
 /// The outcome of a sweep.
 #[derive(Debug, Clone)]
 pub struct DseResult {
@@ -80,6 +137,8 @@ pub struct DseResult {
     pub points: Vec<DesignPoint>,
     /// Wall-clock time of the sweep (including kernel analyses).
     pub elapsed: Duration,
+    /// Candidates that failed and were skipped.
+    pub diagnostics: DiagnosticsReport,
 }
 
 impl DseResult {
@@ -213,11 +272,31 @@ impl Incumbent {
     }
 }
 
+/// What one family contributed to the sweep: evaluated points plus any
+/// failures, both tagged with enumeration indices.
+#[derive(Default)]
+struct FamilyOutcome {
+    points: Vec<(usize, DesignPoint)>,
+    failed: Vec<FailedPoint>,
+}
+
+/// Renders a caught panic payload for the diagnostics report.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 /// Analyzes one family and evaluates its configurations.
 ///
-/// `BadGeometry` (work-group does not tile the NDRange) skips the family,
-/// matching the serial sweep's historical behaviour; other analysis errors
-/// abort the sweep.
+/// Never aborts the sweep: a geometry mismatch (work-group does not tile
+/// the NDRange) skips the family silently, matching the serial sweep's
+/// historical behaviour; every other failure — typed error or contained
+/// panic — is recorded per candidate in the outcome.
 fn run_family(
     func: &Arc<Function>,
     platform: &Arc<Platform>,
@@ -226,17 +305,37 @@ fn run_family(
     opts: DseOptions,
     incumbent: &Incumbent,
     scratch: &mut AnalysisScratch,
-) -> Result<Vec<(usize, DesignPoint)>, AnalysisError> {
-    let analysis = match KernelAnalysis::analyze_interned(
-        Arc::clone(func),
-        Arc::clone(platform),
-        workload,
-        family.work_group,
-        scratch,
-    ) {
-        Ok(a) => a,
-        Err(AnalysisError::BadGeometry(_)) => return Ok(Vec::new()),
-        Err(e) => return Err(e),
+) -> FamilyOutcome {
+    let mut out = FamilyOutcome::default();
+    let fail_all = |out: &mut FamilyOutcome, kind: ErrorKind, message: String| {
+        for &(idx, cfg) in &family.entries {
+            out.failed.push(FailedPoint { index: idx, config: cfg, kind, message: message.clone() });
+        }
+    };
+    let analysis = match catch_unwind(AssertUnwindSafe(|| {
+        testhook::maybe_panic(family.work_group);
+        KernelAnalysis::analyze_interned(
+            Arc::clone(func),
+            Arc::clone(platform),
+            workload,
+            family.work_group,
+            opts.fuel,
+            scratch,
+        )
+    })) {
+        Ok(Ok(a)) => a,
+        // Work-group sizes that do not tile the workload are not failures:
+        // the enumerated space is generated before geometry is checked.
+        Ok(Err(e)) if e.kind() == ErrorKind::Geometry => return out,
+        Ok(Err(e)) => {
+            fail_all(&mut out, e.kind(), e.to_string());
+            return out;
+        }
+        Err(payload) => {
+            let msg = panic_message(payload);
+            fail_all(&mut out, ErrorKind::Panic, format!("analysis panicked: {msg}"));
+            return out;
+        }
     };
 
     // Branch-and-bound: a mode whose optimistic bound cannot beat the
@@ -248,7 +347,6 @@ fn run_family(
     };
     let (skip_barrier, skip_pipeline) = (skip(CommMode::Barrier), skip(CommMode::Pipeline));
 
-    let mut out = Vec::with_capacity(family.entries.len());
     for &(idx, cfg) in &family.entries {
         let skipped = match cfg.comm_mode {
             CommMode::Barrier => skip_barrier,
@@ -257,13 +355,28 @@ fn run_family(
         if skipped {
             continue;
         }
-        let est = estimate(&analysis, &cfg);
-        if est.feasible {
-            incumbent.offer(est.cycles);
+        match catch_unwind(AssertUnwindSafe(|| estimate(&analysis, &cfg))) {
+            Ok(Ok(est)) => {
+                if est.feasible {
+                    incumbent.offer(est.cycles);
+                }
+                out.points.push((idx, DesignPoint { config: cfg, estimate: est }));
+            }
+            Ok(Err(e)) => out.failed.push(FailedPoint {
+                index: idx,
+                config: cfg,
+                kind: e.kind(),
+                message: e.to_string(),
+            }),
+            Err(payload) => out.failed.push(FailedPoint {
+                index: idx,
+                config: cfg,
+                kind: ErrorKind::Panic,
+                message: format!("estimate panicked: {}", panic_message(payload)),
+            }),
         }
-        out.push((idx, DesignPoint { config: cfg, estimate: est }));
     }
-    Ok(out)
+    out
 }
 
 /// Exhaustively explores the design space of `func` on `workload` with the
@@ -271,46 +384,84 @@ fn run_family(
 ///
 /// # Errors
 ///
-/// Propagates kernel-analysis failures (profiling errors). Work-group
-/// sizes that do not tile the workload are skipped silently.
+/// Returns [`FlexclError::Platform`] if the platform description is
+/// invalid. Per-candidate failures do not abort the sweep; they are
+/// recorded in [`DseResult::diagnostics`].
 pub fn explore(
     func: &Function,
     platform: &Platform,
     workload: &Workload,
-) -> Result<DseResult, AnalysisError> {
+) -> Result<DseResult, FlexclError> {
     explore_with(func, platform, workload, DseOptions::default())
 }
 
 /// Explores the design space of `func` on `workload` under `opts`.
 ///
 /// With `opts.prune == false` the explored points are exactly the
-/// enumerated space in enumeration order, bit-identical for every thread
-/// count. With pruning, dominated families may be absent but
-/// [`DseResult::best`] matches the exhaustive sweep.
+/// enumerated space in enumeration order (minus failed candidates),
+/// bit-identical for every thread count. With pruning, dominated families
+/// may be absent but [`DseResult::best`] matches the exhaustive sweep.
 ///
 /// # Errors
 ///
-/// Propagates kernel-analysis failures (profiling errors). Work-group
-/// sizes that do not tile the workload are skipped silently.
+/// Returns [`FlexclError::Platform`] if the platform description is
+/// invalid. Per-candidate failures do not abort the sweep; they are
+/// recorded in [`DseResult::diagnostics`].
 pub fn explore_with(
     func: &Function,
     platform: &Platform,
     workload: &Workload,
     opts: DseOptions,
-) -> Result<DseResult, AnalysisError> {
-    let start = Instant::now();
+) -> Result<DseResult, FlexclError> {
     let limits = limits_for(func, workload);
     let configs = config::enumerate(&limits);
+    explore_configs(func, platform, workload, &configs, opts)
+}
+
+/// Explores an explicit list of candidate configurations under `opts`.
+///
+/// This is the fault-injection surface: unlike [`explore_with`], the
+/// candidates need not come from [`config::enumerate`] — invalid entries
+/// are diagnosed per candidate ([`ErrorKind::Config`]) and skipped, and
+/// the surviving points are bit-identical to a sweep over only the valid
+/// subset. `DseResult::points` preserves the order of `configs`.
+///
+/// # Errors
+///
+/// Returns [`FlexclError::Platform`] if the platform description is
+/// invalid — a corrupt platform table poisons every candidate, so it is
+/// rejected up front rather than reported a hundred times.
+pub fn explore_configs(
+    func: &Function,
+    platform: &Platform,
+    workload: &Workload,
+    configs: &[OptimizationConfig],
+    opts: DseOptions,
+) -> Result<DseResult, FlexclError> {
+    let start = Instant::now();
+    platform.validate()?;
 
     // Intern the kernel and platform once; every family's analysis shares
     // these allocations instead of cloning them.
     let func = Arc::new(func.clone());
     let platform = Arc::new(platform.clone());
 
-    // Partition into per-work-group families, remembering each config's
-    // enumeration index for the ordered merge.
+    // Validate candidates up front (an invalid config must not drag a
+    // whole family down), then partition the valid ones into
+    // per-work-group families, remembering each config's enumeration
+    // index for the ordered merge.
+    let mut failed: Vec<FailedPoint> = Vec::new();
     let mut families: Vec<Family> = Vec::new();
-    for (idx, cfg) in configs.into_iter().enumerate() {
+    for (idx, cfg) in configs.iter().copied().enumerate() {
+        if let Err(e) = cfg.validate() {
+            failed.push(FailedPoint {
+                index: idx,
+                config: cfg,
+                kind: e.kind(),
+                message: e.to_string(),
+            });
+            continue;
+        }
         match families.iter_mut().find(|f| f.work_group == cfg.work_group) {
             Some(f) => f.entries.push((idx, cfg)),
             None => families
@@ -324,15 +475,16 @@ pub fn explore_with(
     if opts.threads <= 1 || families.len() <= 1 {
         let mut scratch = AnalysisScratch::new();
         for family in &families {
-            indexed.extend(run_family(
+            let outcome = run_family(
                 &func, &platform, workload, family, opts, &incumbent, &mut scratch,
-            )?);
+            );
+            indexed.extend(outcome.points);
+            failed.extend(outcome.failed);
         }
     } else {
         let workers = opts.threads.min(families.len());
         let next = AtomicUsize::new(0);
-        type FamilyResult = Result<Vec<(usize, DesignPoint)>, AnalysisError>;
-        let slots: Vec<Mutex<Option<FamilyResult>>> =
+        let slots: Vec<Mutex<Option<FamilyOutcome>>> =
             families.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
             for _ in 0..workers {
@@ -341,28 +493,72 @@ pub fn explore_with(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(family) = families.get(i) else { break };
-                        let r = run_family(
+                        let outcome = run_family(
                             &func, &platform, workload, family, opts, &incumbent, &mut scratch,
                         );
-                        *slots[i].lock().expect("family slot poisoned") = Some(r);
+                        // Panics inside run_family are contained, so the
+                        // lock can only be poisoned by a crash in this
+                        // bookkeeping itself; recover the data either way.
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
                     }
                 });
             }
         });
-        // Merge in family order so the first error (in enumeration order)
-        // wins, exactly as the serial loop reports it.
+        // Merge in family order; the final sort restores enumeration order
+        // exactly as the serial loop produces it.
         for slot in slots {
-            let result = slot
+            let outcome = slot
                 .into_inner()
-                .expect("family slot poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .expect("every family index was claimed by a worker");
-            indexed.extend(result?);
+            indexed.extend(outcome.points);
+            failed.extend(outcome.failed);
         }
     }
 
     indexed.sort_by_key(|(idx, _)| *idx);
+    failed.sort_by_key(|f| f.index);
     let points = indexed.into_iter().map(|(_, p)| p).collect();
-    Ok(DseResult { points, elapsed: start.elapsed() })
+    Ok(DseResult {
+        points,
+        elapsed: start.elapsed(),
+        diagnostics: DiagnosticsReport { failed },
+    })
+}
+
+/// Test-only fault injection for the DSE panic backstop.
+///
+/// Hidden from docs and not part of the public API contract: the
+/// fault-injection suite arms a panic for a specific work-group size and
+/// asserts the sweep survives, attributes the failure, and leaves every
+/// other family bit-identical. Disarmed state (the default) is a single
+/// relaxed atomic load on the sweep path.
+#[doc(hidden)]
+pub mod testhook {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// `0` = disarmed; otherwise the packed work-group to panic on.
+    static ARMED: AtomicU64 = AtomicU64::new(0);
+
+    fn pack(wg: (u32, u32)) -> u64 {
+        (u64::from(wg.0) << 32) | u64::from(wg.1)
+    }
+
+    /// Arms an injected panic for analyses of work-group `wg`.
+    pub fn arm_panic(wg: (u32, u32)) {
+        ARMED.store(pack(wg), Ordering::SeqCst);
+    }
+
+    /// Disarms the injected panic.
+    pub fn disarm() {
+        ARMED.store(0, Ordering::SeqCst);
+    }
+
+    pub(crate) fn maybe_panic(wg: (u32, u32)) {
+        if pack(wg) != 0 && ARMED.load(Ordering::Relaxed) == pack(wg) {
+            panic!("testhook: injected panic for work-group {}x{}", wg.0, wg.1);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -420,6 +616,7 @@ mod tests {
         let result = explore(&f, &Platform::virtex7_adm7v3(), &w).expect("dse");
         assert!(result.points.len() >= 100, "{} points", result.points.len());
         assert!(result.feasible_count() > result.points.len() / 2);
+        assert!(result.diagnostics.is_clean(), "{:?}", result.diagnostics);
         assert!(
             result.elapsed.as_secs() < 30,
             "DSE must run in seconds, took {:?}",
@@ -513,5 +710,29 @@ mod tests {
             .find(|p| p.estimate.feasible && p.estimate.cycles == min_cycles)
             .expect("minimum exists");
         assert_eq!(first_min.config, best.config);
+    }
+
+    #[test]
+    fn invalid_platform_is_rejected_up_front() {
+        let (f, w) = vadd();
+        let bad = Platform { global_ports: 0, ..Platform::virtex7_adm7v3() };
+        let err = explore(&f, &bad, &w).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Platform);
+    }
+
+    #[test]
+    fn explore_configs_preserves_candidate_order() {
+        let (f, w) = vadd();
+        let platform = Platform::virtex7_adm7v3();
+        let configs = vec![
+            OptimizationConfig::baseline((64, 1)),
+            OptimizationConfig { work_item_pipeline: true, ..OptimizationConfig::baseline((32, 1)) },
+            OptimizationConfig { work_item_pipeline: true, ..OptimizationConfig::baseline((64, 1)) },
+        ];
+        let r = explore_configs(&f, &platform, &w, &configs, DseOptions::default())
+            .expect("sweep");
+        assert!(r.diagnostics.is_clean());
+        let got: Vec<_> = r.points.iter().map(|p| p.config).collect();
+        assert_eq!(got, configs);
     }
 }

@@ -1,0 +1,230 @@
+//! The unified error taxonomy of the estimation pipeline.
+//!
+//! Every fallible stage — frontend, dynamic profiling, scheduling, the
+//! memory model, platform/configuration validation — reports through one
+//! typed [`FlexclError`], each variant carrying enough context (kernel
+//! name, work-group size, design point) to attribute the failure without
+//! a debugger. [`ErrorKind`] is the flat classification the DSE
+//! diagnostics aggregate over: a sweep never aborts on a bad candidate,
+//! it records the kind and moves on (see [`crate::dse::DiagnosticsReport`]).
+
+use crate::config::OptimizationConfig;
+use flexcl_interp::{GeometryError, InterpError};
+use std::fmt;
+
+/// Coarse classification of a [`FlexclError`], used by sweep diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Lexing, parsing, semantic analysis or IR lowering failed.
+    Frontend,
+    /// The named kernel does not exist in the translation unit.
+    NoSuchKernel,
+    /// The work-group size does not tile the NDRange (or a dimension is
+    /// zero).
+    Geometry,
+    /// Dynamic profiling failed (out-of-bounds access, bad arguments).
+    Profiling,
+    /// Profiling exhausted its fuel budget (step or trace limit) — a
+    /// runaway loop or trip-count explosion.
+    ResourceLimit,
+    /// Block or modulo scheduling failed (e.g. an op class with a zero
+    /// resource budget).
+    Scheduling,
+    /// The global-memory model produced a non-finite latency table.
+    MemoryModel,
+    /// A platform description violates its invariants.
+    Platform,
+    /// An optimization configuration violates its invariants.
+    Config,
+    /// A worker panicked and the panic was contained by the DSE backstop.
+    Panic,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorKind::Frontend => "frontend",
+            ErrorKind::NoSuchKernel => "no-such-kernel",
+            ErrorKind::Geometry => "geometry",
+            ErrorKind::Profiling => "profiling",
+            ErrorKind::ResourceLimit => "resource-limit",
+            ErrorKind::Scheduling => "scheduling",
+            ErrorKind::MemoryModel => "memory-model",
+            ErrorKind::Platform => "platform",
+            ErrorKind::Config => "config",
+            ErrorKind::Panic => "panic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Any failure of the FlexCL pipeline, with attribution context.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlexclError {
+    /// Lexing, parsing, semantic analysis or IR lowering failed.
+    Frontend(flexcl_frontend::FrontendError),
+    /// The named kernel does not exist in the translation unit.
+    NoSuchKernel {
+        /// The kernel name that was requested.
+        name: String,
+    },
+    /// The work-group size does not tile the NDRange.
+    Geometry {
+        /// Kernel being analyzed.
+        kernel: String,
+        /// Offending work-group size.
+        work_group: (u32, u32),
+        /// The precise geometry violation.
+        source: GeometryError,
+    },
+    /// Dynamic profiling failed.
+    Profiling {
+        /// Kernel being profiled.
+        kernel: String,
+        /// Work-group size of the profiling run.
+        work_group: (u32, u32),
+        /// The interpreter error.
+        source: InterpError,
+    },
+    /// Profiling exhausted its fuel budget (step or trace limit).
+    ResourceLimit {
+        /// Kernel being profiled.
+        kernel: String,
+        /// Work-group size of the profiling run.
+        work_group: (u32, u32),
+        /// Which limit was hit, and its value.
+        detail: String,
+    },
+    /// Block or modulo scheduling failed.
+    Scheduling {
+        /// Kernel being scheduled.
+        kernel: String,
+        /// The scheduler's diagnosis.
+        detail: String,
+    },
+    /// The global-memory model produced an unusable latency table.
+    MemoryModel {
+        /// Kernel being analyzed.
+        kernel: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A platform description violates its invariants.
+    Platform {
+        /// Platform name.
+        platform: String,
+        /// The violated invariant.
+        detail: String,
+    },
+    /// An optimization configuration violates its invariants.
+    Config {
+        /// The offending design point.
+        config: OptimizationConfig,
+        /// The violated invariant.
+        detail: String,
+    },
+    /// A panic was contained by the DSE backstop.
+    Panic {
+        /// Where the panic was caught (kernel or sweep stage).
+        context: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl FlexclError {
+    /// The flat classification of this error.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            FlexclError::Frontend(_) => ErrorKind::Frontend,
+            FlexclError::NoSuchKernel { .. } => ErrorKind::NoSuchKernel,
+            FlexclError::Geometry { .. } => ErrorKind::Geometry,
+            FlexclError::Profiling { .. } => ErrorKind::Profiling,
+            FlexclError::ResourceLimit { .. } => ErrorKind::ResourceLimit,
+            FlexclError::Scheduling { .. } => ErrorKind::Scheduling,
+            FlexclError::MemoryModel { .. } => ErrorKind::MemoryModel,
+            FlexclError::Platform { .. } => ErrorKind::Platform,
+            FlexclError::Config { .. } => ErrorKind::Config,
+            FlexclError::Panic { .. } => ErrorKind::Panic,
+        }
+    }
+}
+
+impl fmt::Display for FlexclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlexclError::Frontend(e) => write!(f, "{e}"),
+            FlexclError::NoSuchKernel { name } => write!(f, "no kernel named `{name}`"),
+            FlexclError::Geometry { kernel, work_group, source } => write!(
+                f,
+                "kernel `{kernel}`: bad geometry for work-group {}x{}: {source}",
+                work_group.0, work_group.1
+            ),
+            FlexclError::Profiling { kernel, work_group, source } => write!(
+                f,
+                "kernel `{kernel}`: profiling failed at work-group {}x{}: {source}",
+                work_group.0, work_group.1
+            ),
+            FlexclError::ResourceLimit { kernel, work_group, detail } => write!(
+                f,
+                "kernel `{kernel}`: profiling fuel exhausted at work-group {}x{}: {detail}",
+                work_group.0, work_group.1
+            ),
+            FlexclError::Scheduling { kernel, detail } => {
+                write!(f, "kernel `{kernel}`: scheduling failed: {detail}")
+            }
+            FlexclError::MemoryModel { kernel, detail } => {
+                write!(f, "kernel `{kernel}`: memory model failed: {detail}")
+            }
+            FlexclError::Platform { platform, detail } => {
+                write!(f, "platform `{platform}`: {detail}")
+            }
+            FlexclError::Config { config, detail } => {
+                write!(f, "config `{config}`: {detail}")
+            }
+            FlexclError::Panic { context, message } => {
+                write!(f, "panic in {context}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlexclError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlexclError::Frontend(e) => Some(e),
+            FlexclError::Geometry { source, .. } => Some(source),
+            FlexclError::Profiling { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<flexcl_frontend::FrontendError> for FlexclError {
+    fn from(e: flexcl_frontend::FrontendError) -> Self {
+        FlexclError::Frontend(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        let e = FlexclError::Scheduling { kernel: "k".into(), detail: "x".into() };
+        assert_eq!(e.kind(), ErrorKind::Scheduling);
+        assert_eq!(ErrorKind::ResourceLimit.to_string(), "resource-limit");
+    }
+
+    #[test]
+    fn display_carries_context() {
+        let e = FlexclError::ResourceLimit {
+            kernel: "runaway".into(),
+            work_group: (64, 1),
+            detail: "step limit 100 exceeded".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("runaway") && s.contains("64x1") && s.contains("step limit"));
+    }
+}

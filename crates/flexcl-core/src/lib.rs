@@ -54,52 +54,20 @@ pub mod analysis;
 pub mod area;
 pub mod config;
 pub mod dse;
+pub mod error;
 pub mod model;
 pub mod platform;
 
-pub use analysis::{AnalysisError, AnalysisScratch, KernelAnalysis, ResolvedRecurrence, Workload};
+pub use analysis::{AnalysisScratch, KernelAnalysis, ProfileFuel, ResolvedRecurrence, Workload};
 pub use area::{estimate_area, pareto_frontier, AreaEstimate, ParetoPoint};
 pub use config::{enumerate, CommMode, DesignSpaceLimits, OptimizationConfig};
-pub use dse::{explore, explore_with, limits_for, DesignPoint, DseOptions, DseResult};
+pub use dse::{
+    explore, explore_configs, explore_with, limits_for, DesignPoint, DiagnosticsReport,
+    DseOptions, DseResult, FailedPoint,
+};
+pub use error::{ErrorKind, FlexclError};
 pub use model::{cycle_lower_bound, estimate, pe_budget, Estimate};
 pub use platform::Platform;
-
-use std::fmt;
-
-/// Top-level errors of the one-shot API.
-#[derive(Debug)]
-pub enum FlexClError {
-    /// Lexing, parsing, semantic analysis or IR lowering failed.
-    Frontend(flexcl_frontend::FrontendError),
-    /// The named kernel does not exist in the translation unit.
-    NoSuchKernel(String),
-    /// Kernel analysis failed.
-    Analysis(AnalysisError),
-}
-
-impl fmt::Display for FlexClError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FlexClError::Frontend(e) => write!(f, "{e}"),
-            FlexClError::NoSuchKernel(name) => write!(f, "no kernel named `{name}`"),
-            FlexClError::Analysis(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for FlexClError {}
-
-impl From<flexcl_frontend::FrontendError> for FlexClError {
-    fn from(e: flexcl_frontend::FrontendError) -> Self {
-        FlexClError::Frontend(e)
-    }
-}
-
-impl From<AnalysisError> for FlexClError {
-    fn from(e: AnalysisError) -> Self {
-        FlexClError::Analysis(e)
-    }
-}
 
 /// The FlexCL model bound to a platform — the main entry point.
 #[derive(Debug, Clone)]
@@ -123,16 +91,17 @@ impl FlexCl {
     ///
     /// # Errors
     ///
-    /// Returns [`FlexClError`] on frontend, lowering or profiling failures.
+    /// Returns [`FlexclError`] on frontend, lowering, profiling or
+    /// configuration-validation failures.
     pub fn estimate_source(
         &self,
         src: &str,
         name: &str,
         workload: &Workload,
         config: &OptimizationConfig,
-    ) -> Result<Estimate, FlexClError> {
+    ) -> Result<Estimate, FlexclError> {
         let analysis = self.analyze_source(src, name, workload, config.work_group)?;
-        Ok(model::estimate(&analysis, config))
+        model::estimate(&analysis, config)
     }
 
     /// Compiles and analyzes a kernel for a given work-group size; the
@@ -141,55 +110,59 @@ impl FlexCl {
     ///
     /// # Errors
     ///
-    /// Returns [`FlexClError`] on frontend, lowering or profiling failures.
+    /// Returns [`FlexclError`] on frontend, lowering or profiling failures.
     pub fn analyze_source(
         &self,
         src: &str,
         name: &str,
         workload: &Workload,
         work_group: (u32, u32),
-    ) -> Result<KernelAnalysis, FlexClError> {
+    ) -> Result<KernelAnalysis, FlexclError> {
         let program = flexcl_frontend::parse_and_check(src)?;
         let kernel = program
             .kernel(name)
-            .ok_or_else(|| FlexClError::NoSuchKernel(name.to_string()))?;
+            .ok_or_else(|| FlexclError::NoSuchKernel { name: name.to_string() })?;
         let func = flexcl_ir::lower_kernel(kernel)?;
-        Ok(KernelAnalysis::analyze(&func, &self.platform, workload, work_group)?)
+        KernelAnalysis::analyze(&func, &self.platform, workload, work_group)
     }
 
     /// Exhaustively explores the design space of a kernel.
     ///
     /// # Errors
     ///
-    /// Returns [`FlexClError`] on frontend, lowering or profiling failures.
+    /// Returns [`FlexclError`] on frontend, lowering or platform-validation
+    /// failures. Per-candidate failures during the sweep are recorded in
+    /// [`DseResult::diagnostics`] instead of aborting.
     pub fn explore_source(
         &self,
         src: &str,
         name: &str,
         workload: &Workload,
-    ) -> Result<DseResult, FlexClError> {
+    ) -> Result<DseResult, FlexclError> {
         self.explore_source_with(src, name, workload, DseOptions::default())
     }
 
     /// [`Self::explore_source`] with explicit sweep options (worker
-    /// threads, branch-and-bound pruning).
+    /// threads, branch-and-bound pruning, profiling fuel).
     ///
     /// # Errors
     ///
-    /// Returns [`FlexClError`] on frontend, lowering or profiling failures.
+    /// Returns [`FlexclError`] on frontend, lowering or platform-validation
+    /// failures. Per-candidate failures during the sweep are recorded in
+    /// [`DseResult::diagnostics`] instead of aborting.
     pub fn explore_source_with(
         &self,
         src: &str,
         name: &str,
         workload: &Workload,
         opts: DseOptions,
-    ) -> Result<DseResult, FlexClError> {
+    ) -> Result<DseResult, FlexclError> {
         let program = flexcl_frontend::parse_and_check(src)?;
         let kernel = program
             .kernel(name)
-            .ok_or_else(|| FlexClError::NoSuchKernel(name.to_string()))?;
+            .ok_or_else(|| FlexclError::NoSuchKernel { name: name.to_string() })?;
         let func = flexcl_ir::lower_kernel(kernel)?;
-        Ok(dse::explore_with(&func, &self.platform, workload, opts)?)
+        dse::explore_with(&func, &self.platform, workload, opts)
     }
 }
 
@@ -216,7 +189,8 @@ mod tests {
         let err = flexcl
             .estimate_source(SRC, "missing", &workload(), &OptimizationConfig::default())
             .unwrap_err();
-        assert!(matches!(err, FlexClError::NoSuchKernel(_)));
+        assert!(matches!(err, FlexclError::NoSuchKernel { .. }));
+        assert_eq!(err.kind(), ErrorKind::NoSuchKernel);
         assert!(err.to_string().contains("missing"));
     }
 
@@ -226,7 +200,8 @@ mod tests {
         let err = flexcl
             .estimate_source("not opencl at all", "k", &workload(), &OptimizationConfig::default())
             .unwrap_err();
-        assert!(matches!(err, FlexClError::Frontend(_)));
+        assert!(matches!(err, FlexclError::Frontend(_)));
+        assert_eq!(err.kind(), ErrorKind::Frontend);
     }
 
     #[test]
@@ -240,7 +215,9 @@ mod tests {
         let err = flexcl
             .estimate_source(SRC, "scale", &bad, &OptimizationConfig::default())
             .unwrap_err();
-        assert!(matches!(err, FlexClError::Analysis(_)));
+        assert!(matches!(err, FlexclError::Profiling { .. }), "{err:?}");
+        assert_eq!(err.kind(), ErrorKind::Profiling);
+        assert!(err.to_string().contains("scale"), "{err}");
     }
 
     #[test]

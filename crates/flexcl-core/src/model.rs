@@ -22,6 +22,7 @@
 
 use crate::analysis::KernelAnalysis;
 use crate::config::{CommMode, OptimizationConfig, MAX_CUS, MAX_PES, MAX_VECTOR_WIDTH};
+use crate::error::FlexclError;
 use flexcl_sched::ResourceBudget;
 use std::fmt;
 
@@ -91,14 +92,14 @@ pub fn pe_budget(analysis: &KernelAnalysis, config: &OptimizationConfig) -> Reso
     let p_eff = config.effective_pes().max(1);
     let dsps_per_pe_avail =
         platform.total_dsps / (config.num_cus.max(1) * p_eff).max(1);
-    let dsp_slots = if analysis.dsp_op_instances == 0 {
-        u32::MAX
-    } else {
-        let avg_per_core =
-            (analysis.static_dsps_per_pe / analysis.dsp_op_instances).max(1);
-        // Cores that fit in this PE's share; every op having its own core
-        // removes the constraint.
-        (dsps_per_pe_avail / avg_per_core).clamp(1, analysis.dsp_op_instances)
+    let dsp_slots = match analysis.static_dsps_per_pe.checked_div(analysis.dsp_op_instances) {
+        None => u32::MAX,
+        Some(q) => {
+            let avg_per_core = q.max(1);
+            // Cores that fit in this PE's share; every op having its own
+            // core removes the constraint.
+            (dsps_per_pe_avail / avg_per_core).clamp(1, analysis.dsp_op_instances)
+        }
     };
     ResourceBudget {
         local_read_ports: platform.local_read_ports_per_bank,
@@ -109,7 +110,21 @@ pub fn pe_budget(analysis: &KernelAnalysis, config: &OptimizationConfig) -> Reso
 }
 
 /// Evaluates the full model for one configuration.
-pub fn estimate(analysis: &KernelAnalysis, config: &OptimizationConfig) -> Estimate {
+///
+/// Infeasible configurations (device capacity exceeded) are a *successful*
+/// estimate with `feasible == false` and infinite cycles; errors are
+/// reserved for inputs the model cannot evaluate at all.
+///
+/// # Errors
+///
+/// Returns [`FlexclError::Config`] if `config` violates its structural
+/// invariants and [`FlexclError::Scheduling`] if the kernel cannot be
+/// scheduled under the configuration's resource budget.
+pub fn estimate(
+    analysis: &KernelAnalysis,
+    config: &OptimizationConfig,
+) -> Result<Estimate, FlexclError> {
+    config.validate()?;
     let platform = &analysis.platform;
     let n_wi_kernel = (analysis.global.0 * analysis.global.1) as f64;
     let n_wi_wg = config.work_group_size() as f64;
@@ -117,30 +132,36 @@ pub fn estimate(analysis: &KernelAnalysis, config: &OptimizationConfig) -> Estim
     let c = config.num_cus.max(1);
 
     // ---- feasibility -------------------------------------------------
-    let dsps_needed =
-        u64::from(analysis.static_dsps_per_pe) * u64::from(p_eff) * u64::from(c);
+    // Saturating: extreme replication factors must read as "too big for
+    // the device", not overflow.
+    let dsps_needed = u64::from(analysis.static_dsps_per_pe)
+        .saturating_mul(u64::from(p_eff))
+        .saturating_mul(u64::from(c));
     if dsps_needed > u64::from(platform.total_dsps) {
-        return infeasible(
+        return Ok(infeasible(
             config,
             format!("needs {dsps_needed} DSPs, device has {}", platform.total_dsps),
-        );
+        ));
     }
-    let bram_needed = analysis.local_bytes * u64::from(c) * u64::from(p_eff.min(4));
+    let bram_needed = analysis
+        .local_bytes
+        .saturating_mul(u64::from(c))
+        .saturating_mul(u64::from(p_eff.min(4)));
     if bram_needed > platform.total_bram_bytes {
-        return infeasible(
+        return Ok(infeasible(
             config,
             format!("needs {bram_needed} BRAM bytes, device has {}", platform.total_bram_bytes),
-        );
+        ));
     }
 
     // ---- PE model (Eq. 1–4 + SMS) ------------------------------------
     let budget = pe_budget(analysis, config);
     let (ii_comp, depth) = if config.work_item_pipeline {
-        analysis.pipeline_params(&budget)
+        analysis.pipeline_params(&budget)?
     } else {
         // Without work-item pipelining a PE processes one work-item at a
         // time: the initiation interval is the full work-item latency.
-        let d = analysis.work_item_latency(&budget).round().max(1.0) as u32;
+        let d = analysis.work_item_latency(&budget)?.round().max(1.0) as u32;
         (d, d)
     };
 
@@ -210,7 +231,7 @@ pub fn estimate(analysis: &KernelAnalysis, config: &OptimizationConfig) -> Estim
         }
     };
 
-    Estimate {
+    Ok(Estimate {
         cycles,
         ii_comp,
         depth,
@@ -223,7 +244,7 @@ pub fn estimate(analysis: &KernelAnalysis, config: &OptimizationConfig) -> Estim
         mode: config.comm_mode,
         feasible: true,
         infeasible_reason: None,
-    }
+    })
 }
 
 /// A cheap monotonic lower bound on [`estimate`]'s `cycles` over every
@@ -299,9 +320,9 @@ fn effective_pe_parallelism(analysis: &KernelAnalysis, config: &OptimizationConf
     if max_writes > 0.0 {
         cap = cap.min(((f64::from(port_write) / max_writes).floor() as u32).max(1));
     }
-    if analysis.static_dsps_per_pe > 0 {
-        let dsps_per_cu = platform.total_dsps / config.num_cus.max(1);
-        cap = cap.min((dsps_per_cu / analysis.static_dsps_per_pe).max(1));
+    let dsps_per_cu = platform.total_dsps / config.num_cus.max(1);
+    if let Some(q) = dsps_per_cu.checked_div(analysis.static_dsps_per_pe) {
+        cap = cap.min(q.max(1));
     }
     cap.max(1)
 }
@@ -363,8 +384,8 @@ mod tests {
         let a = vadd_analysis();
         let base = OptimizationConfig::baseline((64, 1));
         let piped = OptimizationConfig { work_item_pipeline: true, ..base };
-        let t0 = estimate(&a, &base);
-        let t1 = estimate(&a, &piped);
+        let t0 = estimate(&a, &base).expect("estimate");
+        let t1 = estimate(&a, &piped).expect("estimate");
         assert!(t1.cycles < t0.cycles, "pipeline {} vs base {}", t1.cycles, t0.cycles);
         assert!(t1.ii_comp < t1.depth);
     }
@@ -377,8 +398,8 @@ mod tests {
             ..OptimizationConfig::baseline((64, 1))
         };
         let pipe = OptimizationConfig { comm_mode: CommMode::Pipeline, ..barrier };
-        let tb = estimate(&a, &barrier);
-        let tp = estimate(&a, &pipe);
+        let tb = estimate(&a, &barrier).expect("estimate");
+        let tp = estimate(&a, &pipe).expect("estimate");
         assert!(
             tp.cycles < tb.cycles,
             "pipeline mode {} vs barrier mode {}",
@@ -396,8 +417,8 @@ mod tests {
             ..OptimizationConfig::baseline((64, 1))
         };
         let four = OptimizationConfig { num_cus: 4, ..one };
-        let t1 = estimate(&a, &one);
-        let t4 = estimate(&a, &four);
+        let t1 = estimate(&a, &one).expect("estimate");
+        let t4 = estimate(&a, &four).expect("estimate");
         assert!(t4.cycles < t1.cycles);
         assert!(t4.n_cu > t1.n_cu);
     }
@@ -410,8 +431,8 @@ mod tests {
             ..OptimizationConfig::baseline((64, 1))
         };
         let p4 = OptimizationConfig { num_pes: 4, ..p1 };
-        let t1 = estimate(&a, &p1);
-        let t4 = estimate(&a, &p4);
+        let t1 = estimate(&a, &p1).expect("estimate");
+        let t4 = estimate(&a, &p4).expect("estimate");
         assert!(t4.l_cu < t1.l_cu, "P=4 {} vs P=1 {}", t4.l_cu, t1.l_cu);
         assert_eq!(t4.n_pe, 4);
     }
@@ -431,7 +452,7 @@ mod tests {
             work_item_pipeline: true,
             ..OptimizationConfig::baseline((64, 1))
         };
-        let t = estimate(&a, &cfg);
+        let t = estimate(&a, &cfg).expect("estimate");
         assert!(t.ii_comp > 1, "recurrence must keep II > 1, got {}", t.ii_comp);
     }
 
@@ -457,7 +478,7 @@ mod tests {
             vector_width: 4,
             ..OptimizationConfig::baseline((64, 1))
         };
-        let t = estimate(&a, &cfg);
+        let t = estimate(&a, &cfg).expect("estimate");
         assert!(!t.feasible, "{t}");
         assert!(t.cycles.is_infinite());
     }
@@ -479,8 +500,8 @@ mod tests {
             64,
         );
         let cfg = OptimizationConfig::baseline((64, 1));
-        let ts = estimate(&small, &cfg);
-        let tb = estimate(&big, &cfg);
+        let ts = estimate(&small, &cfg).expect("estimate");
+        let tb = estimate(&big, &cfg).expect("estimate");
         let ratio = tb.cycles / ts.cycles;
         assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}");
     }
@@ -499,8 +520,8 @@ mod tests {
             vector_width: 4,
             ..OptimizationConfig::baseline((64, 1))
         };
-        let ts = estimate(&a, &scalar);
-        let tv = estimate(&a, &vectored);
+        let ts = estimate(&a, &scalar).expect("estimate");
+        let tv = estimate(&a, &vectored).expect("estimate");
         assert_eq!(ts.n_pe, tv.n_pe, "int4 vectorization == 4 scalar PEs (§3.3.2 fn1)");
         assert!((ts.l_cu - tv.l_cu).abs() < 1e-9);
     }
@@ -527,7 +548,7 @@ mod tests {
             num_pes: 8,
             ..OptimizationConfig::baseline((64, 1))
         };
-        let est = estimate(&a, &cfg);
+        let est = estimate(&a, &cfg).expect("estimate");
         assert!(est.n_pe < 8, "3 reads vs 2 ports/bank must cap N_PE, got {}", est.n_pe);
         assert!(est.n_pe >= 1);
     }
@@ -539,7 +560,7 @@ mod tests {
             work_item_pipeline: true,
             ..OptimizationConfig::baseline((64, 1))
         };
-        let est = estimate(&a, &cfg);
+        let est = estimate(&a, &cfg).expect("estimate");
         // Eq. 10 decomposition: total ≥ memory term alone.
         let mem_total = est.l_mem_wi * 1024.0;
         assert!(est.cycles > mem_total, "cycles {} vs mem {}", est.cycles, mem_total);
@@ -558,7 +579,7 @@ mod tests {
         let space = crate::config::enumerate(&limits);
         assert!(!space.is_empty());
         for cfg in space {
-            let est = estimate(&a, &cfg);
+            let est = estimate(&a, &cfg).expect("estimate");
             let bound = cycle_lower_bound(&a, cfg.comm_mode);
             assert!(
                 bound <= est.cycles,
@@ -571,7 +592,7 @@ mod tests {
     #[test]
     fn estimate_display() {
         let a = vadd_analysis();
-        let t = estimate(&a, &OptimizationConfig::baseline((64, 1)));
+        let t = estimate(&a, &OptimizationConfig::baseline((64, 1))).expect("estimate");
         let s = t.to_string();
         assert!(s.contains("cycles"));
         assert!(s.contains("N_PE=1"));

@@ -132,6 +132,57 @@ impl Platform {
     pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
         cycles / (self.frequency_mhz * 1e6)
     }
+
+    /// Checks the platform description's invariants.
+    ///
+    /// A hand-edited or corrupted platform table (zero port counts, NaN
+    /// frequency) would otherwise surface deep inside the scheduler or the
+    /// memory model; the sweep engine validates up front and reports a
+    /// typed [`FlexclError::Platform`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexclError::Platform`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), crate::error::FlexclError> {
+        let fail = |detail: String| {
+            Err(crate::error::FlexclError::Platform { platform: self.name.clone(), detail })
+        };
+        if !self.frequency_mhz.is_finite() || self.frequency_mhz <= 0.0 {
+            return fail(format!("frequency must be finite and positive, got {}", self.frequency_mhz));
+        }
+        if self.total_dsps == 0 {
+            return fail("device must have at least one DSP slice".into());
+        }
+        if self.total_bram_bytes == 0 {
+            return fail("device must have BRAM capacity".into());
+        }
+        if self.local_read_ports_per_bank == 0 {
+            return fail("local memory banks need at least one read port".into());
+        }
+        if self.local_write_ports_per_bank == 0 {
+            return fail("local memory banks need at least one write port".into());
+        }
+        if self.mem_access_unit_bits < 8 || !self.mem_access_unit_bits.is_multiple_of(8) {
+            return fail(format!(
+                "global access unit must be a positive multiple of 8 bits, got {}",
+                self.mem_access_unit_bits
+            ));
+        }
+        if self.global_ports == 0 {
+            return fail("CUs need at least one global memory port".into());
+        }
+        if self.dram_channels == 0 {
+            return fail("the board needs at least one DRAM channel".into());
+        }
+        if !(0.0..=1.0).contains(&self.dispatch_overlap) {
+            return fail(format!("dispatch overlap must lie in [0, 1], got {}", self.dispatch_overlap));
+        }
+        if !self.latency_scale.is_finite() || self.latency_scale <= 0.0 {
+            return fail(format!("latency scale must be finite and positive, got {}", self.latency_scale));
+        }
+        Ok(())
+    }
 }
 
 impl Default for Platform {
@@ -144,7 +195,7 @@ impl Default for Platform {
 fn reference_latency(op: &Op, ty: &Type) -> u32 {
     use flexcl_frontend::types::AddressSpace;
     let is_float = ty.is_float();
-    let wide = ty.element_scalar().map_or(false, |s| s.bits() == 64);
+    let wide = ty.element_scalar().is_some_and(|s| s.bits() == 64);
     let scale64 = |v: u32| if wide { v + v / 2 } else { v };
     match op {
         Op::Bin(b) => {
@@ -235,20 +286,10 @@ fn reference_dsps(op: &Op, ty: &Type) -> u32 {
     let is_float = ty.is_float();
     let lanes = ty.lanes();
     let per_lane = match op {
-        Op::Bin(BinOp::Mul) => {
-            if is_float {
-                3
-            } else {
-                1
-            }
-        }
-        Op::Bin(BinOp::Add | BinOp::Sub) => {
-            if is_float {
-                2
-            } else {
-                0
-            }
-        }
+        Op::Bin(BinOp::Mul) if is_float => 3,
+        Op::Bin(BinOp::Mul) => 1,
+        Op::Bin(BinOp::Add | BinOp::Sub) if is_float => 2,
+        Op::Bin(BinOp::Add | BinOp::Sub) => 0,
         Op::Math(MathOp::Mad | MathOp::Fma) => 4,
         Op::Math(MathOp::Sqrt | MathOp::Rsqrt) => 2,
         Op::Math(MathOp::Exp | MathOp::Exp2 | MathOp::Log | MathOp::Log2) => 6,
@@ -315,5 +356,27 @@ mod tests {
     fn cycles_to_seconds() {
         let p = Platform::virtex7_adm7v3();
         assert!((p.cycles_to_seconds(200e6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stock_platforms_validate() {
+        Platform::virtex7_adm7v3().validate().expect("virtex7");
+        Platform::ku060_nas120a().validate().expect("ku060");
+    }
+
+    #[test]
+    fn poisoned_platform_is_rejected_with_context() {
+        use crate::error::{ErrorKind, FlexclError};
+        let zero_ports = Platform { local_read_ports_per_bank: 0, ..Platform::default() };
+        let err = zero_ports.validate().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Platform);
+        assert!(matches!(err, FlexclError::Platform { .. }));
+        assert!(err.to_string().contains("read port"));
+
+        let nan_freq = Platform { frequency_mhz: f64::NAN, ..Platform::default() };
+        assert_eq!(nan_freq.validate().unwrap_err().kind(), ErrorKind::Platform);
+
+        let bad_unit = Platform { mem_access_unit_bits: 12, ..Platform::default() };
+        assert!(bad_unit.validate().is_err());
     }
 }

@@ -1,0 +1,209 @@
+//! Fault-injection suite for the fault-tolerant DSE sweep.
+//!
+//! Each test poisons one layer of the pipeline — candidate configurations,
+//! the kernel's runtime behaviour (via the profiling fuel budget), the
+//! platform description, or the analysis itself (an injected panic) — and
+//! asserts the sweep's failure contract:
+//!
+//! * the sweep **completes** (`Ok`) instead of aborting or hanging,
+//! * every skipped candidate is **attributed** in the
+//!   [`DiagnosticsReport`] with the right [`ErrorKind`],
+//! * the surviving points are **bit-identical** to a clean sweep over the
+//!   same subset, serial and parallel alike.
+//!
+//! Only corrupt platform tables reject the whole sweep, and they do so up
+//! front with a typed error rather than a hundred per-candidate failures.
+//!
+//! All sweeps here run with `prune: false` (the default): pruned sweeps
+//! drop dominated points in a timing-dependent way, so bit-identity is
+//! only promised for exhaustive sweeps.
+
+use flexcl_core::dse::testhook;
+use flexcl_core::{
+    enumerate, explore_configs, explore_with, limits_for, DseOptions, DseResult, ErrorKind,
+    OptimizationConfig, Platform, ProfileFuel, Workload,
+};
+use flexcl_interp::KernelArg;
+use std::sync::Mutex;
+
+/// The testhook's armed state is process-global and an armed panic would
+/// leak into any concurrently running sweep, so every test in this file
+/// serializes on this lock (poison-tolerant: a failed test must not
+/// cascade into the others).
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Disarms the injected panic even if the test itself fails.
+struct Disarm;
+
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        testhook::disarm();
+    }
+}
+
+fn compile(src: &str) -> flexcl_ir::Function {
+    let p = flexcl_frontend::parse_and_check(src).expect("frontend");
+    flexcl_ir::lower_kernel(&p.kernels[0]).expect("lowering")
+}
+
+fn vadd() -> (flexcl_ir::Function, Workload) {
+    let f = compile(
+        "__kernel void vadd(__global float* a, __global float* b, __global float* c) {
+            int i = get_global_id(0);
+            c[i] = a[i] + b[i];
+        }",
+    );
+    let w = Workload {
+        args: vec![
+            KernelArg::FloatBuf(vec![1.0; 4096]),
+            KernelArg::FloatBuf(vec![2.0; 4096]),
+            KernelArg::FloatBuf(vec![0.0; 4096]),
+        ],
+        global: (4096, 1),
+    };
+    (f, w)
+}
+
+fn assert_points_identical(a: &DseResult, b: &DseResult) {
+    assert_eq!(a.points.len(), b.points.len(), "point counts differ");
+    for (pa, pb) in a.points.iter().zip(&b.points) {
+        assert_eq!(pa.config, pb.config);
+        assert_eq!(pa.estimate, pb.estimate, "{}", pa.config);
+    }
+}
+
+#[test]
+fn poisoned_configs_are_skipped_and_survivors_are_bit_identical() {
+    let _guard = serialize();
+    let (f, w) = vadd();
+    let platform = Platform::virtex7_adm7v3();
+    let valid = enumerate(&limits_for(&f, &w));
+    assert!(valid.len() >= 100);
+
+    // Interleave three invalid candidates among the valid ones.
+    let poison = [
+        (3usize, OptimizationConfig { work_group: (0, 1), ..Default::default() }),
+        (40, OptimizationConfig { num_pes: 0, ..Default::default() }),
+        (valid.len(), OptimizationConfig { vector_width: 0, ..Default::default() }),
+    ];
+    let mut poisoned = valid.clone();
+    for &(at, cfg) in poison.iter().rev() {
+        poisoned.insert(at, cfg);
+    }
+
+    let clean = explore_configs(&f, &platform, &w, &valid, DseOptions::default())
+        .expect("clean sweep");
+    assert!(clean.diagnostics.is_clean());
+
+    for threads in [1, 3] {
+        let opts = DseOptions { threads, ..DseOptions::default() };
+        let result =
+            explore_configs(&f, &platform, &w, &poisoned, opts).expect("poisoned sweep");
+        assert_eq!(result.diagnostics.skipped_count(), poison.len());
+        assert_eq!(result.diagnostics.count_of(ErrorKind::Config), poison.len());
+        // Failures are attributed to the exact candidates, in order.
+        for (fp, &(at, cfg)) in result.diagnostics.failed.iter().zip(poison.iter()) {
+            assert_eq!(fp.index, at + poison.iter().filter(|(b, _)| *b < at).count());
+            assert_eq!(fp.config, cfg);
+            assert_eq!(fp.kind, ErrorKind::Config);
+        }
+        assert_points_identical(&clean, &result);
+    }
+}
+
+#[test]
+fn runaway_kernel_exhausts_fuel_instead_of_hanging() {
+    let _guard = serialize();
+    let f = compile(
+        "__kernel void spin(__global float* a) {
+            int i = get_global_id(0);
+            float acc = 0.0f;
+            for (int j = 0; j < 1000000; j = j + 1) {
+                acc = acc + 1.0f;
+            }
+            a[i] = acc;
+        }",
+    );
+    let w = Workload { args: vec![KernelArg::FloatBuf(vec![0.0; 64])], global: (64, 1) };
+    let platform = Platform::virtex7_adm7v3();
+    let opts = DseOptions {
+        fuel: ProfileFuel { step_limit: 1_000, trace_limit: 1 << 20 },
+        ..DseOptions::default()
+    };
+
+    let result = explore_with(&f, &platform, &w, opts).expect("sweep completes");
+    // Every family burns through the budget during profiling: no points,
+    // every enumerated candidate attributed as a resource-limit failure.
+    assert!(result.points.is_empty());
+    assert!(!result.diagnostics.is_clean());
+    let n = result.diagnostics.skipped_count();
+    assert_eq!(result.diagnostics.count_of(ErrorKind::ResourceLimit), n);
+    assert!(result.diagnostics.failed[0].message.contains("spin"));
+    // The same budget parallelized reports the same failures.
+    let par = explore_with(&f, &platform, &w, DseOptions { threads: 3, ..opts })
+        .expect("parallel sweep completes");
+    assert_eq!(par.diagnostics, result.diagnostics);
+}
+
+#[test]
+fn corrupt_platform_table_is_rejected_up_front() {
+    let _guard = serialize();
+    let (f, w) = vadd();
+    let no_ports =
+        Platform { local_read_ports_per_bank: 0, ..Platform::virtex7_adm7v3() };
+    let err = explore_with(&f, &no_ports, &w, DseOptions::default()).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Platform);
+    assert!(err.to_string().contains("read port"), "{err}");
+
+    let nan_clock = Platform { frequency_mhz: f64::NAN, ..Platform::virtex7_adm7v3() };
+    let err = explore_with(&f, &nan_clock, &w, DseOptions::default()).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Platform);
+}
+
+#[test]
+fn injected_panic_is_contained_and_attributed() {
+    let _guard = serialize();
+    let (f, w) = vadd();
+    let platform = Platform::virtex7_adm7v3();
+    let all = enumerate(&limits_for(&f, &w));
+    let survivors: Vec<OptimizationConfig> =
+        all.iter().copied().filter(|c| c.work_group != (64, 1)).collect();
+    assert!(survivors.len() < all.len(), "the (64,1) family must exist");
+
+    let clean = explore_configs(&f, &platform, &w, &survivors, DseOptions::default())
+        .expect("clean sweep");
+
+    for threads in [1, 4] {
+        let _disarm = Disarm;
+        testhook::arm_panic((64, 1));
+        let opts = DseOptions { threads, ..DseOptions::default() };
+        let result = explore_with(&f, &platform, &w, opts).expect("sweep survives the panic");
+        testhook::disarm();
+
+        let poisoned_family = all.iter().filter(|c| c.work_group == (64, 1)).count();
+        assert_eq!(result.diagnostics.skipped_count(), poisoned_family);
+        assert_eq!(result.diagnostics.count_of(ErrorKind::Panic), poisoned_family);
+        for fp in &result.diagnostics.failed {
+            assert_eq!(fp.config.work_group, (64, 1));
+            assert!(fp.message.contains("injected panic"), "{}", fp.message);
+        }
+        // The other families are untouched: bit-identical to a clean sweep
+        // over exactly the surviving candidates.
+        assert_points_identical(&clean, &result);
+    }
+}
+
+#[test]
+fn disarmed_testhook_costs_nothing_and_changes_nothing() {
+    let _guard = serialize();
+    let (f, w) = vadd();
+    let platform = Platform::virtex7_adm7v3();
+    let a = explore_with(&f, &platform, &w, DseOptions::default()).expect("sweep");
+    assert!(a.diagnostics.is_clean());
+    let b = explore_with(&f, &platform, &w, DseOptions::default()).expect("sweep");
+    assert_points_identical(&a, &b);
+}

@@ -60,23 +60,57 @@ impl NdRange {
     ///
     /// # Errors
     ///
-    /// Returns a message when a dimension is zero or the local size does not
-    /// divide the global size.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`GeometryError`] when a dimension is zero or the local
+    /// size does not divide the global size.
+    pub fn validate(&self) -> Result<(), GeometryError> {
         for d in 0..3 {
             if self.global[d] == 0 || self.local[d] == 0 {
-                return Err(format!("dimension {d} has zero size"));
+                return Err(GeometryError::ZeroDimension { dim: d });
             }
-            if self.global[d] % self.local[d] != 0 {
-                return Err(format!(
-                    "global size {} not divisible by local size {} in dim {d}",
-                    self.global[d], self.local[d]
-                ));
+            if !self.global[d].is_multiple_of(self.local[d]) {
+                return Err(GeometryError::NotDivisible {
+                    dim: d,
+                    global: self.global[d],
+                    local: self.local[d],
+                });
             }
         }
         Ok(())
     }
 }
+
+/// An invalid NDRange geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A global or local dimension is zero.
+    ZeroDimension {
+        /// The offending dimension (0–2).
+        dim: usize,
+    },
+    /// The local size does not divide the global size in some dimension.
+    NotDivisible {
+        /// The offending dimension (0–2).
+        dim: usize,
+        /// Global size in that dimension.
+        global: u64,
+        /// Local size in that dimension.
+        local: u64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::ZeroDimension { dim } => write!(f, "dimension {dim} has zero size"),
+            GeometryError::NotDivisible { dim, global, local } => write!(
+                f,
+                "global size {global} not divisible by local size {local} in dim {dim}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
 
 /// Interpreter failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +126,10 @@ pub enum InterpError {
     },
     /// The kernel exceeded the execution step budget (runaway loop).
     StepLimit(u64),
+    /// The recorded memory trace exceeded its size budget.
+    TraceLimit(usize),
+    /// The launch geometry is invalid.
+    Geometry(GeometryError),
     /// Argument count/type mismatch with the kernel signature.
     BadArguments(String),
 }
@@ -103,8 +141,18 @@ impl fmt::Display for InterpError {
                 write!(f, "buffer access out of bounds: param {param}, index {index}, len {len}")
             }
             InterpError::StepLimit(n) => write!(f, "execution exceeded {n} steps"),
+            InterpError::TraceLimit(n) => {
+                write!(f, "memory trace exceeded {n} recorded accesses")
+            }
+            InterpError::Geometry(g) => write!(f, "invalid NDRange: {g}"),
             InterpError::BadArguments(m) => write!(f, "bad kernel arguments: {m}"),
         }
+    }
+}
+
+impl From<GeometryError> for InterpError {
+    fn from(g: GeometryError) -> Self {
+        InterpError::Geometry(g)
     }
 }
 
@@ -126,6 +174,9 @@ pub struct RunOptions {
     pub step_limit: u64,
     /// Record the global memory trace.
     pub record_trace: bool,
+    /// Abort once the recorded trace reaches this many accesses (bounds the
+    /// profiling memory footprint for trip-count explosions).
+    pub trace_limit: usize,
 }
 
 impl Default for RunOptions {
@@ -135,6 +186,7 @@ impl Default for RunOptions {
             profile_spread: false,
             step_limit: 10_000_000,
             record_trace: true,
+            trace_limit: 16_777_216,
         }
     }
 }
@@ -174,7 +226,7 @@ pub fn run(
     ndrange: NdRange,
     opts: RunOptions,
 ) -> Result<Profile, InterpError> {
-    ndrange.validate().map_err(InterpError::BadArguments)?;
+    ndrange.validate()?;
     if args.len() != func.params.len() {
         return Err(InterpError::BadArguments(format!(
             "kernel `{}` takes {} arguments, got {}",
@@ -221,7 +273,7 @@ pub fn run(
         if taken >= limit {
             break;
         }
-        if g_idx as u64 % stride != 0 {
+        if !(g_idx as u64).is_multiple_of(stride) {
             continue;
         }
         taken += 1;
@@ -273,6 +325,15 @@ struct WiCtx {
 }
 
 impl<'a> Machine<'a> {
+    /// Appends a memory access to the trace, enforcing the trace-size fuel.
+    fn push_trace(&mut self, access: MemAccess) -> Result<(), InterpError> {
+        if self.trace.len() >= self.opts.trace_limit {
+            return Err(InterpError::TraceLimit(self.opts.trace_limit));
+        }
+        self.trace.push(access);
+        Ok(())
+    }
+
     fn run_group(
         &mut self,
         group_linear: u64,
@@ -443,6 +504,7 @@ impl<'a> Machine<'a> {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn load(
         &mut self,
         space: AddressSpace,
@@ -456,18 +518,18 @@ impl<'a> Machine<'a> {
         match (space, root) {
             (AddressSpace::Global | AddressSpace::Constant, MemRoot::Param(p)) => {
                 let lanes = ty.lanes() as i64;
-                let buf = &self.args[p as usize];
                 let elem_bytes = ty.bytes().unwrap_or(4) as u32;
                 if self.opts.record_trace {
-                    self.trace.push(MemAccess {
+                    self.push_trace(MemAccess {
                         write: false,
                         param: p,
                         elem_index: idx,
                         bytes: elem_bytes,
                         work_item: ctx.linear_id,
                         work_group: ctx.group_linear,
-                    });
+                    })?;
                 }
+                let buf = &self.args[p as usize];
                 if lanes == 1 {
                     buf.read(usize::try_from(idx).map_err(|_| InterpError::OutOfBounds {
                         param: p,
@@ -523,6 +585,7 @@ impl<'a> Machine<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn store(
         &mut self,
         space: AddressSpace,
@@ -543,14 +606,14 @@ impl<'a> Machine<'a> {
                 };
                 let _ = is_float;
                 if self.opts.record_trace {
-                    self.trace.push(MemAccess {
+                    self.push_trace(MemAccess {
                         write: true,
                         param: p,
                         elem_index: idx,
                         bytes: elem_bytes,
                         work_item: ctx.linear_id,
                         work_group: ctx.group_linear,
-                    });
+                    })?;
                 }
                 let buf = &mut self.args[p as usize];
                 if lanes == 1 {
@@ -565,9 +628,15 @@ impl<'a> Machine<'a> {
                     let base = idx * lanes;
                     for l in 0..lanes {
                         let scalar = match val {
-                            RtVal::FloatVec(v) => RtVal::Float(v[l as usize]),
-                            RtVal::IntVec(v) => RtVal::Int(v[l as usize]),
-                            _ => unreachable!(),
+                            RtVal::FloatVec(v) => {
+                                RtVal::Float(v.get(l as usize).copied().unwrap_or(0.0))
+                            }
+                            RtVal::IntVec(v) => {
+                                RtVal::Int(v.get(l as usize).copied().unwrap_or(0))
+                            }
+                            // `lanes > 1` only for the vector variants, but
+                            // degrade to a broadcast rather than panic.
+                            other => other.clone(),
                         };
                         if !buf.write((base + l) as usize, &scalar) {
                             return Err(InterpError::OutOfBounds {
@@ -628,7 +697,7 @@ fn eval_bin(op: BinOp, a: &RtVal, b: &RtVal, ty: &Type) -> RtVal {
     // Vector case: lane-wise recursion.
     if ty.lanes() > 1 {
         let n = ty.lanes() as usize;
-        let elem_ty = Type::Scalar(ty.element_scalar().expect("vector"));
+        let elem_ty = Type::Scalar(ty.element_scalar().unwrap_or(Scalar::I64));
         let lane = |v: &RtVal, i: usize| -> RtVal {
             match v {
                 RtVal::FloatVec(x) => RtVal::Float(x.get(i).copied().unwrap_or(0.0)),
@@ -665,7 +734,8 @@ fn eval_bin(op: BinOp, a: &RtVal, b: &RtVal, ty: &Type) -> RtVal {
                 BinOp::Ne => x != y,
                 BinOp::LogAnd => x != 0.0 && y != 0.0,
                 BinOp::LogOr => x != 0.0 || y != 0.0,
-                _ => unreachable!(),
+                _ => false, // is_cmp guarantees a comparison op
+
             }
         } else {
             let (x, y) = (a.as_int(), b.as_int());
@@ -678,7 +748,8 @@ fn eval_bin(op: BinOp, a: &RtVal, b: &RtVal, ty: &Type) -> RtVal {
                 BinOp::Ne => x != y,
                 BinOp::LogAnd => x != 0 && y != 0,
                 BinOp::LogOr => x != 0 || y != 0,
-                _ => unreachable!(),
+                _ => false, // is_cmp guarantees a comparison op
+
             }
         };
         return RtVal::Int(i64::from(r));
@@ -751,7 +822,7 @@ fn eval_math(m: MathOp, args: &[RtVal], ty: &Type) -> RtVal {
     // Vector math: lane-wise.
     if ty.lanes() > 1 {
         let n = ty.lanes() as usize;
-        let elem_ty = Type::Scalar(ty.element_scalar().expect("vector"));
+        let elem_ty = Type::Scalar(ty.element_scalar().unwrap_or(Scalar::I64));
         let lane = |v: &RtVal, i: usize| -> RtVal {
             match v {
                 RtVal::FloatVec(x) => RtVal::Float(x.get(i).copied().unwrap_or(0.0)),

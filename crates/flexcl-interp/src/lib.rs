@@ -33,7 +33,7 @@ pub mod exec;
 pub mod profile;
 pub mod value;
 
-pub use exec::{run, InterpError, NdRange, RunOptions};
+pub use exec::{run, GeometryError, InterpError, NdRange, RunOptions};
 pub use profile::{EdgeCounts, LoopTrips, MemAccess, Profile};
 pub use value::{KernelArg, RtVal};
 
@@ -248,6 +248,42 @@ mod tests {
         );
         let KernelArg::FloatBuf(a) = &args[0] else { panic!() };
         assert_eq!(a, &vec![1.0, 2.0, 3.0, 4.0, 3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn trace_limit_stops_trip_count_explosions() {
+        let p = flexcl_frontend::parse_and_check(
+            "__kernel void k(__global int* a, int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) { s = s + a[i % 4]; }
+                a[0] = s;
+            }",
+        )
+        .expect("frontend");
+        let f = lower_kernel(&p.kernels[0]).expect("lowering");
+        let mut args = vec![KernelArg::IntBuf(vec![0; 4]), KernelArg::Int(1_000_000)];
+        let opts = RunOptions { trace_limit: 100, ..RunOptions::default() };
+        let err = run(&f, &mut args, NdRange::new_1d(1, 1), opts).unwrap_err();
+        assert_eq!(err, InterpError::TraceLimit(100));
+    }
+
+    #[test]
+    fn bad_geometry_is_a_typed_error() {
+        let p = flexcl_frontend::parse_and_check(
+            "__kernel void k(__global int* a) { a[0] = 1; }",
+        )
+        .expect("frontend");
+        let f = lower_kernel(&p.kernels[0]).expect("lowering");
+        let mut args = vec![KernelArg::IntBuf(vec![0; 1])];
+        let err =
+            run(&f, &mut args, NdRange::new_1d(10, 3), RunOptions::default()).unwrap_err();
+        assert_eq!(
+            err,
+            InterpError::Geometry(GeometryError::NotDivisible { dim: 0, global: 10, local: 3 })
+        );
+        let err =
+            run(&f, &mut args, NdRange::new_1d(0, 1), RunOptions::default()).unwrap_err();
+        assert_eq!(err, InterpError::Geometry(GeometryError::ZeroDimension { dim: 0 }));
     }
 
     #[test]

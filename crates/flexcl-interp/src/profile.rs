@@ -130,6 +130,7 @@ impl Profile {
 }
 
 /// Walks the region tree accumulating trip statistics for every loop.
+#[allow(clippy::only_used_in_recursion)]
 fn collect_loop_trips(
     func: &Function,
     region: &Region,

@@ -784,14 +784,9 @@ impl<'a> Lowerer<'a> {
         // Var(a) -> Index(a,i), applied index j at the top.
         let mut indices = vec![index];
         let mut cur = base;
-        loop {
-            match &cur.kind {
-                ExprKind::Index { base: b, index: i } => {
-                    indices.push(i);
-                    cur = b;
-                }
-                _ => break,
-            }
+        while let ExprKind::Index { base: b, index: i } = &cur.kind {
+            indices.push(i);
+            cur = b;
         }
         indices.reverse();
 

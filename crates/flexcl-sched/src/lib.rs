@@ -24,7 +24,8 @@
 //! let mul = g.add_node(4, ResourceClass::Dsp);
 //! g.add_edge(load, mul);
 //!
-//! let block_latency = flexcl_sched::list::schedule(&g, &ResourceBudget::unconstrained());
+//! let block_latency = flexcl_sched::list::schedule(&g, &ResourceBudget::unconstrained())
+//!     .expect("acyclic graph with a non-zero budget");
 //! assert_eq!(block_latency.length, 6);
 //!
 //! let pipe = flexcl_sched::sms::schedule(&g, &ResourceBudget::unconstrained(), 0);
@@ -39,7 +40,7 @@ pub mod mii;
 pub mod sms;
 
 pub use graph::{NodeId, ResourceBudget, ResourceClass, SchedEdge, SchedGraph, SchedNode};
-pub use list::ListSchedule;
+pub use list::{ListSchedule, SchedError};
 pub use sms::ModuloSchedule;
 
 #[cfg(test)]
@@ -92,7 +93,7 @@ mod proptests {
         /// never beat the critical path.
         #[test]
         fn list_schedule_is_valid(g in arb_graph()) {
-            let s = list::schedule(&g, &small_budget());
+            let s = list::schedule(&g, &small_budget()).expect("generated DAGs always schedule");
             for e in g.edges() {
                 if e.distance == 0 {
                     let lhs = s.start[e.from.0 as usize] + g.node(e.from).latency;

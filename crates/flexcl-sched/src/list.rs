@@ -7,6 +7,33 @@
 
 use crate::graph::{NodeId, ResourceBudget, ResourceClass, SchedGraph};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why a schedule could not be produced for the given graph and budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedError {
+    /// The graph uses a resource class whose budget is zero, so at least
+    /// one op can never issue.
+    ZeroBudget(ResourceClass),
+    /// The scheduler exceeded its convergence bound — the distance-0
+    /// subgraph is cyclic (malformed input).
+    NonConvergence,
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::ZeroBudget(class) => {
+                write!(f, "resource class {class:?} has a zero budget but is used by the graph")
+            }
+            SchedError::NonConvergence => {
+                write!(f, "list scheduler failed to converge (cyclic distance-0 subgraph?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
 
 /// The result of list scheduling.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,14 +89,22 @@ pub fn heights(graph: &SchedGraph) -> Vec<u64> {
 /// Every node occupies its resource class for one cycle at issue (IP cores
 /// are pipelined). Returns issue cycles and the overall latency.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the distance-0 subgraph has a cycle (malformed input; the IR
-/// construction guarantees acyclicity within an instance).
-pub fn schedule(graph: &SchedGraph, budget: &ResourceBudget) -> ListSchedule {
+/// Returns [`SchedError::ZeroBudget`] if the graph uses a resource class
+/// with a zero budget (such an op can never issue), and
+/// [`SchedError::NonConvergence`] if the distance-0 subgraph turns out to be
+/// cyclic (malformed input; the IR construction guarantees acyclicity
+/// within an instance).
+pub fn schedule(graph: &SchedGraph, budget: &ResourceBudget) -> Result<ListSchedule, SchedError> {
     let n = graph.len();
     if n == 0 {
-        return ListSchedule { start: Vec::new(), length: 0 };
+        return Ok(ListSchedule { start: Vec::new(), length: 0 });
+    }
+    for (_, node) in graph.nodes() {
+        if budget.limit(node.resource) == 0 {
+            return Err(SchedError::ZeroBudget(node.resource));
+        }
     }
     let height = heights(graph);
 
@@ -148,17 +183,16 @@ pub fn schedule(graph: &SchedGraph, budget: &ResourceBudget) -> ListSchedule {
             }
         }
         cycle += 1;
-        assert!(
-            u64::from(cycle) <= graph.total_latency() + n as u64 + 1,
-            "list scheduler failed to converge (cyclic distance-0 subgraph?)"
-        );
+        if u64::from(cycle) > graph.total_latency() + n as u64 + 1 {
+            return Err(SchedError::NonConvergence);
+        }
     }
 
     let length = (0..n)
         .map(|i| start[i] + graph.node(NodeId(i as u32)).latency)
         .max()
         .unwrap_or(0);
-    ListSchedule { start, length }
+    Ok(ListSchedule { start, length })
 }
 
 #[cfg(test)]
@@ -178,7 +212,7 @@ mod tests {
     #[test]
     fn chain_latency_is_sum() {
         let g = chain(&[2, 3, 4]);
-        let s = schedule(&g, &ResourceBudget::unconstrained());
+        let s = schedule(&g, &ResourceBudget::unconstrained()).expect("schedule");
         assert_eq!(s.length, 9);
         assert_eq!(s.start, vec![0, 2, 5]);
     }
@@ -189,7 +223,7 @@ mod tests {
         for _ in 0..4 {
             g.add_node(5, ResourceClass::Fabric);
         }
-        let s = schedule(&g, &ResourceBudget::unconstrained());
+        let s = schedule(&g, &ResourceBudget::unconstrained()).expect("schedule");
         assert_eq!(s.length, 5);
         assert!(s.start.iter().all(|c| *c == 0));
     }
@@ -202,7 +236,7 @@ mod tests {
             g.add_node(3, ResourceClass::Dsp);
         }
         let budget = ResourceBudget { dsps: 2, ..ResourceBudget::unconstrained() };
-        let s = schedule(&g, &budget);
+        let s = schedule(&g, &budget).expect("schedule");
         assert_eq!(s.length, 4); // last issue at cycle 1, +3 latency
     }
 
@@ -217,7 +251,7 @@ mod tests {
         g.add_edge(a, c);
         g.add_edge(b, d);
         g.add_edge(c, d);
-        let s = schedule(&g, &ResourceBudget::unconstrained());
+        let s = schedule(&g, &ResourceBudget::unconstrained()).expect("schedule");
         assert_eq!(s.length, 12); // 1 + 10 + 1
     }
 
@@ -231,7 +265,7 @@ mod tests {
         let c = g.add_node(10, ResourceClass::Fabric);
         g.add_edge(a, c);
         let budget = ResourceBudget { dsps: 1, ..ResourceBudget::unconstrained() };
-        let s = schedule(&g, &budget);
+        let s = schedule(&g, &budget).expect("schedule");
         assert_eq!(s.start_of(a), 0, "critical op first");
         assert_eq!(s.start_of(b), 1);
         assert_eq!(s.length, 11);
@@ -244,20 +278,38 @@ mod tests {
         let b = g.add_node(2, ResourceClass::Fabric);
         g.add_edge(a, b);
         g.add_edge_with_distance(b, a, 1); // recurrence, ignored here
-        let s = schedule(&g, &ResourceBudget::unconstrained());
+        let s = schedule(&g, &ResourceBudget::unconstrained()).expect("schedule");
         assert_eq!(s.length, 4);
     }
 
     #[test]
     fn empty_graph_is_zero() {
-        let s = schedule(&SchedGraph::new(), &ResourceBudget::unconstrained());
+        let s = schedule(&SchedGraph::new(), &ResourceBudget::unconstrained()).expect("schedule");
         assert_eq!(s.length, 0);
+    }
+
+    #[test]
+    fn zero_budget_is_a_typed_error() {
+        let mut g = SchedGraph::new();
+        g.add_node(2, ResourceClass::LocalRead);
+        let budget = ResourceBudget { local_read_ports: 0, ..ResourceBudget::unconstrained() };
+        assert_eq!(
+            schedule(&g, &budget),
+            Err(SchedError::ZeroBudget(ResourceClass::LocalRead))
+        );
+    }
+
+    #[test]
+    fn zero_budget_for_unused_class_is_fine() {
+        let g = chain(&[1, 1]);
+        let budget = ResourceBudget { dsps: 0, ..ResourceBudget::unconstrained() };
+        assert_eq!(schedule(&g, &budget).expect("schedule").length, 2);
     }
 
     #[test]
     fn zero_latency_ops_chain_in_one_cycle_each() {
         let g = chain(&[0, 0, 0]);
-        let s = schedule(&g, &ResourceBudget::unconstrained());
+        let s = schedule(&g, &ResourceBudget::unconstrained()).expect("schedule");
         // Zero-latency ops still issue on distinct ready cycles along a
         // chain but finish instantly.
         assert_eq!(s.length, 0);

@@ -120,10 +120,9 @@ pub fn alap_times(graph: &SchedGraph, ii: u32) -> Vec<i64> {
         .map(|i| asap[i] + i64::from(graph.node(NodeId(i as u32)).latency))
         .max()
         .unwrap_or(0);
-    let mut t = vec![horizon; n];
-    for i in 0..n {
-        t[i] = horizon - i64::from(graph.node(NodeId(i as u32)).latency);
-    }
+    let mut t: Vec<i64> = (0..n)
+        .map(|i| horizon - i64::from(graph.node(NodeId(i as u32)).latency))
+        .collect();
     for _ in 0..=n {
         let mut changed = false;
         for e in graph.edges() {

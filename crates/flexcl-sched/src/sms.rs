@@ -90,7 +90,7 @@ fn try_schedule(graph: &SchedGraph, budget: &ResourceBudget, ii: u32) -> Option<
         let i = id.0 as usize;
         // Earliest start from already-placed predecessors (respecting
         // distances: a distance-d edge relaxes the bound by d·II).
-        let mut est = asap[i].max(0) as i64;
+        let mut est = asap[i].max(0);
         for e in graph.preds(id) {
             if let Some(ps) = start[e.from.0 as usize] {
                 let bound = i64::from(ps) + i64::from(graph.node(e.from).latency)

@@ -11,7 +11,7 @@
 use crate::perturb::{perturb_graph, sample_aggregate_factor};
 use flexcl_core::analysis::{trace_to_group_bursts, OwnedBurst};
 use flexcl_core::CommMode;
-use flexcl_core::{estimate, pe_budget, AnalysisError, KernelAnalysis, OptimizationConfig,
+use flexcl_core::{estimate, pe_budget, FlexclError, KernelAnalysis, OptimizationConfig,
     Platform, Workload};
 use flexcl_dram::{AccessKind, DramSim, Request};
 use flexcl_interp::{run, KernelArg, NdRange, RunOptions};
@@ -64,7 +64,7 @@ pub enum SimError {
     /// The design does not fit the device (synthesis would fail).
     Infeasible(String),
     /// Kernel analysis / execution failed.
-    Analysis(AnalysisError),
+    Analysis(FlexclError),
     /// The workload exceeds the simulation budget.
     TooLarge(u64),
 }
@@ -81,8 +81,8 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-impl From<AnalysisError> for SimError {
-    fn from(e: AnalysisError) -> Self {
+impl From<FlexclError> for SimError {
+    fn from(e: FlexclError) -> Self {
         SimError::Analysis(e)
     }
 }
@@ -104,7 +104,7 @@ pub fn system_run(
         return Err(SimError::TooLarge(workload.total_work_items()));
     }
     let analysis = KernelAnalysis::analyze(func, platform, workload, config.work_group)?;
-    let est = estimate(&analysis, config);
+    let est = estimate(&analysis, config)?;
     if !est.feasible {
         return Err(SimError::Infeasible(
             est.infeasible_reason.unwrap_or_else(|| "resources exceeded".into()),
@@ -118,15 +118,15 @@ pub fn system_run(
     // ---- synthesized pipeline parameters (perturbed) -------------------
     let budget = pe_budget(&analysis, config);
     let (ii_sim, depth_sim) = if config.work_item_pipeline {
-        let (g, _) = analysis.work_item_graph(&budget);
+        let (g, _) = analysis.work_item_graph(&budget)?;
         let pg = perturb_graph(&g, &mut rng);
-        let floor = (analysis.work_item_latency(&budget)
+        let floor = (analysis.work_item_latency(&budget)?
             * sample_aggregate_factor(&mut rng, g.len()))
         .round() as u32;
         let s = sms::schedule(&pg, &budget, floor);
         (s.ii.max(analysis.rec_mii()).max(analysis.res_mii(&budget)), s.depth)
     } else {
-        let d = (analysis.work_item_latency(&budget)
+        let d = (analysis.work_item_latency(&budget)?
             * sample_aggregate_factor(&mut rng, analysis.func.insts.len()))
         .round()
         .max(1.0) as u32;
@@ -139,8 +139,13 @@ pub fn system_run(
         local: [u64::from(config.work_group.0), u64::from(config.work_group.1), 1],
     };
     let mut args: Vec<KernelArg> = workload.args.clone();
-    let profile = run(func, &mut args, nd, RunOptions::default())
-        .map_err(|e| SimError::Analysis(AnalysisError::Profiling(e)))?;
+    let profile = run(func, &mut args, nd, RunOptions::default()).map_err(|e| {
+        SimError::Analysis(FlexclError::Profiling {
+            kernel: func.name.clone(),
+            work_group: config.work_group,
+            source: e,
+        })
+    })?;
 
     // Shared representation with the analytical model: per-group coalesced
     // bursts in work-item order.
@@ -421,7 +426,7 @@ mod tests {
         ] {
             let analysis =
                 KernelAnalysis::analyze(&f, &platform, &w, cfg.work_group).expect("analysis");
-            let est = estimate(&analysis, &cfg);
+            let est = estimate(&analysis, &cfg).expect("estimate");
             let sys = system_run(&f, &platform, &w, &cfg, SimOptions::default()).expect("run");
             let err = (est.cycles - sys.cycles).abs() / sys.cycles;
             assert!(

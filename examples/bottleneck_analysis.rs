@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             global: (n, 1),
         };
         let analysis = flexcl.analyze_source(src, name, &workload, config.work_group)?;
-        let est = flexcl_core::estimate(&analysis, &config);
+        let est = flexcl_core::estimate(&analysis, &config)?;
 
         println!("{label}:");
         println!(

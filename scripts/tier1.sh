@@ -5,3 +5,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
+# Robustness gates: the estimation pipeline must stay panic-free on
+# input-dependent paths, and the DSE sweep must survive injected faults
+# with bit-identical surviving points.
+cargo clippy -p flexcl-core -p flexcl-interp -- -D warnings -W clippy::unwrap_used
+cargo test -q -p flexcl-core --test fault_injection

@@ -42,9 +42,9 @@ fn every_corpus_kernel_analyzes_sanely() {
         );
         // Computation model inputs.
         let budget = ResourceBudget::unconstrained();
-        let d = analysis.work_item_latency(&budget);
+        let d = analysis.work_item_latency(&budget).expect("latency");
         assert!(d >= 1.0, "{name}: work-item latency {d}");
-        let (ii, depth) = analysis.pipeline_params(&budget);
+        let (ii, depth) = analysis.pipeline_params(&budget).expect("pipeline params");
         assert!(ii >= 1, "{name}: II {ii}");
         assert!(depth >= 1, "{name}: depth {depth}");
         assert!(
@@ -70,7 +70,7 @@ fn every_corpus_kernel_estimates_feasibly_at_baseline() {
         let analysis = KernelAnalysis::analyze(&func, &platform, &workload, wg)
             .unwrap_or_else(|e| panic!("{}: {e}", spec.full_name()));
         let baseline = OptimizationConfig::baseline(wg);
-        let est = estimate(&analysis, &baseline);
+        let est = estimate(&analysis, &baseline).expect("estimate");
         assert!(est.feasible, "{}: baseline must fit the device", spec.full_name());
         assert!(
             est.cycles.is_finite() && est.cycles > 0.0,
@@ -80,7 +80,7 @@ fn every_corpus_kernel_estimates_feasibly_at_baseline() {
         );
         // Pipelining never predicts slower than the serial baseline.
         let piped = OptimizationConfig { work_item_pipeline: true, ..baseline };
-        let est_p = estimate(&analysis, &piped);
+        let est_p = estimate(&analysis, &piped).expect("estimate");
         assert!(
             est_p.cycles <= est.cycles * 1.01,
             "{}: pipelined {} vs serial {}",

@@ -30,11 +30,11 @@ fn estimates_are_deterministic() {
     };
     let e1 = {
         let a = KernelAnalysis::analyze(&func, &platform, &workload, (64, 1)).expect("a");
-        estimate(&a, &config).cycles
+        estimate(&a, &config).expect("estimate").cycles
     };
     let e2 = {
         let a = KernelAnalysis::analyze(&func, &platform, &workload, (64, 1)).expect("a");
-        estimate(&a, &config).cycles
+        estimate(&a, &config).expect("estimate").cycles
     };
     assert_eq!(e1, e2);
 }
@@ -66,7 +66,7 @@ fn pruned_sweep_matches_exhaustive_best_on_polybench() {
         &func,
         &platform,
         &workload,
-        DseOptions { prune: true, threads: 2 },
+        DseOptions { prune: true, threads: 2, ..DseOptions::default() },
     )
     .expect("pruned sweep");
     let fb = full.best().expect("exhaustive best");

@@ -55,7 +55,7 @@ fn independent_kernel_reaches_ii_one() {
         work_item_pipeline: true,
         ..OptimizationConfig::baseline((64, 1))
     };
-    let est = estimate(&analysis, &cfg);
+    let est = estimate(&analysis, &cfg).expect("estimate");
     assert_eq!(est.ii_comp, 1, "no recurrence, ample resources: II = 1");
 }
 
@@ -66,7 +66,7 @@ fn recurrence_gates_the_pipelined_ii() {
         work_item_pipeline: true,
         ..OptimizationConfig::baseline((64, 1))
     };
-    let est = estimate(&dep, &cfg);
+    let est = estimate(&dep, &cfg).expect("estimate");
     assert_eq!(
         est.ii_comp,
         dep.rec_mii(),
@@ -85,8 +85,8 @@ fn pipelining_gains_less_under_recurrence() {
 
     let dep = analyze(DEPENDENT);
     let ind = analyze(INDEPENDENT);
-    let gain_dep = estimate(&dep, &base).cycles / estimate(&dep, &piped).cycles;
-    let gain_ind = estimate(&ind, &base).cycles / estimate(&ind, &piped).cycles;
+    let gain_dep = estimate(&dep, &base).expect("estimate").cycles / estimate(&dep, &piped).expect("estimate").cycles;
+    let gain_ind = estimate(&ind, &base).expect("estimate").cycles / estimate(&ind, &piped).expect("estimate").cycles;
     assert!(
         gain_ind > gain_dep * 1.2,
         "independent gain {gain_ind:.2} vs dependent gain {gain_dep:.2}"

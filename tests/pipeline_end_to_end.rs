@@ -81,7 +81,7 @@ fn every_stage_produces_consistent_artifacts() {
             ..OptimizationConfig::baseline((64, 1))
         },
     ] {
-        let est = estimate(&analysis, &config);
+        let est = estimate(&analysis, &config).expect("estimate");
         assert!(est.feasible);
         let sys = system_run(&func, &platform, &workload, &config, SimOptions::default())
             .expect("system run");

@@ -212,6 +212,8 @@ impl_tuple_strategy! {
     (A, B, C)
     (A, B, C, D)
     (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
 }
 
 /// String patterns as strategies, mirroring proptest's regex support for
