@@ -1,0 +1,90 @@
+//! Criterion benchmark isolating `model::estimate` with and without the
+//! budget-keyed schedule caches.
+//!
+//! The DSE hot path evaluates ~330 configurations per kernel analysis;
+//! `EvalContext` computes the schedules once per distinct resource budget
+//! instead of once per configuration. This benchmark measures exactly
+//! that delta over the enumerated space of the vadd fixture:
+//!
+//! * `estimate/uncached` — a fresh context per call, schedules recomputed
+//!   every time (the behaviour of the plain `flexcl_core::estimate` entry
+//!   point);
+//! * `estimate/cached` — one context across the sweep, schedules served
+//!   from the budget-keyed caches after the first miss.
+//!
+//! Run with `cargo bench -p flexcl-bench --bench estimate`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexcl_core::{
+    enumerate, estimate, DesignSpaceLimits, EvalContext, KernelAnalysis, OptimizationConfig,
+    Platform, Workload,
+};
+use flexcl_interp::KernelArg;
+
+fn vadd_analysis() -> KernelAnalysis {
+    let p = flexcl_frontend::parse_and_check(
+        "__kernel void vadd(__global float* a, __global float* b, __global float* c) {
+            int i = get_global_id(0);
+            c[i] = a[i] + b[i];
+        }",
+    )
+    .expect("frontend");
+    let f = flexcl_ir::lower_kernel(&p.kernels[0]).expect("lowering");
+    KernelAnalysis::analyze(
+        &f,
+        &Platform::virtex7_adm7v3(),
+        &Workload {
+            args: vec![
+                KernelArg::FloatBuf(vec![1.0; 1024]),
+                KernelArg::FloatBuf(vec![2.0; 1024]),
+                KernelArg::FloatBuf(vec![0.0; 1024]),
+            ],
+            global: (1024, 1),
+        },
+        (64, 1),
+    )
+    .expect("analysis")
+}
+
+fn space() -> Vec<OptimizationConfig> {
+    enumerate(&DesignSpaceLimits {
+        global_x: 1024,
+        global_y: 1,
+        has_barrier: false,
+        reqd_work_group: Some((64, 1)),
+        vectorizable: true,
+    })
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let analysis = vadd_analysis();
+    let configs = space();
+    assert!(configs.len() > 50, "need a non-trivial space");
+
+    c.bench_function("estimate/uncached", |b| {
+        b.iter(|| {
+            let mut feasible = 0usize;
+            for cfg in &configs {
+                if estimate(&analysis, cfg).expect("estimate").feasible {
+                    feasible += 1;
+                }
+            }
+            feasible
+        })
+    });
+    c.bench_function("estimate/cached", |b| {
+        b.iter(|| {
+            let mut ctx = EvalContext::new(&analysis);
+            let mut feasible = 0usize;
+            for cfg in &configs {
+                if ctx.estimate(cfg).expect("estimate").feasible {
+                    feasible += 1;
+                }
+            }
+            feasible
+        })
+    });
+}
+
+criterion_group!(benches, bench_estimate);
+criterion_main!(benches);

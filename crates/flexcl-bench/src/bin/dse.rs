@@ -17,8 +17,19 @@
 //! Regenerate with `cargo run -p flexcl-bench --bin dse --release`.
 //!
 //! In addition to the E5 tables, the binary measures the raw sweep-engine
-//! throughput (serial vs multi-threaded) and writes it to the repo-root
-//! `BENCH_dse.json`. Pass `--bench-only` to run just that measurement.
+//! throughput at 1/2/4/8 worker threads — with per-phase timings and the
+//! hit rates of the analysis and schedule caches — and writes it to the
+//! repo-root `BENCH_dse.json`.
+//!
+//! Flags:
+//!
+//! * `--bench-only` — run just the throughput measurement.
+//! * `--kernels SUBSTR` — restrict the measured kernels to names
+//!   containing `SUBSTR` (e.g. `--kernels vadd` for a smoke run).
+//! * `--out PATH` — write the JSON to `PATH` instead of the repo root.
+//! * `--check PATH` — validate an existing BENCH_dse.json (schema keys
+//!   present, `configs_per_sec` finite and positive) and exit; used by
+//!   `scripts/tier1.sh`.
 
 use flexcl_bench::{compile, sweep_kernel, write_csv, SYNTHESIS_HOURS_PER_DESIGN};
 use flexcl_core::{explore_with, DseOptions, KernelAnalysis, Platform, Workload};
@@ -26,13 +37,19 @@ use flexcl_interp::KernelArg;
 use flexcl_kernels::{polybench, Scale};
 use std::time::Instant;
 
-/// One BENCH_dse.json entry: a full model-only sweep of one kernel.
+/// One BENCH_dse.json entry: a full model-only sweep of one kernel at one
+/// thread count, with phase timings and cache effectiveness.
 struct BenchRow {
     kernel: String,
     points: usize,
     threads: usize,
     elapsed_ms: f64,
     configs_per_sec: f64,
+    analysis_ms: f64,
+    estimate_ms: f64,
+    sched_ms: f64,
+    analysis_cache_hit_rate: f64,
+    sched_cache_hit_rate: f64,
 }
 
 /// The vadd fixture used by the unit tests (3 × 4096 floats, 1-D range).
@@ -56,15 +73,12 @@ fn vadd() -> (flexcl_ir::Function, Workload) {
     (f, w)
 }
 
-/// Times model-only sweeps (no System Run) at 1 and `available_parallelism`
-/// threads over vadd and a few PolyBench kernels.
-fn bench_sweeps() -> Vec<BenchRow> {
+/// Times model-only sweeps (no System Run) at 1, 2, 4 and 8 worker
+/// threads over vadd and a few PolyBench kernels. `filter` restricts the
+/// kernels to names containing the given substring.
+fn bench_sweeps(filter: Option<&str>) -> Vec<BenchRow> {
     let platform = Platform::virtex7_adm7v3();
-    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut thread_counts = vec![1usize];
-    if avail > 1 {
-        thread_counts.push(avail);
-    }
+    let thread_counts = [1usize, 2, 4, 8];
 
     let mut targets: Vec<(String, flexcl_ir::Function, Workload)> = Vec::new();
     let (f, w) = vadd();
@@ -74,14 +88,17 @@ fn bench_sweeps() -> Vec<BenchRow> {
         let workload = spec.workload(Scale::Test, 1234);
         targets.push((spec.full_name(), func, workload));
     }
+    if let Some(sub) = filter {
+        targets.retain(|(name, _, _)| name.contains(sub));
+    }
 
     let mut rows = Vec::new();
     for (name, func, workload) in &targets {
+        // Warm the process-wide caches once so every thread count measures
+        // the same steady state (the analysis cache fully hot).
+        let _ = explore_with(func, &platform, workload, DseOptions::default());
         for &threads in &thread_counts {
-            // Warm the process-wide caches once so both thread counts
-            // measure the same steady state.
             let opts = DseOptions { threads, ..DseOptions::default() };
-            let _ = explore_with(func, &platform, workload, opts);
             let start = Instant::now();
             let res = explore_with(func, &platform, workload, opts).expect("bench sweep");
             let secs = start.elapsed().as_secs_f64();
@@ -99,45 +116,143 @@ fn bench_sweeps() -> Vec<BenchRow> {
                 threads,
                 elapsed_ms: secs * 1e3,
                 configs_per_sec: res.points.len() as f64 / secs.max(1e-9),
+                analysis_ms: res.stats.analysis_nanos as f64 / 1e6,
+                estimate_ms: res.stats.estimate_nanos as f64 / 1e6,
+                sched_ms: res.stats.sched_nanos as f64 / 1e6,
+                analysis_cache_hit_rate: res.stats.analysis_cache_hit_rate(),
+                sched_cache_hit_rate: res.stats.sched_cache_hit_rate(),
             });
         }
     }
     rows
 }
 
-/// Writes the throughput rows to `BENCH_dse.json` at the repo root.
-fn write_bench_json(rows: &[BenchRow]) {
+/// Every key a BENCH_dse.json row must carry, in emission order.
+const BENCH_KEYS: [&str; 10] = [
+    "kernel",
+    "points",
+    "threads",
+    "elapsed_ms",
+    "configs_per_sec",
+    "analysis_ms",
+    "estimate_ms",
+    "sched_ms",
+    "analysis_cache_hit_rate",
+    "sched_cache_hit_rate",
+];
+
+/// Writes the throughput rows to `out` (default: repo-root
+/// `BENCH_dse.json`).
+fn write_bench_json(rows: &[BenchRow], out: Option<&str>) {
     let mut body = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         body.push_str(&format!(
             "  {{\"kernel\": \"{}\", \"points\": {}, \"threads\": {}, \
-             \"elapsed_ms\": {:.3}, \"configs_per_sec\": {:.1}}}{}\n",
+             \"elapsed_ms\": {:.3}, \"configs_per_sec\": {:.1}, \
+             \"analysis_ms\": {:.3}, \"estimate_ms\": {:.3}, \"sched_ms\": {:.3}, \
+             \"analysis_cache_hit_rate\": {:.3}, \"sched_cache_hit_rate\": {:.3}}}{}\n",
             r.kernel,
             r.points,
             r.threads,
             r.elapsed_ms,
             r.configs_per_sec,
+            r.analysis_ms,
+            r.estimate_ms,
+            r.sched_ms,
+            r.analysis_cache_hit_rate,
+            r.sched_cache_hit_rate,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     body.push_str("]\n");
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_dse.json");
+    let path = match out {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_dse.json"),
+    };
     std::fs::write(&path, body).expect("write BENCH_dse.json");
     println!("\nSweep throughput (model only):");
     for r in rows {
         println!(
-            "  {:<26} {:>4} points  threads={}  {:>8.1} ms  {:>8.0} configs/s",
-            r.kernel, r.points, r.threads, r.elapsed_ms, r.configs_per_sec
+            "  {:<26} {:>4} points  threads={}  {:>8.2} ms  {:>9.0} configs/s  \
+             sched-hits={:>5.1}%",
+            r.kernel,
+            r.points,
+            r.threads,
+            r.elapsed_ms,
+            r.configs_per_sec,
+            r.sched_cache_hit_rate * 100.0,
         );
     }
     println!("wrote {}", path.display());
 }
 
+/// Validates a BENCH_dse.json produced by [`write_bench_json`]: at least
+/// one row, every schema key in every row, and a finite positive
+/// `configs_per_sec`. Exits non-zero with a message on the first problem.
+fn check_bench_json(path: &str) {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("BENCH check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let fail = |msg: String| -> ! {
+        eprintln!("BENCH check: {path}: {msg}");
+        std::process::exit(1);
+    };
+    // The emitter writes one object per line; validate each line that
+    // holds an object.
+    let objects: Vec<&str> =
+        body.lines().filter(|l| l.trim_start().starts_with('{')).collect();
+    if objects.is_empty() {
+        fail("no benchmark rows".to_string());
+    }
+    for (i, obj) in objects.iter().enumerate() {
+        for key in BENCH_KEYS {
+            if !obj.contains(&format!("\"{key}\":")) {
+                fail(format!("row {i} is missing key \"{key}\""));
+            }
+        }
+        let cps = obj
+            .split("\"configs_per_sec\":")
+            .nth(1)
+            .and_then(|rest| {
+                rest.trim_start()
+                    .split(|c: char| c == ',' || c == '}')
+                    .next()?
+                    .trim()
+                    .parse::<f64>()
+                    .ok()
+            })
+            .unwrap_or_else(|| fail(format!("row {i}: configs_per_sec is not a number")));
+        if !cps.is_finite() || cps <= 0.0 {
+            fail(format!("row {i}: configs_per_sec = {cps} (must be finite and positive)"));
+        }
+    }
+    println!("BENCH check: {path}: {} rows ok", objects.len());
+}
+
+/// Value of a `--flag VALUE` pair in `args`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
 fn main() {
-    if std::env::args().any(|a| a == "--bench-only") {
-        write_bench_json(&bench_sweeps());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = flag_value(&args, "--check") {
+        check_bench_json(path);
+        return;
+    }
+    let kernels = flag_value(&args, "--kernels");
+    let out = flag_value(&args, "--out");
+    if args.iter().any(|a| a == "--bench-only") {
+        write_bench_json(&bench_sweeps(kernels), out);
         return;
     }
     let platform = Platform::virtex7_adm7v3();
@@ -279,5 +394,5 @@ fn main() {
          synthesis_seconds_extrapolated,exploration_speedup,stepwise_optimal",
         &rows,
     );
-    write_bench_json(&bench_sweeps());
+    write_bench_json(&bench_sweeps(kernels), out);
 }

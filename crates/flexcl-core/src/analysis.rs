@@ -15,8 +15,9 @@ use crate::platform::Platform;
 use flexcl_dram::{coalesce, microbench, AccessKind, Burst, DramConfig, DramSim, ElementAccess,
     PatternTable, Request};
 use flexcl_interp::{run, InterpError, KernelArg, MemAccess, NdRange, Profile, RunOptions};
-use flexcl_ir::{build_deps, find_recurrences, Function, InstId, MemRoot, Op, Region, Value};
-use flexcl_sched::{list, sms, NodeId, ResourceBudget, ResourceClass, SchedGraph};
+use flexcl_ir::{build_deps, find_recurrences, DepEdge, Function, InstId, MemRoot, Op, Region,
+    Value};
+use flexcl_sched::{list, sms, NodeId, ResourceBudget, ResourceClass, SchedGraph, SchedScratch};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -512,7 +513,21 @@ impl KernelAnalysis {
     /// Returns [`FlexclError::Scheduling`] if a basic block cannot be
     /// scheduled under `budget` (an op class with a zero budget).
     pub fn work_item_latency(&self, budget: &ResourceBudget) -> Result<f64, FlexclError> {
-        self.region_latency(&self.func.region, budget)
+        self.work_item_latency_with(budget, &mut SchedScratch::new())
+    }
+
+    /// [`KernelAnalysis::work_item_latency`] reusing scheduler scratch
+    /// buffers across calls. Bit-identical to the plain form.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KernelAnalysis::work_item_latency`].
+    pub fn work_item_latency_with(
+        &self,
+        budget: &ResourceBudget,
+        scratch: &mut SchedScratch,
+    ) -> Result<f64, FlexclError> {
+        self.region_latency(&self.func.region, budget, scratch)
     }
 
     fn sched_error(&self, e: flexcl_sched::SchedError) -> FlexclError {
@@ -523,12 +538,13 @@ impl KernelAnalysis {
         &self,
         block: flexcl_ir::BlockId,
         budget: &ResourceBudget,
+        scratch: &mut SchedScratch,
     ) -> Result<f64, FlexclError> {
         let insts = &self.func.block(block).insts;
         if insts.is_empty() {
             return Ok(0.0);
         }
-        let mut g = SchedGraph::new();
+        let mut g = scratch.take_graph();
         let mut map: HashMap<InstId, NodeId> = HashMap::new();
         for id in insts {
             let inst = self.func.inst(*id);
@@ -541,40 +557,47 @@ impl KernelAnalysis {
         for e in build_deps(&self.func, insts) {
             g.add_edge(map[&e.from], map[&e.to]);
         }
-        list::schedule(&g, budget)
-            .map(|s| f64::from(s.length))
-            .map_err(|e| self.sched_error(e))
+        let sched = list::schedule_with(&g, budget, scratch);
+        scratch.put_graph(g);
+        sched.map(|s| f64::from(s.length)).map_err(|e| self.sched_error(e))
     }
 
-    fn region_latency(&self, region: &Region, budget: &ResourceBudget) -> Result<f64, FlexclError> {
+    fn region_latency(
+        &self,
+        region: &Region,
+        budget: &ResourceBudget,
+        scratch: &mut SchedScratch,
+    ) -> Result<f64, FlexclError> {
         match region {
-            Region::Block(b) => self.block_latency(*b, budget),
+            Region::Block(b) => self.block_latency(*b, budget, scratch),
             Region::Seq(rs) => {
                 let mut total = 0.0;
                 for r in rs {
-                    total += self.region_latency(r, budget)?;
+                    total += self.region_latency(r, budget, scratch)?;
                 }
                 Ok(total)
             }
             Region::If { cond_block, then_region, else_region } => {
                 // Independent branches execute in parallel circuits (§3.2);
                 // the merged node costs the longer branch.
-                Ok(self.block_latency(*cond_block, budget)?
+                Ok(self.block_latency(*cond_block, budget, scratch)?
                     + self
-                        .region_latency(then_region, budget)?
-                        .max(self.region_latency(else_region, budget)?))
+                        .region_latency(then_region, budget, scratch)?
+                        .max(self.region_latency(else_region, budget, scratch)?))
             }
             Region::Loop { id, header, body, latch } => {
                 let meta = &self.func.loops[id.0 as usize];
                 let trip = self.profile.trip_count(&self.func, *id).max(0.0);
-                let header_lat = self.block_latency(*header, budget)?;
+                let header_lat = self.block_latency(*header, budget, scratch)?;
                 let latch_lat = match latch {
-                    Some(l) => self.block_latency(*l, budget)?,
+                    Some(l) => self.block_latency(*l, budget, scratch)?,
                     None => 0.0,
                 };
-                let body_lat = self.region_latency(body, budget)? + latch_lat + header_lat;
+                let body_lat =
+                    self.region_latency(body, budget, scratch)? + latch_lat + header_lat;
                 if meta.pipeline {
-                    return Ok(self.pipelined_loop_latency(*header, body, *latch, trip, budget));
+                    return Ok(self
+                        .pipelined_loop_latency(*header, body, *latch, trip, budget, scratch));
                 }
                 let unroll = match meta.unroll {
                     Some(0) => trip.max(1.0) as u32, // full unroll
@@ -606,6 +629,7 @@ impl KernelAnalysis {
         latch: Option<flexcl_ir::BlockId>,
         trip: f64,
         budget: &ResourceBudget,
+        scratch: &mut SchedScratch,
     ) -> f64 {
         // One iteration = header + body blocks + latch, in program order.
         let mut seq: Vec<InstId> = Vec::new();
@@ -619,7 +643,7 @@ impl KernelAnalysis {
         if seq.is_empty() {
             return 0.0;
         }
-        let mut g = SchedGraph::new();
+        let mut g = scratch.take_graph();
         let mut map: HashMap<InstId, NodeId> = HashMap::new();
         for id in &seq {
             let inst = self.func.inst(*id);
@@ -655,7 +679,8 @@ impl KernelAnalysis {
                 g.add_edge_with_distance(map[&sid], map[&lid], 1);
             }
         }
-        let sched = sms::schedule(&g, budget, 0);
+        let sched = sms::schedule_with(&g, budget, 0, scratch);
+        scratch.put_graph(g);
         f64::from(sched.ii) * (trip - 1.0).max(0.0) + f64::from(sched.depth)
     }
 
@@ -697,6 +722,33 @@ impl KernelAnalysis {
         &self,
         budget: &ResourceBudget,
     ) -> Result<(SchedGraph, Vec<Option<NodeId>>), FlexclError> {
+        self.work_item_graph_with(budget, &self.work_item_deps(), &mut SchedScratch::new())
+    }
+
+    /// The dependence edges over the whole instruction sequence, the
+    /// budget-independent half of [`KernelAnalysis::work_item_graph`].
+    ///
+    /// Evaluation layers compute this once per analysis and feed it to
+    /// [`KernelAnalysis::work_item_graph_with`] /
+    /// [`KernelAnalysis::pipeline_params_with`] for every budget.
+    pub fn work_item_deps(&self) -> Vec<DepEdge> {
+        let all: Vec<InstId> = self.func.insts.iter().map(|i| i.id).collect();
+        build_deps(&self.func, &all)
+    }
+
+    /// [`KernelAnalysis::work_item_graph`] with precomputed dependence
+    /// edges (from [`KernelAnalysis::work_item_deps`]) and reusable
+    /// scheduler scratch. Bit-identical to the plain form.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KernelAnalysis::work_item_graph`].
+    pub fn work_item_graph_with(
+        &self,
+        budget: &ResourceBudget,
+        deps: &[DepEdge],
+        scratch: &mut SchedScratch,
+    ) -> Result<(SchedGraph, Vec<Option<NodeId>>), FlexclError> {
         let mut g = SchedGraph::new();
         let mut inst_node: Vec<Option<NodeId>> = vec![None; self.func.insts.len()];
 
@@ -716,7 +768,9 @@ impl KernelAnalysis {
                     }
                 }
                 region => {
-                    let lat = self.region_latency(region, budget)?.min(f64::from(u32::MAX / 4));
+                    let lat = self
+                        .region_latency(region, budget, scratch)?
+                        .min(f64::from(u32::MAX / 4));
                     let node = g.add_node(lat.round() as u32, ResourceClass::Fabric);
                     for b in region.blocks() {
                         for inst in self.func.block_insts(b) {
@@ -728,9 +782,8 @@ impl KernelAnalysis {
         }
 
         // Dependence edges mapped onto nodes.
-        let all: Vec<InstId> = self.func.insts.iter().map(|i| i.id).collect();
         let mut seen = std::collections::HashSet::new();
-        for e in build_deps(&self.func, &all) {
+        for e in deps {
             let (Some(from), Some(to)) =
                 (inst_node[e.from.0 as usize], inst_node[e.to.0 as usize])
             else {
@@ -760,9 +813,25 @@ impl KernelAnalysis {
     /// Returns [`FlexclError::Scheduling`] if the work-item graph cannot be
     /// scheduled under `budget`.
     pub fn pipeline_params(&self, budget: &ResourceBudget) -> Result<(u32, u32), FlexclError> {
-        let (g, _) = self.work_item_graph(budget)?;
-        let depth_floor = self.work_item_latency(budget)?.round() as u32;
-        let schedule = sms::schedule(&g, budget, depth_floor);
+        self.pipeline_params_with(budget, &self.work_item_deps(), &mut SchedScratch::new())
+    }
+
+    /// [`KernelAnalysis::pipeline_params`] with precomputed dependence
+    /// edges and reusable scheduler scratch. Bit-identical to the plain
+    /// form.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KernelAnalysis::pipeline_params`].
+    pub fn pipeline_params_with(
+        &self,
+        budget: &ResourceBudget,
+        deps: &[DepEdge],
+        scratch: &mut SchedScratch,
+    ) -> Result<(u32, u32), FlexclError> {
+        let (g, _) = self.work_item_graph_with(budget, deps, scratch)?;
+        let depth_floor = self.work_item_latency_with(budget, scratch)?.round() as u32;
+        let schedule = sms::schedule_with(&g, budget, depth_floor, scratch);
         let ii = schedule
             .ii
             .max(self.rec_mii())

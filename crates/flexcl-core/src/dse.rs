@@ -16,8 +16,14 @@
 //!   results are merged back in enumeration order, so the returned
 //!   [`DseResult`] is bit-identical to the serial sweep.
 //! * **Memoization** — kernel and platform are interned behind [`Arc`]s,
-//!   DRAM micro-benchmark profiles are cached per configuration, and each
-//!   worker reuses one [`AnalysisScratch`] across its families.
+//!   DRAM micro-benchmark profiles are cached per configuration, each
+//!   worker reuses one [`AnalysisScratch`] across its families, each
+//!   family evaluates through one [`EvalContext`] (schedules computed once
+//!   per distinct resource budget, not once per candidate), and completed
+//!   analyses are kept in a small process-wide content-keyed cache
+//!   ([`DseOptions::reuse_analysis`]) so repeated sweeps skip profiling.
+//!   [`DseResult::stats`] reports where the time went and how the caches
+//!   performed.
 //! * **Pruning** — optionally, a family/mode whose cheap monotonic lower
 //!   bound ([`cycle_lower_bound`]) already exceeds the best feasible cycle
 //!   count seen so far is skipped without evaluating its configurations.
@@ -36,7 +42,8 @@
 use crate::analysis::{AnalysisScratch, KernelAnalysis, ProfileFuel, Workload};
 use crate::config::{self, CommMode, DesignSpaceLimits, OptimizationConfig};
 use crate::error::{ErrorKind, FlexclError};
-use crate::model::{cycle_lower_bound, estimate, Estimate};
+use crate::eval::EvalContext;
+use crate::model::{cycle_lower_bound, Estimate};
 use crate::platform::Platform;
 use flexcl_frontend::types::Type;
 use flexcl_ir::Function;
@@ -63,11 +70,23 @@ pub struct DseOptions {
     /// exhausts it fails that family with
     /// [`ErrorKind::ResourceLimit`] instead of hanging the sweep.
     pub fuel: ProfileFuel,
+    /// Reuse kernel analyses across sweeps of the same
+    /// `(kernel, platform, workload, work_group, fuel)` through a small
+    /// process-wide cache. Repeated sweeps (parameter studies, benchmark
+    /// harnesses) then skip re-profiling entirely; the estimates are
+    /// bit-identical because the cached analysis is the same value the
+    /// sweep would recompute. Disable to force every sweep to re-analyze.
+    pub reuse_analysis: bool,
 }
 
 impl Default for DseOptions {
     fn default() -> Self {
-        DseOptions { threads: 1, prune: false, fuel: ProfileFuel::default() }
+        DseOptions {
+            threads: 1,
+            prune: false,
+            fuel: ProfileFuel::default(),
+            reuse_analysis: true,
+        }
     }
 }
 
@@ -130,6 +149,71 @@ impl DiagnosticsReport {
     }
 }
 
+/// Instrumentation counters for one sweep: where the time went and how
+/// effective the two cache layers were.
+///
+/// The counters are diagnostics, not part of the modelled result: two
+/// sweeps with different cache behaviour report different stats but
+/// bit-identical [`DseResult::points`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DseStats {
+    /// Families whose kernel analysis ran or was fetched from cache.
+    pub families_analyzed: usize,
+    /// Candidate configurations successfully evaluated.
+    pub points_evaluated: usize,
+    /// Families served by the process-wide analysis cache
+    /// ([`DseOptions::reuse_analysis`]).
+    pub analysis_cache_hits: u64,
+    /// Families that ran the full analysis (profiling included).
+    pub analysis_cache_misses: u64,
+    /// Estimates served by a family's budget-keyed schedule cache
+    /// ([`crate::eval::EvalContext`]).
+    pub sched_cache_hits: u64,
+    /// Estimates that had to run the schedulers.
+    pub sched_cache_misses: u64,
+    /// Wall-clock nanoseconds in kernel analysis (cache hits included).
+    pub analysis_nanos: u64,
+    /// Wall-clock nanoseconds in the candidate-evaluation loops.
+    pub estimate_nanos: u64,
+    /// Wall-clock nanoseconds inside scheduler calls (subset of
+    /// `estimate_nanos`).
+    pub sched_nanos: u64,
+}
+
+impl DseStats {
+    /// Fraction of estimates served from the schedule caches.
+    pub fn sched_cache_hit_rate(&self) -> f64 {
+        let total = self.sched_cache_hits + self.sched_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.sched_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of families served from the analysis cache.
+    pub fn analysis_cache_hit_rate(&self) -> f64 {
+        let total = self.analysis_cache_hits + self.analysis_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.analysis_cache_hits as f64 / total as f64
+        }
+    }
+
+    fn merge(&mut self, other: &DseStats) {
+        self.families_analyzed += other.families_analyzed;
+        self.points_evaluated += other.points_evaluated;
+        self.analysis_cache_hits += other.analysis_cache_hits;
+        self.analysis_cache_misses += other.analysis_cache_misses;
+        self.sched_cache_hits += other.sched_cache_hits;
+        self.sched_cache_misses += other.sched_cache_misses;
+        self.analysis_nanos += other.analysis_nanos;
+        self.estimate_nanos += other.estimate_nanos;
+        self.sched_nanos += other.sched_nanos;
+    }
+}
+
 /// The outcome of a sweep.
 #[derive(Debug, Clone)]
 pub struct DseResult {
@@ -139,6 +223,8 @@ pub struct DseResult {
     pub elapsed: Duration,
     /// Candidates that failed and were skipped.
     pub diagnostics: DiagnosticsReport,
+    /// Timing and cache instrumentation for the sweep.
+    pub stats: DseStats,
 }
 
 impl DseResult {
@@ -278,6 +364,110 @@ impl Incumbent {
 struct FamilyOutcome {
     points: Vec<(usize, DesignPoint)>,
     failed: Vec<FailedPoint>,
+    stats: DseStats,
+}
+
+/// Process-wide memoization of kernel analyses, keyed by the *content* of
+/// everything the analysis depends on.
+///
+/// A sweep's families already share one analysis each; this layer shares
+/// them across sweeps, so a benchmark harness or parameter study that
+/// re-explores the same kernel skips interpretation/profiling entirely.
+/// The key fingerprints the kernel IR, the platform tables and the
+/// workload (shape *and* argument values — profiling executes the kernel,
+/// so trip counts and the memory trace can depend on data). Two 64-bit
+/// hashes with independent seeds make an accidental collision across the
+/// ≤ [`analysis_cache::CAP`] resident entries implausible.
+mod analysis_cache {
+    use super::*;
+    use flexcl_interp::KernelArg;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// Identity of one analysis: content fingerprint plus the analysis
+    /// parameters that are not part of the fingerprinted inputs.
+    #[derive(Debug, Clone, PartialEq)]
+    pub(super) struct Key {
+        pub fingerprint: (u64, u64),
+        pub work_group: (u32, u32),
+        pub fuel: ProfileFuel,
+    }
+
+    /// Resident entries before the cache is reset. The benchmark suite
+    /// sweeps a handful of kernels with up to ~10 work-group families
+    /// each; 64 keeps them all resident while bounding memory held by
+    /// profiling artifacts.
+    pub(super) const CAP: usize = 64;
+
+    static CACHE: Mutex<Vec<(Key, Arc<KernelAnalysis>)>> = Mutex::new(Vec::new());
+
+    fn seeded(seed: u64) -> DefaultHasher {
+        let mut h = DefaultHasher::new();
+        h.write_u64(seed);
+        h
+    }
+
+    /// Content fingerprint of `(func, platform, workload)`.
+    pub(super) fn fingerprint(
+        func: &Function,
+        platform: &Platform,
+        workload: &Workload,
+    ) -> (u64, u64) {
+        // The IR and platform are plain data with derived `Debug`; their
+        // debug forms are injective enough to serve as a structural
+        // serialization. Argument payloads are hashed numerically (a large
+        // FloatBuf would be quadratic to format).
+        let structural = format!("{func:?}|{platform:?}|{:?}", workload.global);
+        let mut a = seeded(0x9e37_79b9_7f4a_7c15);
+        let mut b = seeded(0xc2b2_ae3d_27d4_eb4f);
+        for h in [&mut a, &mut b] {
+            structural.hash(h);
+            h.write_usize(workload.args.len());
+            for arg in &workload.args {
+                match arg {
+                    KernelArg::Int(v) => {
+                        h.write_u8(0);
+                        h.write_i64(*v);
+                    }
+                    KernelArg::Float(v) => {
+                        h.write_u8(1);
+                        h.write_u64(v.to_bits());
+                    }
+                    KernelArg::IntBuf(v) => {
+                        h.write_u8(2);
+                        h.write_usize(v.len());
+                        for x in v {
+                            h.write_i64(*x);
+                        }
+                    }
+                    KernelArg::FloatBuf(v) => {
+                        h.write_u8(3);
+                        h.write_usize(v.len());
+                        for x in v {
+                            h.write_u64(x.to_bits());
+                        }
+                    }
+                }
+            }
+        }
+        (a.finish(), b.finish())
+    }
+
+    pub(super) fn lookup(key: &Key) -> Option<Arc<KernelAnalysis>> {
+        let cache = CACHE.lock().unwrap_or_else(|e| e.into_inner());
+        cache.iter().find(|(k, _)| k == key).map(|(_, a)| Arc::clone(a))
+    }
+
+    pub(super) fn insert(key: Key, analysis: &Arc<KernelAnalysis>) {
+        let mut cache = CACHE.lock().unwrap_or_else(|e| e.into_inner());
+        if cache.iter().any(|(k, _)| *k == key) {
+            return; // racing workers computed the same analysis
+        }
+        if cache.len() >= CAP {
+            cache.clear();
+        }
+        cache.push((key, Arc::clone(analysis)));
+    }
 }
 
 /// Renders a caught panic payload for the diagnostics report.
@@ -291,6 +481,17 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
     }
 }
 
+/// The sweep-wide inputs shared by every family: what to analyze, how,
+/// and the precomputed analysis-cache fingerprint (if caching is on).
+#[derive(Clone, Copy)]
+struct SweepInputs<'a> {
+    func: &'a Arc<Function>,
+    platform: &'a Arc<Platform>,
+    workload: &'a Workload,
+    opts: DseOptions,
+    fingerprint: Option<(u64, u64)>,
+}
+
 /// Analyzes one family and evaluates its configurations.
 ///
 /// Never aborts the sweep: a geometry mismatch (work-group does not tile
@@ -298,23 +499,33 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
 /// historical behaviour; every other failure — typed error or contained
 /// panic — is recorded per candidate in the outcome.
 fn run_family(
-    func: &Arc<Function>,
-    platform: &Arc<Platform>,
-    workload: &Workload,
+    sweep: &SweepInputs<'_>,
     family: &Family,
-    opts: DseOptions,
     incumbent: &Incumbent,
     scratch: &mut AnalysisScratch,
 ) -> FamilyOutcome {
+    let SweepInputs { func, platform, workload, opts, fingerprint } = *sweep;
     let mut out = FamilyOutcome::default();
     let fail_all = |out: &mut FamilyOutcome, kind: ErrorKind, message: String| {
         for &(idx, cfg) in &family.entries {
             out.failed.push(FailedPoint { index: idx, config: cfg, kind, message: message.clone() });
         }
     };
+    let cache_key = fingerprint.map(|fingerprint| analysis_cache::Key {
+        fingerprint,
+        work_group: family.work_group,
+        fuel: opts.fuel,
+    });
+    let t_analysis = Instant::now();
+    out.stats.families_analyzed = 1;
     let analysis = match catch_unwind(AssertUnwindSafe(|| {
         testhook::maybe_panic(family.work_group);
-        KernelAnalysis::analyze_interned(
+        if let Some(key) = &cache_key {
+            if let Some(hit) = analysis_cache::lookup(key) {
+                return (Ok(hit), true);
+            }
+        }
+        let fresh = KernelAnalysis::analyze_interned(
             Arc::clone(func),
             Arc::clone(platform),
             workload,
@@ -322,16 +533,34 @@ fn run_family(
             opts.fuel,
             scratch,
         )
+        .map(Arc::new);
+        if let (Some(key), Ok(a)) = (&cache_key, &fresh) {
+            analysis_cache::insert(key.clone(), a);
+        }
+        (fresh, false)
     })) {
-        Ok(Ok(a)) => a,
-        // Work-group sizes that do not tile the workload are not failures:
-        // the enumerated space is generated before geometry is checked.
-        Ok(Err(e)) if e.kind() == ErrorKind::Geometry => return out,
-        Ok(Err(e)) => {
-            fail_all(&mut out, e.kind(), e.to_string());
-            return out;
+        Ok((result, from_cache)) => {
+            out.stats.analysis_nanos = t_analysis.elapsed().as_nanos() as u64;
+            if from_cache {
+                out.stats.analysis_cache_hits = 1;
+            } else {
+                out.stats.analysis_cache_misses = 1;
+            }
+            match result {
+                Ok(a) => a,
+                // Work-group sizes that do not tile the workload are not
+                // failures: the enumerated space is generated before
+                // geometry is checked.
+                Err(e) if e.kind() == ErrorKind::Geometry => return out,
+                Err(e) => {
+                    fail_all(&mut out, e.kind(), e.to_string());
+                    return out;
+                }
+            }
         }
         Err(payload) => {
+            out.stats.analysis_nanos = t_analysis.elapsed().as_nanos() as u64;
+            out.stats.analysis_cache_misses = 1;
             let msg = panic_message(payload);
             fail_all(&mut out, ErrorKind::Panic, format!("analysis panicked: {msg}"));
             return out;
@@ -347,6 +576,11 @@ fn run_family(
     };
     let (skip_barrier, skip_pipeline) = (skip(CommMode::Barrier), skip(CommMode::Pipeline));
 
+    // One evaluation context for the whole family: the budget-keyed
+    // schedule caches and the scheduler scratch live exactly as long as
+    // the analysis they memoize, on this worker thread.
+    let mut ctx = EvalContext::new(&analysis);
+    let t_estimate = Instant::now();
     for &(idx, cfg) in &family.entries {
         let skipped = match cfg.comm_mode {
             CommMode::Barrier => skip_barrier,
@@ -355,11 +589,12 @@ fn run_family(
         if skipped {
             continue;
         }
-        match catch_unwind(AssertUnwindSafe(|| estimate(&analysis, &cfg))) {
+        match catch_unwind(AssertUnwindSafe(|| ctx.estimate(&cfg))) {
             Ok(Ok(est)) => {
                 if est.feasible {
                     incumbent.offer(est.cycles);
                 }
+                out.stats.points_evaluated += 1;
                 out.points.push((idx, DesignPoint { config: cfg, estimate: est }));
             }
             Ok(Err(e)) => out.failed.push(FailedPoint {
@@ -376,6 +611,10 @@ fn run_family(
             }),
         }
     }
+    out.stats.estimate_nanos = t_estimate.elapsed().as_nanos() as u64;
+    out.stats.sched_cache_hits = ctx.stats.sched_cache_hits;
+    out.stats.sched_cache_misses = ctx.stats.sched_cache_misses;
+    out.stats.sched_nanos = ctx.stats.sched_nanos;
     out
 }
 
@@ -469,17 +708,24 @@ pub fn explore_configs(
         }
     }
 
+    // One content fingerprint covers the whole sweep: families differ only
+    // in work-group size, which is part of the cache key, not the hash.
+    let fingerprint = opts
+        .reuse_analysis
+        .then(|| analysis_cache::fingerprint(&func, &platform, workload));
+
     let incumbent = Incumbent::new();
     let mut indexed: Vec<(usize, DesignPoint)> = Vec::new();
+    let mut stats = DseStats::default();
+    let sweep = SweepInputs { func: &func, platform: &platform, workload, opts, fingerprint };
 
     if opts.threads <= 1 || families.len() <= 1 {
         let mut scratch = AnalysisScratch::new();
         for family in &families {
-            let outcome = run_family(
-                &func, &platform, workload, family, opts, &incumbent, &mut scratch,
-            );
+            let outcome = run_family(&sweep, family, &incumbent, &mut scratch);
             indexed.extend(outcome.points);
             failed.extend(outcome.failed);
+            stats.merge(&outcome.stats);
         }
     } else {
         let workers = opts.threads.min(families.len());
@@ -493,9 +739,7 @@ pub fn explore_configs(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(family) = families.get(i) else { break };
-                        let outcome = run_family(
-                            &func, &platform, workload, family, opts, &incumbent, &mut scratch,
-                        );
+                        let outcome = run_family(&sweep, family, &incumbent, &mut scratch);
                         // Panics inside run_family are contained, so the
                         // lock can only be poisoned by a crash in this
                         // bookkeeping itself; recover the data either way.
@@ -513,6 +757,7 @@ pub fn explore_configs(
                 .expect("every family index was claimed by a worker");
             indexed.extend(outcome.points);
             failed.extend(outcome.failed);
+            stats.merge(&outcome.stats);
         }
     }
 
@@ -523,6 +768,7 @@ pub fn explore_configs(
         points,
         elapsed: start.elapsed(),
         diagnostics: DiagnosticsReport { failed },
+        stats,
     })
 }
 

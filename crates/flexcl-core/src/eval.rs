@@ -1,0 +1,339 @@
+//! Budget-keyed evaluation context for the DSE hot path.
+//!
+//! [`crate::estimate`] re-derives the expensive sub-models — list/SMS
+//! scheduling for `(II_comp^wi, D_comp^PE)` and the work-item dependence
+//! graph — for every candidate, yet those sub-models depend on the
+//! configuration only through its [`ResourceBudget`] (a function of
+//! `effective_pes()` and `num_cus`). A family of ~330 enumerated
+//! configurations collapses to a handful of distinct budgets, so the sweep
+//! was paying for the same schedules hundreds of times.
+//!
+//! [`EvalContext`] is the layer between `dse::run_family` and the model
+//! equations that exploits this:
+//!
+//! * the work-item dependence edges ([`KernelAnalysis::work_item_deps`])
+//!   are built **once per analysis** instead of once per candidate;
+//! * `(budget → pipeline_params)` and `(budget → work_item_latency)` are
+//!   memoized, so SMS and list scheduling run **once per distinct
+//!   budget**;
+//! * one [`SchedScratch`] is reused across all scheduler calls, so the
+//!   misses themselves stop allocating;
+//! * the mode-dependent memory constants (`L_mem^wi` in both burst
+//!   orders) and the warm-dispatch terms are hoisted into precomputed
+//!   fields, leaving pure arithmetic as the per-candidate residue.
+//!
+//! The context IS the model: [`crate::estimate`] constructs a fresh
+//! context per call and evaluates through it, so the cached and uncached
+//! paths share one implementation and are bit-identical by construction.
+//! A context borrows its analysis and lives for one family on one worker
+//! thread; see DESIGN.md §9 for why cross-thread sharing is unnecessary.
+
+use crate::analysis::KernelAnalysis;
+use crate::config::{CommMode, OptimizationConfig};
+use crate::error::FlexclError;
+use crate::model::{effective_pe_parallelism, infeasible, pe_budget, Estimate};
+use flexcl_ir::DepEdge;
+use flexcl_sched::{ResourceBudget, SchedScratch};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Counters describing what one [`EvalContext`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Estimates served from the budget-keyed schedule caches.
+    pub sched_cache_hits: u64,
+    /// Estimates that had to run the schedulers.
+    pub sched_cache_misses: u64,
+    /// Wall-clock nanoseconds spent inside scheduler calls (miss path).
+    pub sched_nanos: u64,
+}
+
+/// Memoizing evaluation context for one [`KernelAnalysis`].
+///
+/// Create one per family (or one per batch of configurations sharing an
+/// analysis) and call [`EvalContext::estimate`] per candidate. Results are
+/// bit-identical to [`crate::estimate`] in any call order: the cached
+/// values are pure functions of `(analysis, budget)`.
+pub struct EvalContext<'a> {
+    analysis: &'a KernelAnalysis,
+    /// Budget-independent dependence edges for the work-item graph.
+    deps: Vec<DepEdge>,
+    /// `budget → (II_comp^wi, D_comp^PE)` (work-item pipelining on).
+    pipe_cache: HashMap<ResourceBudget, Result<(u32, u32), FlexclError>>,
+    /// `budget → L_wi` (work-item pipelining off).
+    lat_cache: HashMap<ResourceBudget, Result<f64, FlexclError>>,
+    scratch: SchedScratch,
+    // Hoisted per-family constants (pure functions of the analysis).
+    l_mem_wi_pipeline: f64,
+    l_mem_wi_barrier: f64,
+    n_wi_kernel: f64,
+    dl: f64,
+    dl_warm: f64,
+    launch: f64,
+    /// Counters for the instrumented sweep.
+    pub stats: EvalStats,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Prepares a context: precomputes the dependence edges and the
+    /// mode-dependent memory/dispatch constants.
+    pub fn new(analysis: &'a KernelAnalysis) -> Self {
+        let platform = &analysis.platform;
+        let dl = f64::from(platform.schedule_overhead);
+        EvalContext {
+            deps: analysis.work_item_deps(),
+            pipe_cache: HashMap::new(),
+            lat_cache: HashMap::new(),
+            scratch: SchedScratch::new(),
+            l_mem_wi_pipeline: analysis.l_mem_wi(),
+            l_mem_wi_barrier: analysis.l_mem_wi_phased(),
+            n_wi_kernel: (analysis.global.0 * analysis.global.1) as f64,
+            dl,
+            // Steady-state dispatch cost per group (scheduler overlap hides
+            // most of ΔL once a CU is warm); `C·ΔL` pays the cold starts.
+            dl_warm: dl * (1.0 - platform.dispatch_overlap).max(0.0),
+            launch: f64::from(platform.launch_overhead),
+            stats: EvalStats::default(),
+            analysis,
+        }
+    }
+
+    /// The analysis this context evaluates against.
+    pub fn analysis(&self) -> &KernelAnalysis {
+        self.analysis
+    }
+
+    fn pipeline_params(&mut self, budget: &ResourceBudget) -> Result<(u32, u32), FlexclError> {
+        if let Some(r) = self.pipe_cache.get(budget) {
+            self.stats.sched_cache_hits += 1;
+            return r.clone();
+        }
+        self.stats.sched_cache_misses += 1;
+        let t0 = Instant::now();
+        let r = self.analysis.pipeline_params_with(budget, &self.deps, &mut self.scratch);
+        self.stats.sched_nanos += t0.elapsed().as_nanos() as u64;
+        self.pipe_cache.insert(*budget, r.clone());
+        r
+    }
+
+    fn work_item_latency(&mut self, budget: &ResourceBudget) -> Result<f64, FlexclError> {
+        if let Some(r) = self.lat_cache.get(budget) {
+            self.stats.sched_cache_hits += 1;
+            return r.clone();
+        }
+        self.stats.sched_cache_misses += 1;
+        let t0 = Instant::now();
+        let r = self.analysis.work_item_latency_with(budget, &mut self.scratch);
+        self.stats.sched_nanos += t0.elapsed().as_nanos() as u64;
+        self.lat_cache.insert(*budget, r.clone());
+        r
+    }
+
+    /// Evaluates the full model for one configuration (the implementation
+    /// behind [`crate::estimate`]; see its docs for the contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexclError::Config`] if `config` violates its structural
+    /// invariants and [`FlexclError::Scheduling`] if the kernel cannot be
+    /// scheduled under the configuration's resource budget.
+    pub fn estimate(&mut self, config: &OptimizationConfig) -> Result<Estimate, FlexclError> {
+        config.validate()?;
+        let analysis = self.analysis;
+        let platform = &analysis.platform;
+        let n_wi_kernel = self.n_wi_kernel;
+        let n_wi_wg = config.work_group_size() as f64;
+        let p_eff = config.effective_pes().max(1);
+        let c = config.num_cus.max(1);
+
+        // ---- feasibility -------------------------------------------------
+        // Saturating: extreme replication factors must read as "too big for
+        // the device", not overflow.
+        let dsps_needed = u64::from(analysis.static_dsps_per_pe)
+            .saturating_mul(u64::from(p_eff))
+            .saturating_mul(u64::from(c));
+        if dsps_needed > u64::from(platform.total_dsps) {
+            return Ok(infeasible(
+                config,
+                format!("needs {dsps_needed} DSPs, device has {}", platform.total_dsps),
+            ));
+        }
+        let bram_needed = analysis
+            .local_bytes
+            .saturating_mul(u64::from(c))
+            .saturating_mul(u64::from(p_eff.min(4)));
+        if bram_needed > platform.total_bram_bytes {
+            return Ok(infeasible(
+                config,
+                format!(
+                    "needs {bram_needed} BRAM bytes, device has {}",
+                    platform.total_bram_bytes
+                ),
+            ));
+        }
+
+        // ---- PE model (Eq. 1–4 + SMS), memoized per budget ---------------
+        let budget = pe_budget(analysis, config);
+        let (ii_comp, depth) = if config.work_item_pipeline {
+            self.pipeline_params(&budget)?
+        } else {
+            // Without work-item pipelining a PE processes one work-item at a
+            // time: the initiation interval is the full work-item latency.
+            let d = self.work_item_latency(&budget)?.round().max(1.0) as u32;
+            (d, d)
+        };
+
+        // ---- CU model (Eq. 5–6) ------------------------------------------
+        let n_pe = effective_pe_parallelism(analysis, config);
+        let waves = ((n_wi_wg - f64::from(n_pe)) / f64::from(n_pe)).ceil().max(0.0);
+        let l_cu = f64::from(ii_comp) * waves + f64::from(depth);
+
+        // ---- memory model (Eq. 9), hoisted per family --------------------
+        // Pattern counts follow the burst order the chosen communication
+        // mode produces: work-item-interleaved for pipeline mode, phased
+        // reads-then-writes for barrier mode (§3.5: integration depends on
+        // how computation communicates with global memory).
+        let l_mem_wi = match config.comm_mode {
+            CommMode::Barrier => self.l_mem_wi_barrier,
+            CommMode::Pipeline => self.l_mem_wi_pipeline,
+        };
+
+        // ---- kernel model (Eq. 7–8) --------------------------------------
+        // Eq. 8 compares the work a CU does per group against the
+        // scheduling overhead; in barrier mode the group occupies its CU
+        // for memory and computation, so the full duration bounds the
+        // useful CU parallelism.
+        let dl = self.dl;
+        let dl_warm = self.dl_warm;
+        let group_duration = match config.comm_mode {
+            CommMode::Barrier => l_mem_wi * n_wi_wg + l_cu,
+            CommMode::Pipeline => l_cu.max(l_mem_wi * n_wi_wg),
+        };
+        let n_cu =
+            (f64::from(c)).min((group_duration / dl_warm.max(1.0)).ceil().max(1.0)) as u32;
+        let wg_rounds = (n_wi_kernel / (n_wi_wg * f64::from(n_cu))).ceil().max(1.0);
+        // Cold dispatches to the C CUs proceed in parallel, so one ΔL of
+        // latency reaches the critical path (the paper's `C·ΔL` reading of
+        // Eq. 7 models a serialized dispatcher; measured behaviour
+        // overlaps).
+        let l_comp_kernel = (l_cu + dl_warm) * wg_rounds + dl;
+
+        // ---- integration (Eq. 10–12) -------------------------------------
+        // Multi-CU adaptation: the paper states Eq. 10 for the single-CU
+        // case, where all global transfers serialize behind the CU's burst
+        // engine; `L_mem^wi · N_wi^kernel + L_comp^kernel` then counts
+        // every work-item's memory once. Each CU has its own engine, so
+        // with `N_CU` concurrent CUs the serialized memory is per-group:
+        // the equation is applied at group granularity and multiplied by
+        // the rounds each CU executes. For C = 1 this is algebraically
+        // identical to Eq. 10.
+        let launch = self.launch;
+        // Multi-bank DDR interleaves independent CU streams, so CU
+        // replication does not scale the per-group memory term;
+        // `analysis.channel_contention` remains available as a diagnostic
+        // upper bound for placements where CUs would share one bank group.
+        let mem_scale = 1.0;
+        let (cycles, ii_wi) = match config.comm_mode {
+            CommMode::Barrier => {
+                let mem_per_group = l_mem_wi * n_wi_wg * mem_scale;
+                let t = (mem_per_group + l_cu + dl_warm) * wg_rounds + dl + launch;
+                (t, f64::from(ii_comp))
+            }
+            CommMode::Pipeline => {
+                // Eq. 11–12, with the group's total transfer volume as a
+                // floor: even when PE replication removes all waves
+                // (`waves → 0`), the work-group's memory must still stream
+                // through the CU.
+                let ii_wi = (l_mem_wi * mem_scale).max(f64::from(ii_comp));
+                let mem_group = l_mem_wi * n_wi_wg * mem_scale;
+                let group_time = (ii_wi * waves).max(mem_group) + f64::from(depth);
+                let t = (group_time + dl_warm) * wg_rounds + dl + launch;
+                (t, ii_wi)
+            }
+        };
+
+        Ok(Estimate {
+            cycles,
+            ii_comp,
+            depth,
+            ii_wi,
+            l_mem_wi,
+            l_cu,
+            l_comp_kernel,
+            n_pe,
+            n_cu,
+            mode: config.comm_mode,
+            feasible: true,
+            infeasible_reason: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Workload;
+    use crate::config::{enumerate, DesignSpaceLimits};
+    use crate::platform::Platform;
+    use flexcl_interp::KernelArg;
+
+    fn vadd_analysis() -> KernelAnalysis {
+        let p = flexcl_frontend::parse_and_check(
+            "__kernel void vadd(__global float* a, __global float* b, __global float* c) {
+                int i = get_global_id(0);
+                c[i] = a[i] + b[i];
+            }",
+        )
+        .expect("frontend");
+        let f = flexcl_ir::lower_kernel(&p.kernels[0]).expect("lowering");
+        KernelAnalysis::analyze(
+            &f,
+            &Platform::virtex7_adm7v3(),
+            &Workload {
+                args: vec![
+                    KernelArg::FloatBuf(vec![1.0; 1024]),
+                    KernelArg::FloatBuf(vec![2.0; 1024]),
+                    KernelArg::FloatBuf(vec![0.0; 1024]),
+                ],
+                global: (1024, 1),
+            },
+            (64, 1),
+        )
+        .expect("analysis")
+    }
+
+    #[test]
+    fn context_matches_uncached_estimate_over_the_enumerated_space() {
+        let a = vadd_analysis();
+        let space = enumerate(&DesignSpaceLimits {
+            global_x: 1024,
+            global_y: 1,
+            has_barrier: false,
+            reqd_work_group: Some((64, 1)),
+            vectorizable: true,
+        });
+        assert!(space.len() > 50);
+        let mut ctx = EvalContext::new(&a);
+        for cfg in &space {
+            let cached = ctx.estimate(cfg).expect("ctx estimate");
+            let fresh = crate::model::estimate(&a, cfg).expect("fresh estimate");
+            assert_eq!(cached, fresh, "{cfg}");
+        }
+        assert!(ctx.stats.sched_cache_hits > 0, "sweep must hit the cache");
+        assert!(
+            ctx.stats.sched_cache_misses < space.len() as u64 / 4,
+            "{} misses over {} configs: budgets did not collapse",
+            ctx.stats.sched_cache_misses,
+            space.len()
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_caching() {
+        let a = vadd_analysis();
+        let mut ctx = EvalContext::new(&a);
+        let bad = OptimizationConfig { num_pes: 0, ..OptimizationConfig::default() };
+        assert!(ctx.estimate(&bad).is_err());
+        assert_eq!(ctx.stats.sched_cache_misses, 0);
+    }
+}

@@ -55,6 +55,7 @@ pub mod area;
 pub mod config;
 pub mod dse;
 pub mod error;
+pub mod eval;
 pub mod model;
 pub mod platform;
 
@@ -63,9 +64,10 @@ pub use area::{estimate_area, pareto_frontier, AreaEstimate, ParetoPoint};
 pub use config::{enumerate, CommMode, DesignSpaceLimits, OptimizationConfig};
 pub use dse::{
     explore, explore_configs, explore_with, limits_for, DesignPoint, DiagnosticsReport,
-    DseOptions, DseResult, FailedPoint,
+    DseOptions, DseResult, DseStats, FailedPoint,
 };
 pub use error::{ErrorKind, FlexclError};
+pub use eval::{EvalContext, EvalStats};
 pub use model::{cycle_lower_bound, estimate, pe_budget, Estimate};
 pub use platform::Platform;
 

@@ -90,8 +90,12 @@ impl fmt::Display for Estimate {
 pub fn pe_budget(analysis: &KernelAnalysis, config: &OptimizationConfig) -> ResourceBudget {
     let platform = &analysis.platform;
     let p_eff = config.effective_pes().max(1);
+    // Saturating: `num_cus · effective_pes` can exceed `u32::MAX` for
+    // adversarial (but structurally valid) configurations; the correct
+    // reading is "replication so extreme each PE gets no DSP share", not
+    // a wrapped product handing out an inflated budget.
     let dsps_per_pe_avail =
-        platform.total_dsps / (config.num_cus.max(1) * p_eff).max(1);
+        platform.total_dsps / config.num_cus.max(1).saturating_mul(p_eff).max(1);
     let dsp_slots = match analysis.static_dsps_per_pe.checked_div(analysis.dsp_op_instances) {
         None => u32::MAX,
         Some(q) => {
@@ -115,6 +119,11 @@ pub fn pe_budget(analysis: &KernelAnalysis, config: &OptimizationConfig) -> Reso
 /// estimate with `feasible == false` and infinite cycles; errors are
 /// reserved for inputs the model cannot evaluate at all.
 ///
+/// The implementation lives in [`crate::eval::EvalContext`], which this
+/// function instantiates per call; batch callers evaluating many
+/// configurations against one analysis should hold a context themselves
+/// to reuse its budget-keyed schedule caches.
+///
 /// # Errors
 ///
 /// Returns [`FlexclError::Config`] if `config` violates its structural
@@ -124,127 +133,7 @@ pub fn estimate(
     analysis: &KernelAnalysis,
     config: &OptimizationConfig,
 ) -> Result<Estimate, FlexclError> {
-    config.validate()?;
-    let platform = &analysis.platform;
-    let n_wi_kernel = (analysis.global.0 * analysis.global.1) as f64;
-    let n_wi_wg = config.work_group_size() as f64;
-    let p_eff = config.effective_pes().max(1);
-    let c = config.num_cus.max(1);
-
-    // ---- feasibility -------------------------------------------------
-    // Saturating: extreme replication factors must read as "too big for
-    // the device", not overflow.
-    let dsps_needed = u64::from(analysis.static_dsps_per_pe)
-        .saturating_mul(u64::from(p_eff))
-        .saturating_mul(u64::from(c));
-    if dsps_needed > u64::from(platform.total_dsps) {
-        return Ok(infeasible(
-            config,
-            format!("needs {dsps_needed} DSPs, device has {}", platform.total_dsps),
-        ));
-    }
-    let bram_needed = analysis
-        .local_bytes
-        .saturating_mul(u64::from(c))
-        .saturating_mul(u64::from(p_eff.min(4)));
-    if bram_needed > platform.total_bram_bytes {
-        return Ok(infeasible(
-            config,
-            format!("needs {bram_needed} BRAM bytes, device has {}", platform.total_bram_bytes),
-        ));
-    }
-
-    // ---- PE model (Eq. 1–4 + SMS) ------------------------------------
-    let budget = pe_budget(analysis, config);
-    let (ii_comp, depth) = if config.work_item_pipeline {
-        analysis.pipeline_params(&budget)?
-    } else {
-        // Without work-item pipelining a PE processes one work-item at a
-        // time: the initiation interval is the full work-item latency.
-        let d = analysis.work_item_latency(&budget)?.round().max(1.0) as u32;
-        (d, d)
-    };
-
-    // ---- CU model (Eq. 5–6) ------------------------------------------
-    let n_pe = effective_pe_parallelism(analysis, config);
-    let waves = ((n_wi_wg - f64::from(n_pe)) / f64::from(n_pe)).ceil().max(0.0);
-    let l_cu = f64::from(ii_comp) * waves + f64::from(depth);
-
-    // ---- memory model (Eq. 9) ----------------------------------------
-    // Pattern counts follow the burst order the chosen communication mode
-    // produces: work-item-interleaved for pipeline mode, phased
-    // reads-then-writes for barrier mode (§3.5: integration depends on how
-    // computation communicates with global memory).
-    let l_mem_wi = match config.comm_mode {
-        CommMode::Barrier => analysis.l_mem_wi_phased(),
-        CommMode::Pipeline => analysis.l_mem_wi(),
-    };
-
-    // ---- kernel model (Eq. 7–8) --------------------------------------
-    // Eq. 8 compares the work a CU does per group against the scheduling
-    // overhead; in barrier mode the group occupies its CU for memory and
-    // computation, so the full duration bounds the useful CU parallelism.
-    let dl = f64::from(platform.schedule_overhead);
-    // Steady-state dispatch cost per group (scheduler overlap hides most
-    // of ΔL once a CU is warm); the `C·ΔL` term pays the cold starts.
-    let dl_warm = dl * (1.0 - platform.dispatch_overlap).max(0.0);
-    let group_duration = match config.comm_mode {
-        CommMode::Barrier => l_mem_wi * n_wi_wg + l_cu,
-        CommMode::Pipeline => l_cu.max(l_mem_wi * n_wi_wg),
-    };
-    let n_cu = (f64::from(c)).min((group_duration / dl_warm.max(1.0)).ceil().max(1.0)) as u32;
-    let wg_rounds = (n_wi_kernel / (n_wi_wg * f64::from(n_cu))).ceil().max(1.0);
-    // Cold dispatches to the C CUs proceed in parallel, so one ΔL of
-    // latency reaches the critical path (the paper's `C·ΔL` reading of
-    // Eq. 7 models a serialized dispatcher; measured behaviour overlaps).
-    let l_comp_kernel = (l_cu + dl_warm) * wg_rounds + dl;
-
-    // ---- integration (Eq. 10–12) -------------------------------------
-    // Multi-CU adaptation: the paper states Eq. 10 for the single-CU case,
-    // where all global transfers serialize behind the CU's burst engine;
-    // `L_mem^wi · N_wi^kernel + L_comp^kernel` then counts every work-item's
-    // memory once. Each CU has its own engine, so with `N_CU` concurrent
-    // CUs the serialized memory is per-group: the equation is applied at
-    // group granularity and multiplied by the rounds each CU executes. For
-    // C = 1 this is algebraically identical to Eq. 10.
-    let launch = f64::from(platform.launch_overhead);
-    // Multi-bank DDR interleaves independent CU streams, so CU replication
-    // does not scale the per-group memory term; `analysis.channel_contention`
-    // remains available as a diagnostic upper bound for placements where
-    // CUs would share one bank group.
-    let mem_scale = 1.0;
-    let (cycles, ii_wi) = match config.comm_mode {
-        CommMode::Barrier => {
-            let mem_per_group = l_mem_wi * n_wi_wg * mem_scale;
-            let t = (mem_per_group + l_cu + dl_warm) * wg_rounds + dl + launch;
-            (t, f64::from(ii_comp))
-        }
-        CommMode::Pipeline => {
-            // Eq. 11–12, with the group's total transfer volume as a floor:
-            // even when PE replication removes all waves (`waves → 0`), the
-            // work-group's memory must still stream through the CU.
-            let ii_wi = (l_mem_wi * mem_scale).max(f64::from(ii_comp));
-            let mem_group = l_mem_wi * n_wi_wg * mem_scale;
-            let group_time = (ii_wi * waves).max(mem_group) + f64::from(depth);
-            let t = (group_time + dl_warm) * wg_rounds + dl + launch;
-            (t, ii_wi)
-        }
-    };
-
-    Ok(Estimate {
-        cycles,
-        ii_comp,
-        depth,
-        ii_wi,
-        l_mem_wi,
-        l_cu,
-        l_comp_kernel,
-        n_pe,
-        n_cu,
-        mode: config.comm_mode,
-        feasible: true,
-        infeasible_reason: None,
-    })
+    crate::eval::EvalContext::new(analysis).estimate(config)
 }
 
 /// A cheap monotonic lower bound on [`estimate`]'s `cycles` over every
@@ -299,7 +188,10 @@ pub fn cycle_lower_bound(analysis: &KernelAnalysis, mode: CommMode) -> f64 {
 }
 
 /// Eq. 6 (standard resource-sharing form; see module docs).
-fn effective_pe_parallelism(analysis: &KernelAnalysis, config: &OptimizationConfig) -> u32 {
+pub(crate) fn effective_pe_parallelism(
+    analysis: &KernelAnalysis,
+    config: &OptimizationConfig,
+) -> u32 {
     let platform = &analysis.platform;
     let p_eff = config.effective_pes().max(1);
     // Unrolling partitions local arrays P ways; total CU ports scale.
@@ -327,7 +219,7 @@ fn effective_pe_parallelism(analysis: &KernelAnalysis, config: &OptimizationConf
     cap.max(1)
 }
 
-fn infeasible(config: &OptimizationConfig, reason: String) -> Estimate {
+pub(crate) fn infeasible(config: &OptimizationConfig, reason: String) -> Estimate {
     Estimate {
         cycles: f64::INFINITY,
         ii_comp: 0,
@@ -587,6 +479,32 @@ mod tests {
                 est.cycles
             );
         }
+    }
+
+    #[test]
+    fn extreme_replication_saturates_instead_of_overflowing() {
+        // `OptimizationConfig::validate` bounds `num_pes · vector_width`
+        // but not `num_cus · effective_pes`, so u32::MAX CUs is a
+        // structurally valid input; the budget product in `pe_budget`
+        // previously overflowed u32 on it (a debug-build panic, an
+        // inflated DSP budget in release).
+        let a = vadd_analysis();
+        let cfg = OptimizationConfig {
+            num_cus: u32::MAX,
+            num_pes: 2,
+            ..OptimizationConfig::baseline((64, 1))
+        };
+        cfg.validate().expect("structurally valid");
+        let saturated = pe_budget(&a, &cfg);
+        let modest = pe_budget(&a, &OptimizationConfig { num_cus: 1, ..cfg });
+        assert!(
+            saturated.dsps <= modest.dsps,
+            "more replication must never raise the per-PE budget: {} > {}",
+            saturated.dsps,
+            modest.dsps
+        );
+        let est = estimate(&a, &cfg).expect("extreme config must evaluate, not overflow");
+        assert!(est.feasible || est.cycles.is_infinite());
     }
 
     #[test]

@@ -74,11 +74,13 @@ fn arb_opts() -> BoxedStrategy<DseOptions> {
         any::<bool>(),
         proptest::sample::select(vec![0u64, 1, 1_000, 10_000_000]),
         proptest::sample::select(vec![0usize, 1, 1 << 20]),
+        any::<bool>(),
     )
-        .prop_map(|(threads, prune, step_limit, trace_limit)| DseOptions {
+        .prop_map(|(threads, prune, step_limit, trace_limit, reuse_analysis)| DseOptions {
             threads,
             prune,
             fuel: ProfileFuel { step_limit, trace_limit },
+            reuse_analysis,
         })
         .boxed()
 }

@@ -37,8 +37,27 @@ pub enum ResourceClass {
     Fabric,
 }
 
+/// Number of [`ResourceClass`] variants (for dense per-class tables).
+pub(crate) const NUM_RESOURCE_CLASSES: usize = 5;
+
+impl ResourceClass {
+    /// Dense index of the variant, for per-class counter arrays.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            ResourceClass::LocalRead => 0,
+            ResourceClass::LocalWrite => 1,
+            ResourceClass::Dsp => 2,
+            ResourceClass::GlobalPort => 3,
+            ResourceClass::Fabric => 4,
+        }
+    }
+}
+
 /// How many units of each resource a PE may use per cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` lets evaluation layers memoize schedules per distinct budget —
+/// many optimization configurations collapse to the same budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ResourceBudget {
     /// Local memory read ports (banks × ports per bank).
     pub local_read_ports: u32,
@@ -105,6 +124,12 @@ impl SchedGraph {
     /// An empty graph.
     pub fn new() -> Self {
         SchedGraph::default()
+    }
+
+    /// Removes all nodes and edges, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.edges.clear();
     }
 
     /// Adds a node, returning its id.

@@ -37,10 +37,12 @@
 pub mod graph;
 pub mod list;
 pub mod mii;
+pub mod scratch;
 pub mod sms;
 
 pub use graph::{NodeId, ResourceBudget, ResourceClass, SchedEdge, SchedGraph, SchedNode};
 pub use list::{ListSchedule, SchedError};
+pub use scratch::SchedScratch;
 pub use sms::ModuloSchedule;
 
 #[cfg(test)]
@@ -140,6 +142,21 @@ mod proptests {
             let tight = sms::schedule(&g, &small_budget(), 0);
             let loose = sms::schedule(&g, &ResourceBudget::unconstrained(), 0);
             prop_assert!(loose.ii <= tight.ii);
+        }
+
+        /// Scheduling a sequence of graphs through one shared scratch is
+        /// bit-identical to scheduling each with fresh allocations.
+        #[test]
+        fn scratch_reuse_is_bit_identical(gs in proptest::collection::vec(arb_graph(), 1..5)) {
+            let mut scratch = SchedScratch::new();
+            for g in &gs {
+                let fresh = list::schedule(g, &small_budget());
+                let reused = list::schedule_with(g, &small_budget(), &mut scratch);
+                prop_assert_eq!(fresh, reused);
+                let fresh = sms::schedule(g, &small_budget(), 0);
+                let reused = sms::schedule_with(g, &small_budget(), 0, &mut scratch);
+                prop_assert_eq!(fresh, reused);
+            }
         }
     }
 }

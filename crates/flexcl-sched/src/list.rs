@@ -5,8 +5,8 @@
 //! latency. Priorities are longest-path-to-sink ("height"), the classic
 //! critical-path heuristic of list scheduling [18, 19].
 
-use crate::graph::{NodeId, ResourceBudget, ResourceClass, SchedGraph};
-use std::collections::HashMap;
+use crate::graph::{NodeId, ResourceBudget, ResourceClass, SchedGraph, NUM_RESOURCE_CLASSES};
+use crate::scratch::SchedScratch;
 use std::fmt;
 
 /// Why a schedule could not be produced for the given graph and budget.
@@ -56,8 +56,16 @@ impl ListSchedule {
 /// Same-instance edges only (distance > 0 edges are loop-carried and do not
 /// constrain a single instance).
 pub fn heights(graph: &SchedGraph) -> Vec<u64> {
+    let mut height = Vec::new();
+    heights_into(graph, &mut height);
+    height
+}
+
+/// [`heights`] into a caller-provided buffer (cleared first).
+pub fn heights_into(graph: &SchedGraph, height: &mut Vec<u64>) {
     let n = graph.len();
-    let mut height = vec![0u64; n];
+    height.clear();
+    height.resize(n, 0u64);
     // Process in reverse topological order; node ids are created in program
     // order so a reverse scan converges, but be safe and iterate to fixpoint
     // (graphs are DAGs on distance-0 edges; |V| passes bound the work).
@@ -81,7 +89,6 @@ pub fn heights(graph: &SchedGraph) -> Vec<u64> {
             }
         }
     }
-    height
 }
 
 /// Schedules `graph` under `budget` using priority list scheduling.
@@ -97,6 +104,21 @@ pub fn heights(graph: &SchedGraph) -> Vec<u64> {
 /// cyclic (malformed input; the IR construction guarantees acyclicity
 /// within an instance).
 pub fn schedule(graph: &SchedGraph, budget: &ResourceBudget) -> Result<ListSchedule, SchedError> {
+    schedule_with(graph, budget, &mut SchedScratch::new())
+}
+
+/// [`schedule`] reusing the buffers in `scratch` across calls.
+///
+/// Bit-identical to [`schedule`]; only the allocation behaviour differs.
+///
+/// # Errors
+///
+/// Same as [`schedule`].
+pub fn schedule_with(
+    graph: &SchedGraph,
+    budget: &ResourceBudget,
+    scratch: &mut SchedScratch,
+) -> Result<ListSchedule, SchedError> {
     let n = graph.len();
     if n == 0 {
         return Ok(ListSchedule { start: Vec::new(), length: 0 });
@@ -106,29 +128,31 @@ pub fn schedule(graph: &SchedGraph, budget: &ResourceBudget) -> Result<ListSched
             return Err(SchedError::ZeroBudget(node.resource));
         }
     }
-    let height = heights(graph);
+    heights_into(graph, &mut scratch.heights);
+    let SchedScratch { heights: height, pending, earliest, ready, deferred, issued, .. } =
+        scratch;
 
     // Remaining same-instance predecessor counts.
-    let mut pending = vec![0u32; n];
+    pending.clear();
+    pending.resize(n, 0u32);
     for e in graph.edges() {
         if e.distance == 0 {
             pending[e.to.0 as usize] += 1;
         }
     }
     // Earliest start allowed by already-scheduled predecessors.
-    let mut earliest = vec![0u32; n];
+    earliest.clear();
+    earliest.resize(n, 0u32);
     let mut start = vec![u32::MAX; n];
 
-    let mut ready: Vec<NodeId> = (0..n)
-        .filter(|i| pending[*i] == 0)
-        .map(|i| NodeId(i as u32))
-        .collect();
+    ready.clear();
+    ready.extend((0..n).filter(|i| pending[*i] == 0).map(|i| NodeId(i as u32)));
 
     let mut cycle: u32 = 0;
     let mut scheduled = 0usize;
     // Resource usage per cycle is transient: recompute per cycle.
     while scheduled < n {
-        let mut used: HashMap<ResourceClass, u32> = HashMap::new();
+        let mut used = [0u32; NUM_RESOURCE_CLASSES];
         // Within one cycle, keep issuing until a pass makes no progress:
         // zero-latency producers release their consumers in the same cycle
         // (combinational chains).
@@ -139,8 +163,8 @@ pub fn schedule(graph: &SchedGraph, budget: &ResourceBudget) -> Result<ListSched
                     .cmp(&height[a.0 as usize])
                     .then(a.0.cmp(&b.0))
             });
-            let mut issued_this_pass = Vec::new();
-            let mut deferred = Vec::new();
+            issued.clear();
+            deferred.clear();
             for id in ready.drain(..) {
                 let idx = id.0 as usize;
                 if earliest[idx] > cycle {
@@ -149,35 +173,33 @@ pub fn schedule(graph: &SchedGraph, budget: &ResourceBudget) -> Result<ListSched
                 }
                 let class = graph.node(id).resource;
                 let limit = budget.limit(class);
-                let u = used.entry(class).or_insert(0);
+                let u = &mut used[class.index()];
                 if *u >= limit {
                     deferred.push(id);
                     continue;
                 }
                 *u += 1;
                 start[idx] = cycle;
-                issued_this_pass.push(id);
+                issued.push(id);
                 scheduled += 1;
             }
-            ready = deferred;
-            if issued_this_pass.is_empty() {
+            std::mem::swap(ready, deferred);
+            if issued.is_empty() {
                 break;
             }
             // Release successors of newly issued nodes.
-            for id in issued_this_pass {
+            for &id in issued.iter() {
                 let lat = graph.node(id).latency;
                 let finish = cycle + lat;
-                let succ_edges: Vec<_> = graph
-                    .succs(id)
-                    .filter(|e| e.distance == 0)
-                    .map(|e| e.to)
-                    .collect();
-                for to in succ_edges {
-                    let t = to.0 as usize;
+                for e in graph.succs(id) {
+                    if e.distance != 0 {
+                        continue;
+                    }
+                    let t = e.to.0 as usize;
                     earliest[t] = earliest[t].max(finish);
                     pending[t] -= 1;
                     if pending[t] == 0 {
-                        ready.push(to);
+                        ready.push(e.to);
                     }
                 }
             }

@@ -89,8 +89,16 @@ fn feasible(graph: &SchedGraph, ii: u32) -> bool {
 /// Longest combinational path assuming infinite resources — the lower bound
 /// for pipeline depth (also used as the ASAP schedule for SMS priorities).
 pub fn asap_times(graph: &SchedGraph, ii: u32) -> Vec<i64> {
+    let mut t = Vec::new();
+    asap_times_into(graph, ii, &mut t);
+    t
+}
+
+/// [`asap_times`] into a caller-provided buffer (cleared first).
+pub fn asap_times_into(graph: &SchedGraph, ii: u32, t: &mut Vec<i64>) {
     let n = graph.len();
-    let mut t = vec![0i64; n];
+    t.clear();
+    t.resize(n, 0i64);
     for _ in 0..=n {
         let mut changed = false;
         for e in graph.edges() {
@@ -106,23 +114,29 @@ pub fn asap_times(graph: &SchedGraph, ii: u32) -> Vec<i64> {
         }
     }
     // Clamp to non-negative issue slots.
-    for v in &mut t {
+    for v in t.iter_mut() {
         *v = (*v).max(0);
     }
-    t
 }
 
 /// ALAP times relative to the ASAP critical-path length.
 pub fn alap_times(graph: &SchedGraph, ii: u32) -> Vec<i64> {
-    let n = graph.len();
     let asap = asap_times(graph, ii);
+    let mut t = Vec::new();
+    alap_times_into(graph, &asap, &mut t);
+    t
+}
+
+/// [`alap_times`] into a caller-provided buffer, given precomputed ASAP
+/// times for the same `(graph, ii)` pair.
+pub fn alap_times_into(graph: &SchedGraph, asap: &[i64], t: &mut Vec<i64>) {
+    let n = graph.len();
     let horizon: i64 = (0..n)
         .map(|i| asap[i] + i64::from(graph.node(NodeId(i as u32)).latency))
         .max()
         .unwrap_or(0);
-    let mut t: Vec<i64> = (0..n)
-        .map(|i| horizon - i64::from(graph.node(NodeId(i as u32)).latency))
-        .collect();
+    t.clear();
+    t.extend((0..n).map(|i| horizon - i64::from(graph.node(NodeId(i as u32)).latency)));
     for _ in 0..=n {
         let mut changed = false;
         for e in graph.edges() {
@@ -140,7 +154,6 @@ pub fn alap_times(graph: &SchedGraph, ii: u32) -> Vec<i64> {
             break;
         }
     }
-    t
 }
 
 #[cfg(test)]

@@ -1,0 +1,65 @@
+//! Reusable scratch buffers for the schedulers.
+//!
+//! The DSE hot path schedules thousands of small graphs per sweep; the
+//! buffers the schedulers need (height priorities, ready lists, ASAP/ALAP
+//! times, the modulo reservation table) are the same shape every time.
+//! [`SchedScratch`] owns them so repeated calls through
+//! [`crate::list::schedule_with`] and [`crate::sms::schedule_with`] reuse
+//! the allocations instead of re-allocating per call — mirroring the
+//! `AnalysisScratch` pattern in `flexcl-core`.
+//!
+//! Reuse never changes results: every buffer is cleared (and the reservation
+//! table emptied) before use, and no scheduler iterates a map in an
+//! order-dependent way, so scheduling through a shared scratch is
+//! bit-identical to scheduling with fresh allocations.
+
+use crate::graph::{NodeId, ResourceClass, SchedGraph};
+use std::collections::HashMap;
+
+/// Scratch space shared across scheduler invocations.
+///
+/// Create one per thread (it is cheap when empty) and pass it to the
+/// `*_with` scheduler entry points. The plain `schedule` functions allocate
+/// a fresh scratch internally, so results are identical either way.
+#[derive(Debug, Default)]
+pub struct SchedScratch {
+    // list scheduling
+    pub(crate) heights: Vec<u64>,
+    pub(crate) pending: Vec<u32>,
+    pub(crate) earliest: Vec<u32>,
+    pub(crate) ready: Vec<NodeId>,
+    pub(crate) deferred: Vec<NodeId>,
+    pub(crate) issued: Vec<NodeId>,
+    // swing modulo scheduling
+    pub(crate) asap: Vec<i64>,
+    pub(crate) alap: Vec<i64>,
+    pub(crate) order: Vec<NodeId>,
+    pub(crate) opt_start: Vec<Option<u32>>,
+    pub(crate) mrt: HashMap<(u32, ResourceClass), u32>,
+    // staged graph storage for callers that rebuild graphs per call
+    graph: SchedGraph,
+}
+
+impl SchedScratch {
+    /// An empty scratch; buffers grow on first use and are retained after.
+    pub fn new() -> Self {
+        SchedScratch::default()
+    }
+
+    /// Takes the staged graph storage, cleared but with capacity retained.
+    ///
+    /// Callers that build a fresh [`SchedGraph`] per scheduling call can
+    /// stage it here between calls: `take_graph` → build → schedule →
+    /// [`SchedScratch::put_graph`] keeps the node/edge allocations alive.
+    pub fn take_graph(&mut self) -> SchedGraph {
+        let mut g = std::mem::take(&mut self.graph);
+        g.clear();
+        g
+    }
+
+    /// Returns a graph taken with [`SchedScratch::take_graph`] so its
+    /// allocation can be reused by the next call.
+    pub fn put_graph(&mut self, g: SchedGraph) {
+        self.graph = g;
+    }
+}

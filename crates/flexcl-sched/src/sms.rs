@@ -11,9 +11,9 @@
 //! is bumped and the process restarts — exactly the "keeps refining the II
 //! until it satisfies all the resource constraints" loop of the paper.
 
-use crate::graph::{NodeId, ResourceBudget, ResourceClass, SchedGraph};
-use crate::mii::{alap_times, asap_times, mii};
-use std::collections::HashMap;
+use crate::graph::{NodeId, ResourceBudget, SchedGraph};
+use crate::mii::{alap_times_into, asap_times_into, mii};
+use crate::scratch::SchedScratch;
 
 /// The result of modulo scheduling.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +33,18 @@ pub struct ModuloSchedule {
 /// pipeline depth (FlexCL derives the depth from the critical path through
 /// the CDFG, which may include control regions not present in `graph`).
 pub fn schedule(graph: &SchedGraph, budget: &ResourceBudget, depth_floor: u32) -> ModuloSchedule {
+    schedule_with(graph, budget, depth_floor, &mut SchedScratch::new())
+}
+
+/// [`schedule`] reusing the buffers in `scratch` across calls.
+///
+/// Bit-identical to [`schedule`]; only the allocation behaviour differs.
+pub fn schedule_with(
+    graph: &SchedGraph,
+    budget: &ResourceBudget,
+    depth_floor: u32,
+    scratch: &mut SchedScratch,
+) -> ModuloSchedule {
     let n = graph.len();
     if n == 0 {
         return ModuloSchedule { ii: 1, depth: depth_floor.max(1), start: Vec::new() };
@@ -42,7 +54,7 @@ pub fn schedule(graph: &SchedGraph, budget: &ResourceBudget, depth_floor: u32) -
     let max_ii = (graph.total_latency() as u32).max(start_ii) + n as u32 + 1;
 
     for ii in start_ii..=max_ii {
-        if let Some(start) = try_schedule(graph, budget, ii) {
+        if let Some(start) = try_schedule(graph, budget, ii, scratch) {
             let depth = (0..n)
                 .map(|i| start[i] + graph.node(NodeId(i as u32)).latency)
                 .max()
@@ -63,30 +75,33 @@ pub fn schedule(graph: &SchedGraph, budget: &ResourceBudget, depth_floor: u32) -
     ModuloSchedule { ii: max_ii, depth: t.max(depth_floor).max(1), start }
 }
 
-/// SMS node ordering: sort by increasing slack (ALAP − ASAP), breaking ties
-/// by greater height (deeper nodes first), then id.
-fn ordering(graph: &SchedGraph, ii: u32) -> Vec<NodeId> {
-    let asap = asap_times(graph, ii);
-    let alap = alap_times(graph, ii);
-    let mut ids: Vec<NodeId> = (0..graph.len()).map(|i| NodeId(i as u32)).collect();
-    ids.sort_by_key(|id| {
+fn try_schedule(
+    graph: &SchedGraph,
+    budget: &ResourceBudget,
+    ii: u32,
+    scratch: &mut SchedScratch,
+) -> Option<Vec<u32>> {
+    let n = graph.len();
+    let SchedScratch { asap, alap, order, opt_start: start, mrt, .. } = scratch;
+    asap_times_into(graph, ii, asap);
+    alap_times_into(graph, asap, alap);
+
+    // SMS node ordering: sort by increasing slack (ALAP − ASAP), breaking
+    // ties by greater height (deeper nodes first), then id.
+    order.clear();
+    order.extend((0..n).map(|i| NodeId(i as u32)));
+    order.sort_by_key(|id| {
         let i = id.0 as usize;
         let slack = alap[i] - asap[i];
         (slack, -asap[i], id.0)
     });
-    ids
-}
-
-fn try_schedule(graph: &SchedGraph, budget: &ResourceBudget, ii: u32) -> Option<Vec<u32>> {
-    let n = graph.len();
-    let asap = asap_times(graph, ii);
-    let order = ordering(graph, ii);
 
     // Modulo reservation table: per (slot, resource) usage counts.
-    let mut mrt: HashMap<(u32, ResourceClass), u32> = HashMap::new();
-    let mut start: Vec<Option<u32>> = vec![None; n];
+    mrt.clear();
+    start.clear();
+    start.resize(n, None);
 
-    for id in order {
+    for &id in order.iter() {
         let i = id.0 as usize;
         // Earliest start from already-placed predecessors (respecting
         // distances: a distance-d edge relaxes the bound by d·II).
@@ -135,7 +150,7 @@ fn try_schedule(graph: &SchedGraph, budget: &ResourceBudget, ii: u32) -> Option<
     // Verify all same-instance dependences (sanity; ordering+windows should
     // already guarantee them, but placements of later preds can violate an
     // earlier consumer's window in rare diamond shapes — reject then).
-    let start: Vec<u32> = start.into_iter().map(|s| s.expect("placed")).collect();
+    let start: Vec<u32> = start.iter().map(|s| s.expect("placed")).collect();
     for e in graph.edges() {
         let lhs = i64::from(start[e.from.0 as usize]) + i64::from(graph.node(e.from).latency);
         let rhs = i64::from(start[e.to.0 as usize]) + i64::from(ii) * i64::from(e.distance);
@@ -149,7 +164,7 @@ fn try_schedule(graph: &SchedGraph, budget: &ResourceBudget, ii: u32) -> Option<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::ResourceBudget;
+    use crate::graph::{ResourceBudget, ResourceClass};
 
     #[test]
     fn unconstrained_graph_achieves_ii_one() {

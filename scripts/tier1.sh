@@ -10,3 +10,11 @@ cargo test -q
 # with bit-identical surviving points.
 cargo clippy -p flexcl-core -p flexcl-interp -- -D warnings -W clippy::unwrap_used
 cargo test -q -p flexcl-core --test fault_injection
+# Sweep-throughput smoke: a model-only vadd sweep must complete, and its
+# BENCH_dse.json must carry the full schema with finite, positive
+# configs-per-second in every row (validated by the binary's --check).
+BENCH_SMOKE="$(mktemp -t bench_dse_smoke.XXXXXX.json)"
+trap 'rm -f "$BENCH_SMOKE"' EXIT
+cargo run --release -q -p flexcl-bench --bin dse -- \
+  --bench-only --kernels vadd --out "$BENCH_SMOKE"
+cargo run --release -q -p flexcl-bench --bin dse -- --check "$BENCH_SMOKE"

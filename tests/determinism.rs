@@ -56,6 +56,56 @@ fn parallel_sweep_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn cached_parallel_pruned_sweep_is_bit_identical_to_uncached_serial() {
+    // The full optimization stack at once — worker threads, bound-based
+    // pruning off (so the explored sets coincide), the process-wide
+    // analysis cache, and the per-family schedule caches — merged back
+    // together must reproduce the plain serial uncached sweep exactly:
+    // same points in the same order with bit-identical estimates, same
+    // diagnostics.
+    let spec = find_spec("polybench/atax");
+    let func = flexcl_bench::compile(&spec);
+    let workload = spec.workload(Scale::Test, 5);
+    let platform = Platform::virtex7_adm7v3();
+    let uncached = explore_with(
+        &func,
+        &platform,
+        &workload,
+        DseOptions { reuse_analysis: false, ..DseOptions::default() },
+    )
+    .expect("serial uncached sweep");
+    // Run twice so the second parallel sweep is served from a hot
+    // analysis cache in every family.
+    for pass in 0..2 {
+        let cached = explore_with(
+            &func,
+            &platform,
+            &workload,
+            DseOptions { threads: 4, reuse_analysis: true, ..DseOptions::default() },
+        )
+        .expect("parallel cached sweep");
+        assert_eq!(uncached.points.len(), cached.points.len(), "pass {pass}");
+        for (a, b) in uncached.points.iter().zip(&cached.points) {
+            assert_eq!(a.config, b.config, "pass {pass}");
+            assert_eq!(a.estimate, b.estimate, "pass {pass}: {}", a.config);
+        }
+        assert_eq!(uncached.diagnostics, cached.diagnostics, "pass {pass}");
+        if pass == 1 {
+            assert!(
+                cached.stats.analysis_cache_hits > 0,
+                "second sweep must hit the analysis cache: {:?}",
+                cached.stats
+            );
+        }
+        assert!(
+            cached.stats.sched_cache_hits > cached.stats.sched_cache_misses,
+            "budget memoization must collapse most schedules: {:?}",
+            cached.stats
+        );
+    }
+}
+
+#[test]
 fn pruned_sweep_matches_exhaustive_best_on_polybench() {
     let spec = find_spec("polybench/atax");
     let func = flexcl_bench::compile(&spec);
