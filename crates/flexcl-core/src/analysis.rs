@@ -14,12 +14,19 @@ use crate::error::FlexclError;
 use crate::platform::Platform;
 use flexcl_dram::{coalesce, microbench, AccessKind, Burst, DramConfig, DramSim, ElementAccess,
     PatternTable, Request};
-use flexcl_interp::{run, InterpError, KernelArg, MemAccess, NdRange, Profile, RunOptions};
+use flexcl_interp::{run, GroupSampling, InterpError, KernelArg, MemAccess, NdRange, Profile,
+    RunOptions};
 use flexcl_ir::{build_deps, find_recurrences, DepEdge, Function, InstId, MemRoot, Op, Region,
     Value};
 use flexcl_sched::{list, sms, NodeId, ResourceBudget, ResourceClass, SchedGraph, SchedScratch};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Implementation draws averaged by [`KernelAnalysis::pipeline_params_with`]
+/// to estimate the expected synthesized pipeline parameters. Memoized per
+/// resource budget by the evaluation context, so the ensemble runs once per
+/// budget, not once per configuration.
+const SYNTH_ENSEMBLE: u32 = 16;
 
 /// Base byte address assigned to pointer parameter `p` when turning element
 /// indices into DRAM addresses (16 MiB apart, so distinct buffers never
@@ -55,6 +62,9 @@ pub struct AnalysisScratch {
     elements: Vec<ElementAccess>,
     /// DRAM replay simulator, reset between uses.
     replay: Option<DramSim>,
+    /// Pool of replay simulators for the multi-stream contention replays,
+    /// reset between uses.
+    replay_pool: Vec<DramSim>,
 }
 
 impl AnalysisScratch {
@@ -75,6 +85,22 @@ impl AnalysisScratch {
         } else {
             self.replay.insert(DramSim::new(config))
         }
+    }
+
+    /// `n` freshly-reset simulators for `config`, reused like
+    /// [`AnalysisScratch::dram`].
+    fn dram_pool(&mut self, config: DramConfig, n: usize) -> &mut [DramSim] {
+        let reusable = self.replay_pool.len() >= n
+            && self.replay_pool.iter().take(n).all(|s| *s.config() == config);
+        if !reusable {
+            self.replay_pool.clear();
+            self.replay_pool.extend((0..n).map(|_| DramSim::new(config)));
+        }
+        let pool = &mut self.replay_pool[..n];
+        for sim in pool.iter_mut() {
+            sim.reset();
+        }
+        pool
     }
 }
 
@@ -178,12 +204,102 @@ pub struct ProfileFuel {
     pub step_limit: u64,
     /// Total recorded memory accesses allowed per profiling run.
     pub trace_limit: usize,
+    /// Work-groups profiled per run (strata of the NDRange). Part of the
+    /// analysis-cache fingerprint via [`ProfileFuel`]'s `Eq`: changing the
+    /// budget changes the profile, so cached analyses must not be shared
+    /// across budgets.
+    pub group_budget: u64,
 }
 
 impl Default for ProfileFuel {
     fn default() -> Self {
         let d = RunOptions::default();
-        ProfileFuel { step_limit: d.step_limit, trace_limit: d.trace_limit }
+        ProfileFuel {
+            step_limit: d.step_limit,
+            trace_limit: d.trace_limit,
+            // 12 strata: enough interior samples for the odd-stride fill to
+            // cover every residue class of an 8-bank channel (see
+            // `select_profiled_groups`), at ~1/5 the cost of full profiling
+            // on the evaluation NDRanges.
+            group_budget: 12,
+        }
+    }
+}
+
+/// How the scalar [`KernelAnalysis::channel_contention`] diagnostic was
+/// obtained — surfaced so callers can tell a measured pairing from a
+/// synthetic fallback instead of silently trusting the wrong one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentionProbe {
+    /// The true co-running pair was profiled: group 0's stream replayed
+    /// against group `pair`'s (the group dispatched onto the CU that
+    /// shares channel 0).
+    PairedGroups {
+        /// Linear id of the co-running group.
+        pair: u64,
+    },
+    /// The intended co-runner was not among the profiled groups
+    /// (`dram_channels >=` profiled groups, or stratified sampling skipped
+    /// it); group 0's stream was replayed against itself offset by one
+    /// full row sweep.
+    SelfOffset,
+    /// The kernel issues no global-memory traffic; contention is
+    /// vacuously 1.
+    NoTraffic,
+}
+
+/// Per-CU-count memory contention factors, measured by replaying the
+/// profiled group streams the way `C` compute units would emit them:
+/// the stream partitions round-robin over `C` DRAM channel states (CU
+/// dispatch hands group `k` to CU `k mod C`), so each channel sees only
+/// every C-th group and loses the cross-group row locality a single
+/// stream enjoys. The factor is the ratio of the pattern-weighted memory
+/// cost at `C` streams to the cost at one stream, per communication mode
+/// (pipeline work-item order vs barrier phased order), clamped to
+/// [0.5, 2].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionCurve {
+    /// `(cus, pipeline_factor, barrier_factor)`, ascending by `cus`.
+    points: Vec<(u32, f64, f64)>,
+}
+
+impl ContentionCurve {
+    /// A curve with no measured contention (factor 1 everywhere).
+    pub fn flat() -> Self {
+        ContentionCurve { points: vec![(1, 1.0, 1.0)] }
+    }
+
+    /// The measured `(cus, pipeline_factor, barrier_factor)` points.
+    pub fn points(&self) -> &[(u32, f64, f64)] {
+        &self.points
+    }
+
+    /// The contention factor at `cus` compute units, linearly interpolated
+    /// between measured CU counts and clamped to the measured range.
+    pub fn factor(&self, cus: u32, pipeline: bool) -> f64 {
+        let pick = |p: &(u32, f64, f64)| if pipeline { p.1 } else { p.2 };
+        let Some(first) = self.points.first() else { return 1.0 };
+        if cus <= first.0 {
+            return pick(first);
+        }
+        for w in self.points.windows(2) {
+            let (lo, hi) = (&w[0], &w[1]);
+            if cus <= hi.0 {
+                let span = f64::from(hi.0 - lo.0).max(1.0);
+                let frac = f64::from(cus - lo.0) / span;
+                return pick(lo) + (pick(hi) - pick(lo)) * frac;
+            }
+        }
+        self.points.last().map(pick).unwrap_or(1.0)
+    }
+
+    /// The smallest factor on the curve for a mode — interpolation never
+    /// goes below it, so scaling a lower bound by this keeps it sound.
+    pub fn min_factor(&self, pipeline: bool) -> f64 {
+        self.points
+            .iter()
+            .map(|p| if pipeline { p.1 } else { p.2 })
+            .fold(1.0f64, f64::min)
     }
 }
 
@@ -230,6 +346,16 @@ pub struct KernelAnalysis {
     pub pattern_latencies: PatternTable<f64>,
     /// Global memory transactions per work-item after coalescing.
     pub global_accesses_per_wi: f64,
+    /// Per-work-item multi-beat transfer cycles: bursts longer than one
+    /// interleave chunk stream `extra · t_burst` cycles beyond their
+    /// pattern's ΔT (the micro-benchmark measures single-chunk requests).
+    /// Added into [`Self::l_mem_wi`] / [`Self::l_mem_wi_phased`].
+    pub mem_extra_wi: f64,
+    /// Weighted mean of distinct burst-owner runs per group — how finely
+    /// the coalesced burst stream interleaves with the group's work-items
+    /// (1.0 = one burst covers the whole group). Drives the pipeline-mode
+    /// wave-overlap correction in the integration.
+    pub burst_owners_per_group: f64,
     /// Trip-weighted per-work-item local-memory reads, per array.
     pub local_reads: HashMap<MemRoot, f64>,
     /// Trip-weighted per-work-item local-memory writes, per array.
@@ -248,8 +374,25 @@ pub struct KernelAnalysis {
     /// (1.0 = streams interleave without conflict, 2.0 = full
     /// serialization). Obtained by replaying two profiled group streams
     /// concurrently against the banked DRAM — the same profiling
-    /// methodology §3.4 uses for the ΔT table.
+    /// methodology §3.4 uses for the ΔT table. A diagnostic scalar; the
+    /// model applies [`KernelAnalysis::contention`] instead.
     pub channel_contention: f64,
+    /// How [`KernelAnalysis::channel_contention`] was measured.
+    pub contention_probe: ContentionProbe,
+    /// Per-CU-count contention curve applied to `L_mem^wi` in the Eq. 9/11
+    /// integration.
+    pub contention: ContentionCurve,
+    /// Memory service cycles of the *heaviest* profiled group streamed
+    /// alone (work-item burst order, including multi-beat transfer
+    /// cycles). `L_mem^wi` is a mean over groups; when groups are
+    /// heterogeneous (wavefront kernels leave some groups memory-silent)
+    /// and CUs outnumber rounds, the kernel's critical path is its
+    /// heaviest group, not the average one — the integration uses this as
+    /// a floor.
+    pub mem_group_max: f64,
+    /// Like [`KernelAnalysis::mem_group_max`], with each group's bursts
+    /// phased reads-first (barrier communication mode).
+    pub mem_group_max_phased: f64,
     /// Per-instruction execution multiplier (product of enclosing trip
     /// counts), used for resource-pressure weighting.
     multipliers: Vec<f64>,
@@ -310,12 +453,14 @@ impl KernelAnalysis {
         })?;
 
         // Dynamic profiling over a few work-groups (the paper: "only a few
-        // work-groups are profiled in practice").
+        // work-groups are profiled in practice"). Stratified sampling picks
+        // representative groups (first/middle/last plus NDRange-boundary
+        // groups) and weights each by how many groups it stands in for.
         let mut args = workload.args.clone();
         let groups = nd.num_groups();
         let opts = RunOptions {
-            profile_groups: Some(groups.min(4)),
-            profile_spread: true,
+            profile_groups: Some(groups.min(fuel.group_budget.max(1))),
+            profile_sampling: GroupSampling::Stratified,
             step_limit: fuel.step_limit,
             trace_limit: fuel.trace_limit,
             ..RunOptions::default()
@@ -336,53 +481,58 @@ impl KernelAnalysis {
         })?;
 
         // ---- memory: coalesce per buffer, interleave in work-item order,
-        // and classify against the banked DRAM (Table 1).
+        // and classify against the banked DRAM (Table 1). Each profiled
+        // group's pattern-count delta enters the totals multiplied by its
+        // stratum weight, and per-work-item averages divide by the weighted
+        // work-item count — a weighted mixture over the strata that is
+        // bit-identical to the plain average when every weight is 1.
         let unit_bytes = platform.mem_access_unit_bits / 8;
         let group_bursts = trace_to_group_bursts_into(&profile.trace, unit_bytes, scratch);
-        let wi = profile.work_items.max(1) as f64;
+        let eff_wi = profile.weighted_work_items().max(1.0);
 
-        // Work-item order (pipeline mode).
-        let dram = scratch.dram(platform.dram);
-        let mut t = 0u64;
-        let mut n_bursts = 0usize;
-        for (_, bursts) in &group_bursts {
-            for ob in bursts {
-                n_bursts += 1;
-                let info = dram.access(Request {
-                    addr: ob.burst.addr,
-                    bytes: ob.burst.bytes,
-                    kind: ob.burst.kind,
-                    arrival: t,
-                });
-                t = info.finish;
-            }
-        }
+        let (pipe_totals, weighted_bursts, weighted_extra, mem_group_max) =
+            replay_weighted(&platform, &group_bursts, &profile, 1, false, scratch);
+        let (phased_totals, _, _, mem_group_max_phased) =
+            replay_weighted(&platform, &group_bursts, &profile, 1, true, scratch);
         let mut pattern_counts = PatternTable::new();
-        for (p, c) in dram.counts().iter() {
-            pattern_counts[p] = c as f64 / wi;
+        let mut pattern_counts_phased = PatternTable::new();
+        for (p, c) in pipe_totals.iter() {
+            pattern_counts[p] = c / eff_wi;
         }
+        for (p, c) in phased_totals.iter() {
+            pattern_counts_phased[p] = c / eff_wi;
+        }
+        let global_accesses_per_wi = weighted_bursts / eff_wi;
+        let mem_extra_wi = weighted_extra / eff_wi;
 
-        // Phased order (barrier mode): per group, reads then writes.
-        let dram_phased = scratch.dram(platform.dram);
-        let mut t = 0u64;
-        for (_, bursts) in &group_bursts {
-            for pass in [AccessKind::Read, AccessKind::Write] {
-                for ob in bursts.iter().filter(|b| b.burst.kind == pass) {
-                    let info = dram_phased.access(Request {
-                        addr: ob.burst.addr,
-                        bytes: ob.burst.bytes,
-                        kind: ob.burst.kind,
-                        arrival: t,
-                    });
-                    t = info.finish;
+        // Distinct burst-owner runs per group (weighted): how finely the
+        // group's coalesced bursts interleave with its work-items. A fully
+        // coalesced group (one burst covering all work-items) has one
+        // owner; the pipeline integration uses this to model how much of
+        // the wave schedule the memory stream can actually overlap.
+        let mut owner_runs_weighted = 0.0f64;
+        let mut owner_weight_total = 0.0f64;
+        for (g, bursts) in group_bursts.iter() {
+            if bursts.is_empty() {
+                continue;
+            }
+            let mut runs = 0u64;
+            let mut last: Option<u64> = None;
+            for ob in bursts {
+                if last != Some(ob.work_item) {
+                    runs += 1;
+                    last = Some(ob.work_item);
                 }
             }
+            let w = profile.group_weight(*g);
+            owner_runs_weighted += w * runs as f64;
+            owner_weight_total += w;
         }
-        let mut pattern_counts_phased = PatternTable::new();
-        for (p, c) in dram_phased.counts().iter() {
-            pattern_counts_phased[p] = c as f64 / wi;
-        }
-        let global_accesses_per_wi = n_bursts as f64 / wi;
+        let burst_owners_per_group = if owner_weight_total > 0.0 {
+            owner_runs_weighted / owner_weight_total
+        } else {
+            0.0
+        };
         let pattern_latencies = microbench::profile_cached(platform.dram);
         if pattern_latencies.iter().any(|(_, dt)| !dt.is_finite() || dt < 0.0) {
             return Err(FlexclError::MemoryModel {
@@ -392,7 +542,30 @@ impl KernelAnalysis {
                     .into(),
             });
         }
-        let channel_contention = measure_channel_contention(&platform, &group_bursts, scratch);
+
+        // Per-CU-count contention curve: replay the same streams as C CUs
+        // would emit them (round-robin partition over C channel states) and
+        // take the pattern-weighted cost ratio against the 1-stream replay.
+        // Cost includes the order-independent multi-beat transfer cycles:
+        // they dilute the ratio exactly as they dilute the real slowdown.
+        let cost = |totals: &PatternTable<f64>| -> f64 {
+            pattern_latencies.iter().map(|(p, dt)| dt * totals[p]).sum::<f64>() + weighted_extra
+        };
+        let (base_pipe, base_phased) = (cost(&pipe_totals), cost(&phased_totals));
+        let mut curve_points = vec![(1u32, 1.0f64, 1.0f64)];
+        for c in [2u32, 4, 8] {
+            let (tp, _, _, _) =
+                replay_weighted(&platform, &group_bursts, &profile, c, false, scratch);
+            let (tb, _, _, _) =
+                replay_weighted(&platform, &group_bursts, &profile, c, true, scratch);
+            let fp = if base_pipe > 0.0 { (cost(&tp) / base_pipe).clamp(0.5, 2.0) } else { 1.0 };
+            let fb =
+                if base_phased > 0.0 { (cost(&tb) / base_phased).clamp(0.5, 2.0) } else { 1.0 };
+            curve_points.push((c, fp, fb));
+        }
+        let contention = ContentionCurve { points: curve_points };
+        let (channel_contention, contention_probe) =
+            measure_channel_contention(&platform, &group_bursts, scratch);
 
         // ---- static analysis with trip-count weighting.
         let multipliers = instruction_multipliers(&func, &profile);
@@ -442,6 +615,8 @@ impl KernelAnalysis {
             pattern_counts_phased,
             pattern_latencies,
             global_accesses_per_wi,
+            mem_extra_wi,
+            burst_owners_per_group,
             local_reads,
             local_writes,
             dsp_ops_per_wi,
@@ -450,6 +625,10 @@ impl KernelAnalysis {
             local_bytes,
             recurrences,
             channel_contention,
+            contention_probe,
+            contention,
+            mem_group_max,
+            mem_group_max_phased,
             multipliers,
         })
     }
@@ -460,7 +639,8 @@ impl KernelAnalysis {
         self.pattern_latencies
             .iter()
             .map(|(p, dt)| dt * self.pattern_counts[p])
-            .sum()
+            .sum::<f64>()
+            + self.mem_extra_wi
     }
 
     /// `L_mem^wi` with barrier-mode phasing (reads first, then writes).
@@ -468,7 +648,8 @@ impl KernelAnalysis {
         self.pattern_latencies
             .iter()
             .map(|(p, dt)| dt * self.pattern_counts_phased[p])
-            .sum()
+            .sum::<f64>()
+            + self.mem_extra_wi
     }
 
     /// `RecMII`: the recurrence-constrained lower bound of the work-item
@@ -830,13 +1011,43 @@ impl KernelAnalysis {
         scratch: &mut SchedScratch,
     ) -> Result<(u32, u32), FlexclError> {
         let (g, _) = self.work_item_graph_with(budget, deps, scratch)?;
-        let depth_floor = self.work_item_latency_with(budget, scratch)?.round() as u32;
-        let schedule = sms::schedule_with(&g, budget, depth_floor, scratch);
-        let ii = schedule
-            .ii
-            .max(self.rec_mii())
-            .max(self.res_mii(budget));
-        Ok((ii, schedule.depth))
+        let latency = self.work_item_latency_with(budget, scratch)?;
+        let rec = self.rec_mii();
+        let res = self.res_mii(budget);
+        // Expected synthesized parameters: schedule a fixed ensemble of
+        // implementation draws and average. Scheduling the mean-latency
+        // graph instead would underestimate — the pipeline depth is a max
+        // over paths, so depth(E[latency]) ≤ E[depth] (Jensen), and the
+        // synthesis population the System Run samples from is exactly
+        // [`flexcl_sched::IMPL_FACTORS`]. The ensemble seed is a constant:
+        // the model cannot know which implementation a given synthesis run
+        // picks, only the population's expectation.
+        let weight_total = u64::from(flexcl_sched::impl_factor_weight_total());
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut draw = move || {
+            // xorshift64*: deterministic, dependency-free, well-mixed.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let bits = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            flexcl_sched::impl_factor(((bits >> 33) % weight_total) as u32)
+        };
+        let mut sum_ii = 0.0f64;
+        let mut sum_depth = 0.0f64;
+        for _ in 0..SYNTH_ENSEMBLE {
+            let pg = flexcl_sched::perturb_graph_with(&g, &mut draw);
+            let n = g.len().max(1);
+            let agg = (0..n).map(|_| draw()).sum::<f64>() / n as f64;
+            let floor = (latency * agg).round() as u32;
+            let s = sms::schedule_with(&pg, budget, floor, scratch);
+            sum_ii += f64::from(s.ii.max(rec).max(res));
+            sum_depth += f64::from(s.depth);
+        }
+        let k = f64::from(SYNTH_ENSEMBLE);
+        Ok((
+            (sum_ii / k).round().max(1.0) as u32,
+            (sum_depth / k).round().max(1.0) as u32,
+        ))
     }
 
     /// Execution multiplier of an instruction (product of enclosing loop
@@ -846,28 +1057,115 @@ impl KernelAnalysis {
     }
 }
 
+/// Replays the profiled group streams round-robin across `streams` DRAM
+/// channel states — each with its own serial clock, the way `streams`
+/// co-running CUs emit them — and returns the stratum-weighted pattern
+/// totals, the weighted burst count, and the weighted multi-beat transfer
+/// cycles (a burst longer than one interleave chunk streams
+/// `extra · t_burst` cycles on top of its pattern's ΔT, which the
+/// micro-benchmark measures with single-chunk requests), and the service
+/// cycles of the heaviest single group (unweighted max over groups,
+/// including its transfer beats). With one stream this is the plain serial
+/// replay the pattern counts have always used.
+fn replay_weighted(
+    platform: &Platform,
+    group_bursts: &[(u64, Vec<OwnedBurst>)],
+    profile: &Profile,
+    streams: u32,
+    phased: bool,
+    scratch: &mut AnalysisScratch,
+) -> (PatternTable<f64>, f64, f64, f64) {
+    let pool = scratch.dram_pool(platform.dram, streams.max(1) as usize);
+    let mut clocks = vec![0u64; pool.len()];
+    let mut totals = PatternTable::new();
+    let mut weighted_bursts = 0.0f64;
+    let mut weighted_extra = 0.0f64;
+    let mut max_group = 0.0f64;
+    let chunk = platform.dram.interleave_bytes.max(1);
+    let beat = u64::from(platform.dram.timing.t_burst);
+    for (g, bursts) in group_bursts.iter() {
+        // Lane by group-id residue: the dispatcher hands group `g` to CU
+        // `g mod C`, so channel `r`'s stream is the ids `≡ r (mod C)` in
+        // order. Position-based round-robin would instead split the
+        // profiled strata (and their warm-up predecessors) arbitrarily,
+        // severing genuine id-adjacency the sample does contain and
+        // overstating the handoff cost.
+        let lane = (*g % pool.len() as u64) as usize;
+        let sim = &mut pool[lane];
+        let before = *sim.counts();
+        let entered = clocks[lane];
+        let mut t = entered;
+        let mut extra = 0u64;
+        if phased {
+            // Barrier mode: per group, reads then writes.
+            for pass in [AccessKind::Read, AccessKind::Write] {
+                for ob in bursts.iter().filter(|b| b.burst.kind == pass) {
+                    t = serve_burst(sim, ob, t);
+                }
+            }
+        } else {
+            // Pipeline mode: work-item order.
+            for ob in bursts {
+                t = serve_burst(sim, ob, t);
+            }
+        }
+        for ob in bursts {
+            extra += (u64::from(ob.burst.bytes).saturating_sub(1)) / chunk * beat;
+        }
+        clocks[lane] = t;
+        max_group = max_group.max((t - entered + extra) as f64);
+        let w = profile.group_weight(*g);
+        for (p, c) in sim.counts().iter() {
+            totals[p] += w * (c - before[p]) as f64;
+        }
+        weighted_bursts += w * bursts.len() as f64;
+        weighted_extra += w * extra as f64;
+    }
+    (totals, weighted_bursts, weighted_extra, max_group)
+}
+
+/// Services one coalesced burst arriving at `t`, returning its finish time.
+fn serve_burst(sim: &mut DramSim, ob: &OwnedBurst, t: u64) -> u64 {
+    sim.access(Request {
+        addr: ob.burst.addr,
+        bytes: ob.burst.bytes,
+        kind: ob.burst.kind,
+        arrival: t,
+    })
+    .finish
+}
+
 /// Replays one profiled group's burst stream alone and two streams
 /// concurrently, returning the per-stream slowdown caused by sharing the
-/// channel's banks (clamped to [1, 2]).
+/// channel's banks (clamped to [1, 2]) and how the pairing was obtained.
 fn measure_channel_contention(
     platform: &Platform,
     group_bursts: &[(u64, Vec<OwnedBurst>)],
     scratch: &mut AnalysisScratch,
-) -> f64 {
-    let Some((_, g0)) = group_bursts.first() else { return 1.0 };
+) -> (f64, ContentionProbe) {
+    let Some((_, g0)) = group_bursts.first() else {
+        return (1.0, ContentionProbe::NoTraffic);
+    };
     if g0.is_empty() {
-        return 1.0;
+        return (1.0, ContentionProbe::NoTraffic);
     }
     // With C CUs on `channels` channels the dispatcher pairs CU 0 with
     // CU `channels` on channel 0, so the streams that actually co-run are
-    // those of group 0 and group `channels` — measure exactly that pair.
-    let pair_idx = platform.dram_channels.max(1) as usize;
-    let (g1, offset) = match group_bursts.get(pair_idx).or_else(|| group_bursts.get(1)) {
-        Some((_, b)) => (b.as_slice(), 0u64),
-        // Single-group kernels: replay the same stream one row-sweep away.
+    // those of group 0 and group `channels` — measure exactly that pair,
+    // looked up by *group id* (the profiled subset is not contiguous, so
+    // positional indexing would pick an arbitrary stratum).
+    let pair_id = u64::from(platform.dram_channels.max(1));
+    let paired = group_bursts
+        .iter()
+        .find(|(g, b)| *g == pair_id && !b.is_empty());
+    let (g1, offset, probe) = match paired {
+        Some((g, b)) => (b.as_slice(), 0u64, ContentionProbe::PairedGroups { pair: *g }),
+        // Co-runner not profiled (single-group kernels, or the pair id not
+        // among the strata): replay the same stream one row-sweep away.
         None => (
             g0.as_slice(),
             platform.dram.row_bytes * u64::from(platform.dram.num_banks),
+            ContentionProbe::SelfOffset,
         ),
     };
 
@@ -914,7 +1212,7 @@ fn measure_channel_contention(
         }
     }
     let t2 = a_free.max(b_free).max(1);
-    (t2 as f64 / t1 as f64).clamp(1.0, 2.0)
+    ((t2 as f64 / t1 as f64).clamp(1.0, 2.0), probe)
 }
 
 /// Computes per-instruction execution multipliers from the region tree and
@@ -1251,7 +1549,8 @@ mod tests {
         let platform = Platform::virtex7_adm7v3();
         let workload =
             Workload { args: vec![KernelArg::IntBuf(vec![0; 64])], global: (64, 1) };
-        let fuel = ProfileFuel { step_limit: 1000, trace_limit: 1 << 20 };
+        let fuel =
+            ProfileFuel { step_limit: 1000, trace_limit: 1 << 20, ..ProfileFuel::default() };
         let err = KernelAnalysis::analyze_interned(
             Arc::new(f),
             Arc::new(platform),

@@ -62,6 +62,10 @@ pub struct EvalContext<'a> {
     pipe_cache: HashMap<ResourceBudget, Result<(u32, u32), FlexclError>>,
     /// `budget → L_wi` (work-item pipelining off).
     lat_cache: HashMap<ResourceBudget, Result<f64, FlexclError>>,
+    /// `(num_cus, is_pipeline) → contention factor` from the analysis's
+    /// per-CU-count curve, memoized so candidates sharing a CU count skip
+    /// the interpolation.
+    mem_scale_cache: HashMap<(u32, bool), f64>,
     scratch: SchedScratch,
     // Hoisted per-family constants (pure functions of the analysis).
     l_mem_wi_pipeline: f64,
@@ -84,6 +88,7 @@ impl<'a> EvalContext<'a> {
             deps: analysis.work_item_deps(),
             pipe_cache: HashMap::new(),
             lat_cache: HashMap::new(),
+            mem_scale_cache: HashMap::new(),
             scratch: SchedScratch::new(),
             l_mem_wi_pipeline: analysis.l_mem_wi(),
             l_mem_wi_barrier: analysis.l_mem_wi_phased(),
@@ -199,18 +204,19 @@ impl<'a> EvalContext<'a> {
         };
 
         // ---- kernel model (Eq. 7–8) --------------------------------------
-        // Eq. 8 compares the work a CU does per group against the
-        // scheduling overhead; in barrier mode the group occupies its CU
-        // for memory and computation, so the full duration bounds the
-        // useful CU parallelism.
+        // The paper reads Eq. 8 as a serialized dispatcher capping the
+        // useful CU replication when groups are shorter than the
+        // scheduling overhead. The runtime the System Run implements
+        // prepares the next group *per CU* while the current one drains
+        // (see `dispatch_overlap`), so no cross-CU dispatch serialization
+        // exists and the cap never binds: every replicated CU contributes,
+        // and Eq. 8's overhead term survives as the `ΔL_warm` each CU pays
+        // per round below. (The old `group_duration / ΔL_warm` cap priced
+        // short-group kernels at a single CU and overshot them ~4× at
+        // C = 4.)
         let dl = self.dl;
         let dl_warm = self.dl_warm;
-        let group_duration = match config.comm_mode {
-            CommMode::Barrier => l_mem_wi * n_wi_wg + l_cu,
-            CommMode::Pipeline => l_cu.max(l_mem_wi * n_wi_wg),
-        };
-        let n_cu =
-            (f64::from(c)).min((group_duration / dl_warm.max(1.0)).ceil().max(1.0)) as u32;
+        let n_cu = c;
         let wg_rounds = (n_wi_kernel / (n_wi_wg * f64::from(n_cu))).ceil().max(1.0);
         // Cold dispatches to the C CUs proceed in parallel, so one ΔL of
         // latency reaches the critical path (the paper's `C·ΔL` reading of
@@ -228,16 +234,42 @@ impl<'a> EvalContext<'a> {
         // the rounds each CU executes. For C = 1 this is algebraically
         // identical to Eq. 10.
         let launch = self.launch;
-        // Multi-bank DDR interleaves independent CU streams, so CU
-        // replication does not scale the per-group memory term;
-        // `analysis.channel_contention` remains available as a diagnostic
-        // upper bound for placements where CUs would share one bank group.
-        let mem_scale = 1.0;
-        let (cycles, ii_wi) = match config.comm_mode {
+        // Replicated CUs split the group stream across the DDR channels:
+        // each channel sees only every C-th group and loses cross-group row
+        // locality. The analysis measures this as a per-CU-count contention
+        // curve (pattern-cost ratio at C co-running streams vs one); its
+        // factor at `num_cus` scales `L_mem^wi` in the integration.
+        let pipeline = matches!(config.comm_mode, CommMode::Pipeline);
+        let mem_scale = *self
+            .mem_scale_cache
+            .entry((c, pipeline))
+            .or_insert_with(|| analysis.contention.factor(c, pipeline));
+        // Alongside the total, the estimate decomposes into compute, memory
+        // and dispatch/launch cycles (summing exactly to `cycles`) so the
+        // triage harness can attribute model-vs-sim divergence per term.
+        // Heaviest-group floor: `L_mem^wi` is a mean over (possibly
+        // heterogeneous) groups, so `wg_rounds · mean` under-counts the
+        // critical CU once CUs outnumber rounds — wavefront kernels leave
+        // whole groups memory-silent, and no CU count makes the kernel
+        // finish before its heaviest single group has streamed. The
+        // analysis measures that group's solo service; it bounds the
+        // memory term from below (inactive whenever rounds · mean covers
+        // it, i.e. for homogeneous kernels or small C).
+        let hvy_scale = n_wi_wg / f64::from(analysis.work_group.0.max(1))
+            / f64::from(analysis.work_group.1.max(1));
+        let (cycles, ii_wi, comp_cycles, mem_cycles) = match config.comm_mode {
             CommMode::Barrier => {
                 let mem_per_group = l_mem_wi * n_wi_wg * mem_scale;
                 let t = (mem_per_group + l_cu + dl_warm) * wg_rounds + dl + launch;
-                (t, f64::from(ii_comp))
+                let floor =
+                    analysis.mem_group_max_phased * hvy_scale + l_cu + dl_warm + dl + launch;
+                let t_final = t.max(floor);
+                (
+                    t_final,
+                    f64::from(ii_comp),
+                    l_cu * wg_rounds,
+                    mem_per_group * wg_rounds + (t_final - t),
+                )
             }
             CommMode::Pipeline => {
                 // Eq. 11–12, with the group's total transfer volume as a
@@ -246,11 +278,52 @@ impl<'a> EvalContext<'a> {
                 // through the CU.
                 let ii_wi = (l_mem_wi * mem_scale).max(f64::from(ii_comp));
                 let mem_group = l_mem_wi * n_wi_wg * mem_scale;
-                let group_time = (ii_wi * waves).max(mem_group) + f64::from(depth);
+                // Wave-overlap correction: a wave can only initiate once
+                // the bursts its work-items own have returned. With B
+                // owner runs per group, owner o (data ready at
+                // ~mem·(o+1)/B) gates wave floor(o·W/B) of the W wave
+                // fronts; the end of the issue chain is the max over
+                // owners of `ready_o + II_comp·(waves - wave_o)`, linear
+                // in o, so its endpoints bound it: the last owner leaves
+                // `trailing` waves draining after the memory stream, and
+                // the first owner delays the whole chain by mem/B. A
+                // fully coalesced group (B = 1) serializes memory and
+                // compute; finely interleaved owners (B ≥ W) recover the
+                // plain max() overlap.
+                let w_total = waves + 1.0;
+                let owners = analysis.burst_owners_per_group.clamp(1.0, w_total);
+                let last_gated = ((owners - 1.0) * w_total / owners).floor();
+                let trailing = (waves - last_gated).max(0.0);
+                let serial_tail = mem_group + f64::from(ii_comp) * trailing;
+                let ramp = mem_group / owners + f64::from(ii_comp) * waves;
+                let group_time =
+                    (ii_wi * waves).max(serial_tail).max(ramp) + f64::from(depth);
                 let t = (group_time + dl_warm) * wg_rounds + dl + launch;
-                (t, ii_wi)
+                // The heaviest group's time follows the same overlap
+                // structure with its solo memory service in place of the
+                // mean (it runs alone on its CU, so no contention scale).
+                let hvy = analysis.mem_group_max * hvy_scale;
+                let hvy_tail = hvy + f64::from(ii_comp) * trailing;
+                let hvy_ramp = hvy / owners + f64::from(ii_comp) * waves;
+                let hvy_time = (f64::from(ii_comp) * waves)
+                    .max(hvy_tail)
+                    .max(hvy_ramp)
+                    + f64::from(depth);
+                let floor = hvy_time + dl_warm + dl + launch;
+                let t_final = t.max(floor);
+                // Compute is what the group would take memory-free
+                // (`II_comp·waves + depth`); the rest of the group time is
+                // memory stall (non-negative since `ii_wi ≥ II_comp`).
+                let comp_group = f64::from(ii_comp) * waves + f64::from(depth);
+                (
+                    t_final,
+                    ii_wi,
+                    comp_group * wg_rounds,
+                    (group_time - comp_group) * wg_rounds + (t_final - t),
+                )
             }
         };
+        let overhead_cycles = dl_warm * wg_rounds + dl + launch;
 
         Ok(Estimate {
             cycles,
@@ -263,6 +336,9 @@ impl<'a> EvalContext<'a> {
             n_pe,
             n_cu,
             mode: config.comm_mode,
+            comp_cycles,
+            mem_cycles,
+            overhead_cycles,
             feasible: true,
             infeasible_reason: None,
         })

@@ -59,7 +59,8 @@ pub mod eval;
 pub mod model;
 pub mod platform;
 
-pub use analysis::{AnalysisScratch, KernelAnalysis, ProfileFuel, ResolvedRecurrence, Workload};
+pub use analysis::{AnalysisScratch, ContentionCurve, ContentionProbe, KernelAnalysis,
+    ProfileFuel, ResolvedRecurrence, Workload};
 pub use area::{estimate_area, pareto_frontier, AreaEstimate, ParetoPoint};
 pub use config::{enumerate, CommMode, DesignSpaceLimits, OptimizationConfig};
 pub use dse::{
@@ -68,7 +69,7 @@ pub use dse::{
 };
 pub use error::{ErrorKind, FlexclError};
 pub use eval::{EvalContext, EvalStats};
-pub use model::{cycle_lower_bound, estimate, pe_budget, Estimate};
+pub use model::{cycle_lower_bound, cycles_to_seconds, estimate, pe_budget, Estimate};
 pub use platform::Platform;
 
 /// The FlexCL model bound to a platform — the main entry point.

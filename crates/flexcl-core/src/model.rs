@@ -50,6 +50,15 @@ pub struct Estimate {
     pub n_cu: u32,
     /// Communication mode used.
     pub mode: CommMode,
+    /// Compute share of `cycles` (PE/CU pipeline time across all rounds).
+    /// Together with `mem_cycles` and `overhead_cycles` this sums exactly
+    /// to `cycles`, so divergence against the simulator can be attributed
+    /// per component. Zero when infeasible.
+    pub comp_cycles: f64,
+    /// Global-memory share of `cycles` (Eq. 9/11 terms across all rounds).
+    pub mem_cycles: f64,
+    /// Dispatch (`ΔL`) and kernel-launch share of `cycles`.
+    pub overhead_cycles: f64,
     /// Whether the configuration fits on the device.
     pub feasible: bool,
     /// Human-readable reason when infeasible.
@@ -59,7 +68,21 @@ pub struct Estimate {
 impl Estimate {
     /// Estimated wall-clock seconds at the platform frequency.
     pub fn seconds(&self, frequency_mhz: f64) -> f64 {
-        self.cycles / (frequency_mhz * 1e6)
+        cycles_to_seconds(self.cycles, frequency_mhz)
+    }
+}
+
+/// Converts a cycle count to wall-clock seconds at `frequency_mhz`.
+///
+/// The single conversion shared by the model's [`Estimate`] and the System
+/// Run simulator's result type. Guards against `frequency_mhz <= 0` (and
+/// NaN/infinite frequencies), returning 0.0 instead of propagating
+/// `inf`/NaN into downstream speedup ratios.
+pub fn cycles_to_seconds(cycles: f64, frequency_mhz: f64) -> f64 {
+    if frequency_mhz > 0.0 && frequency_mhz.is_finite() {
+        cycles / (frequency_mhz * 1e6)
+    } else {
+        0.0
     }
 }
 
@@ -168,7 +191,12 @@ pub fn cycle_lower_bound(analysis: &KernelAnalysis, mode: CommMode) -> f64 {
         CommMode::Barrier => analysis.l_mem_wi_phased(),
         CommMode::Pipeline => analysis.l_mem_wi(),
     };
-    let mem_group = l_mem_wi * n_wi_wg;
+    // The integration scales memory by the contention curve's factor at
+    // the configuration's CU count; the curve's minimum keeps the bound
+    // under every reachable factor (interpolation never dips below it).
+    let mem_group = l_mem_wi
+        * n_wi_wg
+        * analysis.contention.min_factor(matches!(mode, CommMode::Pipeline));
 
     // Best enumerable computation: every wave issues in one cycle.
     let max_lanes = f64::from(MAX_PES * MAX_VECTOR_WIDTH);
@@ -231,6 +259,9 @@ pub(crate) fn infeasible(config: &OptimizationConfig, reason: String) -> Estimat
         n_pe: 0,
         n_cu: 0,
         mode: config.comm_mode,
+        comp_cycles: 0.0,
+        mem_cycles: 0.0,
+        overhead_cycles: 0.0,
         feasible: false,
         infeasible_reason: Some(reason),
     }

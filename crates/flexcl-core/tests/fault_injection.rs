@@ -131,7 +131,7 @@ fn runaway_kernel_exhausts_fuel_instead_of_hanging() {
     let w = Workload { args: vec![KernelArg::FloatBuf(vec![0.0; 64])], global: (64, 1) };
     let platform = Platform::virtex7_adm7v3();
     let opts = DseOptions {
-        fuel: ProfileFuel { step_limit: 1_000, trace_limit: 1 << 20 },
+        fuel: ProfileFuel { step_limit: 1_000, trace_limit: 1 << 20, ..ProfileFuel::default() },
         ..DseOptions::default()
     };
 

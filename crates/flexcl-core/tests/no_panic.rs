@@ -79,7 +79,7 @@ fn arb_opts() -> BoxedStrategy<DseOptions> {
         .prop_map(|(threads, prune, step_limit, trace_limit, reuse_analysis)| DseOptions {
             threads,
             prune,
-            fuel: ProfileFuel { step_limit, trace_limit },
+            fuel: ProfileFuel { step_limit, trace_limit, ..ProfileFuel::default() },
             reuse_analysis,
         })
         .boxed()

@@ -12,7 +12,7 @@
 //! "write-own-slot, then read" idiom for which id-order execution is also
 //! functionally correct for forward neighbourhoods.
 
-use crate::profile::{EdgeCounts, MemAccess, Profile};
+use crate::profile::{EdgeCounts, GroupObservation, MemAccess, Profile};
 use crate::value::{truncate_int, KernelArg, RtVal};
 use flexcl_frontend::ast::{BinOp, UnOp};
 use flexcl_frontend::builtins::{MathOp, WorkItemFn};
@@ -158,6 +158,27 @@ impl From<GeometryError> for InterpError {
 
 impl std::error::Error for InterpError {}
 
+/// How a profiled subset of work-groups is chosen from the NDRange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GroupSampling {
+    /// The first `n` groups in linear order. Cheapest; representative only
+    /// for kernels whose work is uniform over the index space.
+    #[default]
+    Leading,
+    /// Groups spread evenly across the NDRange at a fixed stride, all
+    /// weighted equally.
+    Spread,
+    /// Representative strata: the first, middle and last group, the
+    /// boundary groups along each NDRange dimension, and evenly-strided
+    /// fill up to the budget. Each profiled group carries a weight — the
+    /// number of NDRange groups nearest to it in linear-id space — so the
+    /// resulting [`Profile`] is a weighted mixture rather than a uniform
+    /// average. Kernels whose work varies across the index space (guarded
+    /// wavefronts, triangular iteration spaces) need this to avoid being
+    /// modeled by their unguarded corner.
+    Stratified,
+}
+
 /// Options controlling a profiled run.
 #[derive(Debug, Clone, Copy)]
 pub struct RunOptions {
@@ -165,11 +186,9 @@ pub struct RunOptions {
     /// work-groups"; traces are per-work-item so a subset suffices).
     /// `None` executes everything.
     pub profile_groups: Option<u64>,
-    /// When sampling a subset, spread the profiled groups evenly across
-    /// the NDRange instead of taking the first `n`. Kernels whose work is
-    /// non-uniform over the index space (guarded wavefronts, triangular
-    /// iteration spaces) need this for a representative trace.
-    pub profile_spread: bool,
+    /// How the profiled subset is chosen (ignored when `profile_groups`
+    /// covers the whole NDRange).
+    pub profile_sampling: GroupSampling,
     /// Abort after this many interpreted instructions per work-item.
     pub step_limit: u64,
     /// Record the global memory trace.
@@ -183,7 +202,7 @@ impl Default for RunOptions {
     fn default() -> Self {
         RunOptions {
             profile_groups: None,
-            profile_spread: false,
+            profile_sampling: GroupSampling::Leading,
             step_limit: 10_000_000,
             record_trace: true,
             trace_limit: 16_777_216,
@@ -262,30 +281,193 @@ pub fn run(
     let groups = group_iter(&ndrange);
     let total = groups.len() as u64;
     let limit = opts.profile_groups.unwrap_or(u64::MAX);
-    // Evenly spread sample (ceil stride keeps the count ≤ limit).
-    let stride = if opts.profile_spread && limit < total {
-        total.div_ceil(limit)
-    } else {
-        1
-    };
-    let mut taken = 0u64;
-    for (g_idx, group) in groups.into_iter().enumerate() {
-        if taken >= limit {
-            break;
-        }
-        if !(g_idx as u64).is_multiple_of(stride) {
-            continue;
-        }
-        taken += 1;
-        machine.run_group(g_idx as u64, group, &ndrange)?;
+    let counts = [
+        ndrange.global[0] / ndrange.local[0],
+        ndrange.global[1] / ndrange.local[1],
+        ndrange.global[2] / ndrange.local[2],
+    ];
+    let selected = select_profiled_groups(total, limit, counts, opts.profile_sampling);
+
+    let mut observations = Vec::with_capacity(selected.len());
+    for (g_idx, weight) in selected {
+        let wi_before = machine.work_items_executed;
+        machine.run_group(g_idx, groups[g_idx as usize], &ndrange)?;
+        observations.push(GroupObservation {
+            group: g_idx,
+            weight,
+            edges: std::mem::take(&mut machine.edge_counts),
+            work_items: machine.work_items_executed - wi_before,
+        });
     }
 
-    Ok(Profile::from_parts(
+    Ok(Profile::from_group_parts(
         func,
-        machine.edge_counts,
+        observations,
         machine.trace,
         machine.work_items_executed,
     ))
+}
+
+/// Picks the profiled work-groups and their stratum weights.
+///
+/// Returns `(linear group id, weight)` pairs in ascending id order. Weights
+/// partition the NDRange: every group is charged to its nearest selected
+/// id in linear-id space (ties to the lower id), so `Σ weights = total`.
+/// When `limit >= total` every group is selected with weight 1 — sampling
+/// degenerates to exact profiling.
+fn select_profiled_groups(
+    total: u64,
+    limit: u64,
+    counts: [u64; 3],
+    sampling: GroupSampling,
+) -> Vec<(u64, f64)> {
+    if total == 0 {
+        return Vec::new();
+    }
+    if limit >= total {
+        return (0..total).map(|g| (g, 1.0)).collect();
+    }
+    let limit = limit.max(1);
+
+    let ids: Vec<u64> = match sampling {
+        GroupSampling::Leading => (0..limit).collect(),
+        GroupSampling::Spread => {
+            // Evenly spread sample (ceil stride keeps the count ≤ limit).
+            let stride = total.div_ceil(limit);
+            (0..total).step_by(stride as usize).take(limit as usize).collect()
+        }
+        GroupSampling::Stratified => {
+            // Candidate strata in priority order: corners of the linear
+            // space, the middle, per-dimension boundary groups (first/last
+            // slice along each multi-group dimension, other dims at their
+            // middle), quartiles, then an even stride fill.
+            let linear = |coord: [u64; 3]| -> u64 {
+                (coord[2] * counts[1] + coord[1]) * counts[0] + coord[0]
+            };
+            let mid = [counts[0] / 2, counts[1] / 2, counts[2] / 2];
+            // Interior "typical" samples are nudged to odd linear ids and
+            // the stride fill runs at an odd stride from a half-stride
+            // offset: memory systems are periodic in powers of two (bank
+            // count, rows per group block), so even-aligned samples like
+            // {0, 8, 16, ...} can all land in the same bank-conflict class
+            // and misrepresent a population whose conflict rate is 1 in
+            // `banks`. Odd ids/strides are coprime to every power of two,
+            // rotating consecutive samples through the residue classes.
+            let nudge_odd = |id: u64| -> u64 {
+                let odd = id | 1;
+                if odd < total {
+                    odd
+                } else {
+                    id.min(total - 1)
+                }
+            };
+            let mut candidates: Vec<u64> = vec![0, total - 1, nudge_odd(total / 2)];
+            for d in 0..3 {
+                if counts[d] > 1 {
+                    let mut lo = mid;
+                    lo[d] = 0;
+                    let mut hi = mid;
+                    hi[d] = counts[d] - 1;
+                    candidates.push(linear(lo));
+                    candidates.push(linear(hi));
+                }
+            }
+            candidates.push(nudge_odd(total / 4));
+            candidates.push(nudge_odd(3 * total / 4));
+            let stride = total.div_ceil(limit) | 1;
+            let mut v = stride / 2;
+            while v < total {
+                candidates.push(v);
+                v += stride;
+            }
+            let mut picked = Vec::with_capacity(limit as usize);
+            for c in candidates {
+                if picked.len() as u64 >= limit {
+                    break;
+                }
+                if !picked.contains(&c) {
+                    picked.push(c);
+                }
+            }
+            // Backstop: fill any remaining budget with the lowest unpicked
+            // ids (odd first, for the same de-aliasing reason).
+            for c in (1..total).step_by(2).chain((0..total).step_by(2)) {
+                if picked.len() as u64 >= limit {
+                    break;
+                }
+                if !picked.contains(&c) {
+                    picked.push(c);
+                }
+            }
+            picked
+        }
+    };
+
+    let mut ids = ids;
+    ids.sort_unstable();
+    ids.dedup();
+
+    // Stratum weights: each NDRange group is charged to the nearest
+    // selected id (ties to the lower id); the boundary between consecutive
+    // selected ids s_i < s_{i+1} falls at floor((s_i + s_{i+1}) / 2).
+    // Exception: group 0 (and, when an interior sample can absorb the
+    // mass, group total-1) represents only itself — it is sampled
+    // *because* it is atypical (`get_global_id`-guarded prologues and
+    // partial tails fire there), so it must not stand in for the bulk.
+    let weighted = matches!(sampling, GroupSampling::Stratified);
+    let n = ids.len();
+    let first_pinned = weighted && n >= 2 && ids[0] == 0;
+    let last_pinned = weighted && n >= 3 && ids[n - 1] == total - 1;
+    let strata: Vec<(u64, f64)> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            // Pinned boundary groups represent only themselves (weight 1);
+            // exact sampling weights everything 1.
+            let pinned = (first_pinned && i == 0) || (last_pinned && i == n - 1);
+            let w = if !weighted || pinned {
+                1.0
+            } else {
+                let seg_start = if i == 0 {
+                    0
+                } else if first_pinned && i == 1 {
+                    1
+                } else {
+                    (ids[i - 1] + id) / 2 + 1
+                };
+                let seg_end = if i == n - 1 {
+                    total - 1
+                } else if last_pinned && i == n - 2 {
+                    total - 2
+                } else {
+                    (id + ids[i + 1]) / 2
+                };
+                (seg_end - seg_start + 1) as f64
+            };
+            (id, w)
+        })
+        .collect();
+    if !weighted {
+        return strata;
+    }
+    // Zero-weight warm-up predecessors: a stratum's memory-pattern stream is
+    // only faithful if the DRAM bank state it replays against matches what
+    // the *adjacent* group would have left (a group's first access typically
+    // follows its predecessor's last write to the same bank). Each sampled
+    // stratum therefore drags its immediate predecessor along, profiled but
+    // weightless: it warms the replay state and contributes nothing to the
+    // weighted aggregates.
+    let mut out = Vec::with_capacity(strata.len() * 2);
+    for (id, w) in strata {
+        if id > 0
+            && ids.binary_search(&(id - 1)).is_err()
+            && out.last().map(|&(p, _)| p) != Some(id - 1)
+        {
+            out.push((id - 1, 0.0));
+        }
+        out.push((id, w));
+    }
+    out
 }
 
 /// Enumerates work-group origin coordinates.

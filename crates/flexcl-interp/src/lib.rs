@@ -33,8 +33,8 @@ pub mod exec;
 pub mod profile;
 pub mod value;
 
-pub use exec::{run, GeometryError, InterpError, NdRange, RunOptions};
-pub use profile::{EdgeCounts, LoopTrips, MemAccess, Profile};
+pub use exec::{run, GeometryError, GroupSampling, InterpError, NdRange, RunOptions};
+pub use profile::{EdgeCounts, GroupObservation, GroupWeight, LoopTrips, MemAccess, Profile};
 pub use value::{KernelArg, RtVal};
 
 #[cfg(test)]

@@ -4,6 +4,14 @@
 //! whose bounds static analysis could not resolve and (b) the sequence of
 //! global-memory indices each work-item touches, which the DRAM model turns
 //! into per-bank access patterns (§3.2, §3.4 of the paper).
+//!
+//! Profiled work-groups are *strata*: each one stands in for a region of
+//! the NDRange (see [`crate::RunOptions::profile_sampling`]). A
+//! [`Profile`] therefore carries per-group weights — how many real groups
+//! each profiled group represents — and its loop-trip statistics are the
+//! weighted mixture of the per-group observations, so kernels whose work
+//! varies across the index space (guarded wavefronts, triangular loops)
+//! are not modeled by their unguarded corner.
 
 use flexcl_ir::{BlockId, Function, LoopId, Region, TripCount};
 use std::collections::HashMap;
@@ -60,46 +68,118 @@ pub struct MemAccess {
 }
 
 /// Average trip counts observed for each loop.
+///
+/// Entries and iterations are `f64` because profiled groups enter the
+/// statistics with their stratum weight (a group standing in for `w` real
+/// groups contributes `w ×` its observations); for an unweighted profile
+/// they are plain integer counts.
 #[derive(Debug, Clone, Default)]
 pub struct LoopTrips {
-    /// `loop id → (entries, total iterations)`.
-    pub raw: HashMap<u32, (u64, u64)>,
+    /// `loop id → (weighted entries, weighted total iterations)`.
+    pub raw: HashMap<u32, (f64, f64)>,
 }
 
 impl LoopTrips {
     /// Average iterations per loop entry, `None` if the loop never ran.
     pub fn average(&self, id: LoopId) -> Option<f64> {
         let (entries, iters) = self.raw.get(&id.0)?;
-        if *entries == 0 {
+        if *entries <= 0.0 {
             return None;
         }
-        Some(*iters as f64 / *entries as f64)
+        Some(iters / entries)
     }
+}
+
+/// Everything the interpreter observed while running one profiled
+/// work-group.
+#[derive(Debug, Clone)]
+pub struct GroupObservation {
+    /// Linear work-group id.
+    pub group: u64,
+    /// How many NDRange groups this stratum represents (0 for a warm-up
+    /// predecessor profiled only to establish adjacent replay state).
+    pub weight: f64,
+    /// CFG edge counts recorded while this group ran.
+    pub edges: EdgeCounts,
+    /// Work-items executed in this group.
+    pub work_items: u64,
+}
+
+/// The weight of one profiled work-group, kept on the [`Profile`] so
+/// downstream consumers (the memory model) can weight per-group traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupWeight {
+    /// Linear work-group id.
+    pub group: u64,
+    /// How many NDRange groups this stratum represents (0 for a warm-up
+    /// predecessor profiled only to establish adjacent replay state).
+    pub weight: f64,
+    /// Work-items executed in this group.
+    pub work_items: u64,
 }
 
 /// Full profiling result of a kernel run.
 #[derive(Debug, Clone)]
 pub struct Profile {
-    /// Observed loop trip statistics.
+    /// Observed loop trip statistics (stratum-weighted).
     pub trips: LoopTrips,
     /// Global memory accesses in execution order.
     pub trace: Vec<MemAccess>,
     /// Number of work-items executed (may be a subset of the NDRange when
     /// `profile_groups` limits profiling).
     pub work_items: u64,
+    /// Stratum weights of the profiled groups, ascending by group id.
+    /// Empty means "unweighted" (every observation counts once) — the
+    /// state of a profile assembled through [`Profile::from_parts`].
+    pub groups: Vec<GroupWeight>,
 }
 
 impl Profile {
-    /// Assembles a profile from the machine's raw observations.
+    /// Assembles an *unweighted* profile from the machine's aggregate
+    /// observations (every profiled group counts once).
     pub fn from_parts(
         func: &Function,
         edges: EdgeCounts,
         trace: Vec<MemAccess>,
         work_items: u64,
     ) -> Profile {
+        let mut raw = RawTrips::default();
+        collect_loop_trips(func, &func.region, &edges, &mut raw);
         let mut trips = LoopTrips::default();
-        collect_loop_trips(func, &func.region, &edges, &mut trips);
-        Profile { trips, trace, work_items }
+        for (id, (entries, iters)) in raw.raw {
+            trips.raw.insert(id, (entries as f64, iters as f64));
+        }
+        Profile { trips, trace, work_items, groups: Vec::new() }
+    }
+
+    /// Assembles a stratum-weighted profile from per-group observations:
+    /// each group's loop-trip statistics enter the mixture multiplied by
+    /// its weight. With all weights at 1 this is bit-identical to
+    /// [`Profile::from_parts`] over the merged observations.
+    pub fn from_group_parts(
+        func: &Function,
+        observations: Vec<GroupObservation>,
+        trace: Vec<MemAccess>,
+        work_items: u64,
+    ) -> Profile {
+        let mut trips = LoopTrips::default();
+        let mut groups = Vec::with_capacity(observations.len());
+        for obs in &observations {
+            let mut raw = RawTrips::default();
+            collect_loop_trips(func, &func.region, &obs.edges, &mut raw);
+            for (id, (entries, iters)) in raw.raw {
+                let slot = trips.raw.entry(id).or_insert((0.0, 0.0));
+                slot.0 += obs.weight * entries as f64;
+                slot.1 += obs.weight * iters as f64;
+            }
+            groups.push(GroupWeight {
+                group: obs.group,
+                weight: obs.weight,
+                work_items: obs.work_items,
+            });
+        }
+        groups.sort_by_key(|g| g.group);
+        Profile { trips, trace, work_items, groups }
     }
 
     /// Effective trip count for a loop: static when known, else profiled,
@@ -111,6 +191,26 @@ impl Profile {
         }
     }
 
+    /// Stratum weight of a profiled group (1.0 when the profile carries no
+    /// weights or the group was not profiled).
+    pub fn group_weight(&self, group: u64) -> f64 {
+        self.groups
+            .binary_search_by_key(&group, |g| g.group)
+            .map(|i| self.groups[i].weight)
+            .unwrap_or(1.0)
+    }
+
+    /// Weighted work-item count: `Σ weight_g × work_items_g` over the
+    /// profiled groups, the denominator for per-work-item averages over a
+    /// stratified trace. Falls back to the raw count for unweighted
+    /// profiles.
+    pub fn weighted_work_items(&self) -> f64 {
+        if self.groups.is_empty() {
+            return self.work_items as f64;
+        }
+        self.groups.iter().map(|g| g.weight * g.work_items as f64).sum()
+    }
+
     /// Per-work-item access sequences, in work-item order.
     pub fn per_work_item_traces(&self) -> HashMap<u64, Vec<MemAccess>> {
         let mut out: HashMap<u64, Vec<MemAccess>> = HashMap::new();
@@ -120,7 +220,7 @@ impl Profile {
         out
     }
 
-    /// Average number of global accesses issued per work-item.
+    /// Average number of global accesses issued per work-item (unweighted).
     pub fn accesses_per_work_item(&self) -> f64 {
         if self.work_items == 0 {
             return 0.0;
@@ -129,13 +229,19 @@ impl Profile {
     }
 }
 
+/// Integer trip accumulators for one set of edge counts.
+#[derive(Debug, Default)]
+struct RawTrips {
+    raw: HashMap<u32, (u64, u64)>,
+}
+
 /// Walks the region tree accumulating trip statistics for every loop.
 #[allow(clippy::only_used_in_recursion)]
 fn collect_loop_trips(
     func: &Function,
     region: &Region,
     edges: &EdgeCounts,
-    out: &mut LoopTrips,
+    out: &mut RawTrips,
 ) {
     match region {
         Region::Block(_) => {}
@@ -269,6 +375,10 @@ mod tests {
         let per_wi = prof.per_work_item_traces();
         assert_eq!(per_wi.len(), 8);
         assert!(per_wi.values().all(|t| t.len() == 2));
+        // Full run: every group profiled with weight 1.
+        assert_eq!(prof.groups.len(), 2);
+        assert!(prof.groups.iter().all(|g| g.weight == 1.0 && g.work_items == 4));
+        assert_eq!(prof.weighted_work_items(), 8.0);
     }
 
     #[test]
@@ -287,5 +397,40 @@ mod tests {
         // Outer: static 4. Inner: profiled, entered 4 times, 8 iters each.
         assert_eq!(prof.trip_count(&f, LoopId(1)), 4.0);
         assert_eq!(prof.trip_count(&f, LoopId(0)), 8.0);
+    }
+
+    #[test]
+    fn stratum_weights_skew_trip_mixture() {
+        // A guarded loop whose trip count depends on the group id: group 0
+        // runs 2 iterations per work-item, later groups run 10. Profiling
+        // only groups 0 and 15 with weights 1 and 15 must pull the average
+        // toward the heavy stratum ((2 + 15*10)/16 = 9.5).
+        let src = "__kernel void k(__global int* a, int n) {
+                int i = get_global_id(0);
+                int bound = (i < 64) ? 2 : n;
+                int s = 0;
+                for (int j = 0; j < bound; j++) { s += j; }
+                a[i] = s;
+            }";
+        let p = flexcl_frontend::parse_and_check(src).expect("frontend");
+        let f = lower_kernel(&p.kernels[0]).expect("lowering");
+        let nd = NdRange::new_1d(1024, 64);
+        let mut args = [KernelArg::IntBuf(vec![0; 1024]), KernelArg::Int(10)];
+        let prof = run(
+            &f,
+            &mut args,
+            nd,
+            RunOptions {
+                profile_groups: Some(2),
+                profile_sampling: crate::exec::GroupSampling::Stratified,
+                ..RunOptions::default()
+            },
+        )
+        .expect("run");
+        let trip = prof.trip_count(&f, flexcl_ir::LoopId(0));
+        assert!(
+            trip > 8.0,
+            "weighted mixture must lean on the 15-group stratum, got {trip}"
+        );
     }
 }

@@ -1,0 +1,67 @@
+//! Property test: stratified work-group profiling must degenerate to exact
+//! profiling whenever the group budget covers the whole NDRange.
+//!
+//! The analytical model trusts the stratified profile as if it were exact;
+//! this pins the boundary case where it *must* be — same trace, same trip
+//! statistics, same work-item count, and every group carrying weight 1 (no
+//! zero-weight warm-up predecessors, no stratum aggregation).
+
+use flexcl_interp::{run, GroupSampling, KernelArg, NdRange, RunOptions};
+use proptest::prelude::*;
+
+/// A kernel whose loop trip count and access pattern vary per group, so any
+/// sampling artifact (missing groups, reweighted trips, warm-up entries)
+/// changes the observable profile.
+const SRC: &str = "__kernel void k(__global int* a, __global int* out) {
+    int i = get_global_id(0);
+    int g = get_group_id(0);
+    int acc = 0;
+    for (int j = 0; j <= (g % 3); j++) {
+        acc += a[i] + j;
+    }
+    out[i] = acc;
+}";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn full_budget_stratified_equals_exact(
+        groups in 1u64..10,
+        local in 1u64..8,
+        surplus in 0u64..4,
+    ) {
+        let program = flexcl_frontend::parse_and_check(SRC).expect("frontend");
+        let func = flexcl_ir::lower_kernel(&program.kernels[0]).expect("lowering");
+        let global = groups * local;
+        let nd = NdRange::new_1d(global, local);
+        let n = global as usize;
+
+        let mut exact_args =
+            vec![KernelArg::IntBuf(vec![1; n]), KernelArg::IntBuf(vec![0; n])];
+        let exact =
+            run(&func, &mut exact_args, nd, RunOptions::default()).expect("exact run");
+
+        let mut strat_args =
+            vec![KernelArg::IntBuf(vec![1; n]), KernelArg::IntBuf(vec![0; n])];
+        let opts = RunOptions {
+            profile_groups: Some(groups + surplus),
+            profile_sampling: GroupSampling::Stratified,
+            ..RunOptions::default()
+        };
+        let strat = run(&func, &mut strat_args, nd, opts).expect("stratified run");
+
+        prop_assert_eq!(strat.trace, exact.trace);
+        prop_assert_eq!(strat.work_items, exact.work_items);
+        prop_assert!(strat.groups.iter().all(|g| g.weight == 1.0),
+            "weights must all be 1, got {:?}", strat.groups);
+        prop_assert_eq!(strat.groups.len() as u64, groups);
+        for (id, (entries, iters)) in &exact.trips.raw {
+            let (se, si) = strat.trips.raw.get(id).copied().unwrap_or((0.0, 0.0));
+            prop_assert!((se - entries).abs() < 1e-9 && (si - iters).abs() < 1e-9,
+                "loop {id}: stratified trips ({se}, {si}) != exact ({entries}, {iters})");
+        }
+        prop_assert_eq!(strat.trips.raw.len(), exact.trips.raw.len());
+        prop_assert_eq!(strat_args, exact_args);
+    }
+}

@@ -37,11 +37,13 @@
 pub mod graph;
 pub mod list;
 pub mod mii;
+pub mod perturb;
 pub mod scratch;
 pub mod sms;
 
 pub use graph::{NodeId, ResourceBudget, ResourceClass, SchedEdge, SchedGraph, SchedNode};
 pub use list::{ListSchedule, SchedError};
+pub use perturb::{impl_factor, impl_factor_weight_total, perturb_graph_with, IMPL_FACTORS};
 pub use scratch::SchedScratch;
 pub use sms::ModuloSchedule;
 

@@ -1,0 +1,99 @@
+//! Implementation-choice latency perturbation.
+//!
+//! SDAccel chooses among several hardware implementations per IR operation,
+//! each with its own latency; the latency table the model schedules with is
+//! the *average* over those choices (paper §4.2). This module owns the
+//! canonical factor population describing that choice and the graph
+//! transform that applies a draw of it — shared by the System Run simulator
+//! (which samples one implementation per configuration seed) and the
+//! analytical model (which averages schedules over a fixed ensemble to
+//! estimate the population's expected pipeline parameters).
+
+use crate::graph::SchedGraph;
+
+/// Implementation-choice latency factors and their selection weights.
+///
+/// The weighted mean must be exactly 1.0: the latency table is defined as
+/// the average over implementations, so a biased factor population would
+/// contradict that premise and skew every draw in one direction
+/// (`factor_population_mean_is_one` guards this).
+pub const IMPL_FACTORS: [(f64, u32); 3] = [(0.8, 1), (1.0, 2), (1.2, 1)];
+
+/// Total selection weight of [`IMPL_FACTORS`].
+#[must_use]
+pub fn impl_factor_weight_total() -> u32 {
+    IMPL_FACTORS.iter().map(|(_, w)| w).sum()
+}
+
+/// Maps a uniform pick in `[0, impl_factor_weight_total())` to its factor.
+#[must_use]
+pub fn impl_factor(mut pick: u32) -> f64 {
+    for (f, w) in IMPL_FACTORS {
+        if pick < w {
+            return f;
+        }
+        pick -= w;
+    }
+    1.0
+}
+
+/// Returns a copy of `graph` whose node latencies are scaled by per-node
+/// factors drawn from `factor` (one call per node, in node order).
+///
+/// Zero-latency wires stay zero — there is nothing to implement — and any
+/// perturbed non-zero latency is floored at one cycle.
+pub fn perturb_graph_with(graph: &SchedGraph, factor: &mut impl FnMut() -> f64) -> SchedGraph {
+    let mut out = SchedGraph::new();
+    for (_, node) in graph.nodes() {
+        let f = factor();
+        let lat = (f64::from(node.latency) * f).round().max(0.0) as u32;
+        let lat = if node.latency == 0 { 0 } else { lat.max(1) };
+        out.add_node(lat, node.resource);
+    }
+    for e in graph.edges() {
+        out.add_edge_with_distance(e.from, e.to, e.distance);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ResourceClass;
+
+    #[test]
+    fn factor_population_mean_is_one() {
+        let mean: f64 = IMPL_FACTORS.iter().map(|(f, w)| f * f64::from(*w)).sum::<f64>()
+            / f64::from(impl_factor_weight_total());
+        assert!((mean - 1.0).abs() < 1e-12, "factor mean {mean} != 1.0");
+    }
+
+    #[test]
+    fn every_pick_maps_into_the_population() {
+        for pick in 0..impl_factor_weight_total() {
+            let f = impl_factor(pick);
+            assert!(IMPL_FACTORS.iter().any(|(x, _)| *x == f));
+        }
+    }
+
+    #[test]
+    fn perturbation_preserves_structure_and_zero_wires() {
+        let mut g = SchedGraph::new();
+        let a = g.add_node(2, ResourceClass::Fabric);
+        let b = g.add_node(0, ResourceClass::Fabric);
+        let c = g.add_node(6, ResourceClass::Dsp);
+        g.add_edge(a, b);
+        g.add_edge_with_distance(b, c, 1);
+        let mut calls = 0u32;
+        let p = perturb_graph_with(&g, &mut || {
+            calls += 1;
+            1.2
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(p.len(), g.len());
+        assert_eq!(p.edges(), g.edges());
+        let lats: Vec<u32> = p.nodes().map(|(_, n)| n.latency).collect();
+        assert_eq!(lats, vec![2, 0, 7]); // 2·1.2 → 2, wire stays 0, 6·1.2 → 7
+        assert!(p.nodes().zip(g.nodes()).all(|((_, x), (_, y))| x.resource == y.resource));
+    }
+}

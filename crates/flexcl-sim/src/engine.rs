@@ -49,12 +49,21 @@ pub struct SimResult {
     pub ii: u32,
     /// The realised pipeline depth.
     pub depth: u32,
+    /// Compute share of `cycles` along the critical CU's timeline.
+    /// `comp_cycles + mem_cycles + overhead_cycles == cycles`, mirroring the
+    /// decomposition on [`flexcl_core::Estimate`] so model-vs-sim divergence
+    /// can be attributed per component.
+    pub comp_cycles: f64,
+    /// DRAM stall share of `cycles` along the critical CU's timeline.
+    pub mem_cycles: f64,
+    /// Dispatch and launch overhead share of `cycles`.
+    pub overhead_cycles: f64,
 }
 
 impl SimResult {
     /// Wall-clock seconds at `frequency_mhz`.
     pub fn seconds(&self, frequency_mhz: f64) -> f64 {
-        self.cycles / (frequency_mhz * 1e6)
+        flexcl_core::cycles_to_seconds(self.cycles, frequency_mhz)
     }
 }
 
@@ -167,6 +176,11 @@ pub fn system_run(
         .collect();
     let mut cu_free = vec![0f64; config.num_cus.max(1) as usize];
     let mut cu_warm = vec![false; cu_free.len()];
+    // Per-CU timeline decomposition: dispatch overhead, compute, and DRAM
+    // stall cycles sum to that CU's finish time.
+    let mut cu_comp = vec![0f64; cu_free.len()];
+    let mut cu_mem = vec![0f64; cu_free.len()];
+    let mut cu_overhead = vec![0f64; cu_free.len()];
     let empty: Vec<OwnedBurst> = Vec::new();
 
     for g in 0..n_groups {
@@ -185,8 +199,8 @@ pub fn system_run(
             1.0
         };
         cu_warm[cu_idx] = true;
-        let start =
-            cu_free[cu_idx] + f64::from(platform.schedule_overhead) * jitter * overhead_frac;
+        let dispatch = f64::from(platform.schedule_overhead) * jitter * overhead_frac;
+        let start = cu_free[cu_idx] + dispatch;
 
         let bursts: &[OwnedBurst] = group_bursts.get(&g).map_or(&empty, Vec::as_slice);
         let dram = &mut channels[cu_idx];
@@ -195,7 +209,7 @@ pub fn system_run(
         // assumption of the model — the model's error against this sim
         // comes from per-access bank state, not from engine topology).
         let engines = 1usize;
-        let end = match config.comm_mode {
+        let (end, comp) = match config.comm_mode {
             CommMode::Barrier => simulate_barrier_group(
                 start, bursts, wg_size, n_pe, ii_sim, depth_sim, config, dram, engines,
             ),
@@ -203,17 +217,36 @@ pub fn system_run(
                 start, bursts, wg_size, n_pe, ii_sim, depth_sim, dram, engines,
             ),
         };
+        cu_overhead[cu_idx] += dispatch;
+        cu_comp[cu_idx] += comp;
+        cu_mem[cu_idx] += (end - start - comp).max(0.0);
         cu_free[cu_idx] = end;
     }
 
-    let cycles =
-        cu_free.iter().copied().fold(0f64, f64::max) + f64::from(platform.launch_overhead);
-    Ok(SimResult { cycles, groups: n_groups, ii: ii_sim, depth: depth_sim })
+    let (crit, crit_free) = cu_free
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least one CU");
+    let cycles = crit_free + f64::from(platform.launch_overhead);
+    Ok(SimResult {
+        cycles,
+        groups: n_groups,
+        ii: ii_sim,
+        depth: depth_sim,
+        comp_cycles: cu_comp[crit],
+        mem_cycles: cu_mem[crit],
+        overhead_cycles: cu_overhead[crit] + f64::from(platform.launch_overhead),
+    })
 }
 
 /// Barrier mode: the CU streams the group's reads through its AXI engine,
 /// computes, then streams the writes. Engine requests serialize; banks are
 /// shared with other CUs through the common DRAM state.
+///
+/// Returns `(end, comp)` — the finish time and the pure compute component
+/// of the group's occupancy (`end - start - comp` is its DRAM stall).
 #[allow(clippy::too_many_arguments)]
 fn simulate_barrier_group(
     start: f64,
@@ -225,7 +258,7 @@ fn simulate_barrier_group(
     config: &OptimizationConfig,
     dram: &mut DramSim,
     engines: usize,
-) -> f64 {
+) -> (f64, f64) {
     let mut engine_free = vec![start; engines];
     for (i, b) in bursts.iter().filter(|b| b.burst.kind == AccessKind::Read).enumerate() {
         let slot = i % engines;
@@ -257,7 +290,7 @@ fn simulate_barrier_group(
         });
         engine_free[slot] = info.finish as f64;
     }
-    engine_free.iter().copied().fold(t, f64::max)
+    (engine_free.iter().copied().fold(t, f64::max), comp)
 }
 
 /// Pipeline mode: the CU's burst engine streams the group's transactions
@@ -265,6 +298,8 @@ fn simulate_barrier_group(
 /// bursts it owns have returned. Initiation otherwise advances every `ii`
 /// cycles — the mechanistic counterpart of Eq. 12: the effective interval
 /// is whichever of computation and memory is slower.
+/// Returns `(end, comp)`; `comp` is the stall-free pipeline time
+/// `ii * (waves - 1) + depth`, a floor on the group's occupancy.
 fn simulate_pipeline_group(
     start: f64,
     bursts: &[OwnedBurst],
@@ -274,7 +309,7 @@ fn simulate_pipeline_group(
     depth: u32,
     dram: &mut DramSim,
     engines: usize,
-) -> f64 {
+) -> (f64, f64) {
     // Stream all bursts through the engines (prefetch order = work-item
     // order, engines round-robin), recording when each owning work-item's
     // data is ready.
@@ -319,7 +354,8 @@ fn simulate_pipeline_group(
     for (_, r) in &owner_ready[oi..] {
         issue = issue.max(*r);
     }
-    issue + f64::from(depth)
+    let comp = f64::from(ii) * (waves.saturating_sub(1)) as f64 + f64::from(depth);
+    (issue + f64::from(depth), comp)
 }
 
 /// Deterministic hash of a configuration (perturbations differ between

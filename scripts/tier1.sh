@@ -18,3 +18,12 @@ trap 'rm -f "$BENCH_SMOKE"' EXIT
 cargo run --release -q -p flexcl-bench --bin dse -- \
   --bench-only --kernels vadd --out "$BENCH_SMOKE"
 cargo run --release -q -p flexcl-bench --bin dse -- --check "$BENCH_SMOKE"
+# Accuracy smoke: model-vs-sim triage over one wavefront kernel (nw has
+# memory-silent groups, exercising the heaviest-group floor and the
+# stratified profile). Fails if the kernel's mean |error| drifts past 10%
+# (steady-state ≈ 4%); --check validates the BENCH_accuracy.json schema.
+BENCH_ACC="$(mktemp -t bench_accuracy_smoke.XXXXXX.json)"
+trap 'rm -f "$BENCH_SMOKE" "$BENCH_ACC"' EXIT
+cargo run --release -q -p flexcl-bench --bin triage -- \
+  --kernels nw --out "$BENCH_ACC" --max-mean-err 10 --no-csv
+cargo run --release -q -p flexcl-bench --bin triage -- --check "$BENCH_ACC"
