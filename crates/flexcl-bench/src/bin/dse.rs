@@ -17,32 +17,52 @@
 //! Regenerate with `cargo run -p flexcl-bench --bin dse --release`.
 //!
 //! In addition to the E5 tables, the binary measures the raw sweep-engine
-//! throughput at 1/2/4/8 worker threads — with per-phase timings and the
-//! hit rates of the analysis and schedule caches — and writes it to the
-//! repo-root `BENCH_dse.json`.
+//! throughput at 1/2/4/8 worker threads — with per-phase timings, the
+//! work-stealing scheduler's chunk/steal counters and the hit rates of
+//! the analysis and schedule caches — and writes it to the repo-root
+//! `BENCH_dse.json`. Each row is the **median of N repetitions** after a
+//! warm-up sweep: the per-sweep times are sub-millisecond at standard
+//! scale, so single-shot timings are noise-dominated.
 //!
 //! Flags:
 //!
 //! * `--bench-only` — run just the throughput measurement.
 //! * `--kernels SUBSTR` — restrict the measured kernels to names
 //!   containing `SUBSTR` (e.g. `--kernels vadd` for a smoke run).
+//! * `--grid NAME` — sweep the `standard`, `fine` (default) or `ultra`
+//!   knob grid; `fine` gives the ≥10⁵-point sweeps the scaling numbers
+//!   are quoted on.
+//! * `--reps N` — repetitions per row (default 5); the row reports the
+//!   median.
 //! * `--out PATH` — write the JSON to `PATH` instead of the repo root.
 //! * `--check PATH` — validate an existing BENCH_dse.json (schema keys
 //!   present, `configs_per_sec` finite and positive) and exit; used by
-//!   `scripts/tier1.sh`.
+//!   `scripts/tier1.sh`. With `--require-scaling`, additionally require
+//!   threads=8 throughput to beat threads=1 per kernel — skipped with a
+//!   notice when the rows were measured on a single-core host.
 
 use flexcl_bench::{compile, sweep_kernel, write_csv, SYNTHESIS_HOURS_PER_DESIGN};
-use flexcl_core::{explore_with, DseOptions, KernelAnalysis, Platform, Workload};
+use flexcl_core::{
+    explore_space, DseOptions, KernelAnalysis, Platform, SweepGrid, Workload,
+};
 use flexcl_interp::KernelArg;
 use flexcl_kernels::{polybench, Scale};
 use std::time::Instant;
 
 /// One BENCH_dse.json entry: a full model-only sweep of one kernel at one
-/// thread count, with phase timings and cache effectiveness.
+/// thread count (median of `reps` runs), with phase timings, scheduler
+/// counters and cache effectiveness.
 struct BenchRow {
     kernel: String,
     points: usize,
     threads: usize,
+    grid: String,
+    reps: usize,
+    chunk_size: usize,
+    chunks: usize,
+    steals: u64,
+    repaired_chunks: usize,
+    host_cores: usize,
     elapsed_ms: f64,
     configs_per_sec: f64,
     analysis_ms: f64,
@@ -50,6 +70,12 @@ struct BenchRow {
     sched_ms: f64,
     analysis_cache_hit_rate: f64,
     sched_cache_hit_rate: f64,
+}
+
+/// CPU cores of the measuring host — the scaling gate only demands a
+/// parallel speedup when the hardware can physically provide one.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// The vadd fixture used by the unit tests (3 × 4096 floats, 1-D range).
@@ -75,10 +101,15 @@ fn vadd() -> (flexcl_ir::Function, Workload) {
 
 /// Times model-only sweeps (no System Run) at 1, 2, 4 and 8 worker
 /// threads over vadd and a few PolyBench kernels. `filter` restricts the
-/// kernels to names containing the given substring.
-fn bench_sweeps(filter: Option<&str>) -> Vec<BenchRow> {
+/// kernels to names containing the given substring; each row is the
+/// median of `reps` timed sweeps after one warm-up.
+fn bench_sweeps(filter: Option<&str>, grid_name: &str, reps: usize) -> Vec<BenchRow> {
     let platform = Platform::virtex7_adm7v3();
+    let grid = SweepGrid::by_name(grid_name)
+        .unwrap_or_else(|| panic!("unknown grid {grid_name:?} (standard|fine|ultra)"));
     let thread_counts = [1usize, 2, 4, 8];
+    let reps = reps.max(1);
+    let cores = host_cores();
 
     let mut targets: Vec<(String, flexcl_ir::Function, Workload)> = Vec::new();
     let (f, w) = vadd();
@@ -94,14 +125,22 @@ fn bench_sweeps(filter: Option<&str>) -> Vec<BenchRow> {
 
     let mut rows = Vec::new();
     for (name, func, workload) in &targets {
-        // Warm the process-wide caches once so every thread count measures
+        // Warm the process-wide caches once so every repetition measures
         // the same steady state (the analysis cache fully hot).
-        let _ = explore_with(func, &platform, workload, DseOptions::default());
+        let _ = explore_space(func, &platform, workload, &grid, DseOptions::default());
         for &threads in &thread_counts {
             let opts = DseOptions { threads, ..DseOptions::default() };
-            let start = Instant::now();
-            let res = explore_with(func, &platform, workload, opts).expect("bench sweep");
-            let secs = start.elapsed().as_secs_f64();
+            // Median of `reps` runs: sub-millisecond standard-grid sweeps
+            // are noise-dominated single-shot.
+            let mut runs = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let start = Instant::now();
+                let res =
+                    explore_space(func, &platform, workload, &grid, opts).expect("bench sweep");
+                runs.push((start.elapsed().as_secs_f64(), res));
+            }
+            runs.sort_by(|(a, _), (b, _)| a.total_cmp(b));
+            let (secs, res) = &runs[runs.len() / 2];
             if !res.diagnostics.is_clean() {
                 eprintln!(
                     "  warning: {} skipped {} candidate(s): {}",
@@ -114,6 +153,13 @@ fn bench_sweeps(filter: Option<&str>) -> Vec<BenchRow> {
                 kernel: name.clone(),
                 points: res.points.len(),
                 threads,
+                grid: grid_name.to_string(),
+                reps,
+                chunk_size: res.stats.chunk_size,
+                chunks: res.stats.chunks_processed,
+                steals: res.stats.steals,
+                repaired_chunks: res.stats.repaired_chunks,
+                host_cores: cores,
                 elapsed_ms: secs * 1e3,
                 configs_per_sec: res.points.len() as f64 / secs.max(1e-9),
                 analysis_ms: res.stats.analysis_nanos as f64 / 1e6,
@@ -128,10 +174,17 @@ fn bench_sweeps(filter: Option<&str>) -> Vec<BenchRow> {
 }
 
 /// Every key a BENCH_dse.json row must carry, in emission order.
-const BENCH_KEYS: [&str; 10] = [
+const BENCH_KEYS: [&str; 17] = [
     "kernel",
     "points",
     "threads",
+    "grid",
+    "reps",
+    "chunk_size",
+    "chunks",
+    "steals",
+    "repaired_chunks",
+    "host_cores",
     "elapsed_ms",
     "configs_per_sec",
     "analysis_ms",
@@ -148,12 +201,21 @@ fn write_bench_json(rows: &[BenchRow], out: Option<&str>) {
     for (i, r) in rows.iter().enumerate() {
         body.push_str(&format!(
             "  {{\"kernel\": \"{}\", \"points\": {}, \"threads\": {}, \
+             \"grid\": \"{}\", \"reps\": {}, \"chunk_size\": {}, \"chunks\": {}, \
+             \"steals\": {}, \"repaired_chunks\": {}, \"host_cores\": {}, \
              \"elapsed_ms\": {:.3}, \"configs_per_sec\": {:.1}, \
              \"analysis_ms\": {:.3}, \"estimate_ms\": {:.3}, \"sched_ms\": {:.3}, \
              \"analysis_cache_hit_rate\": {:.3}, \"sched_cache_hit_rate\": {:.3}}}{}\n",
             r.kernel,
             r.points,
             r.threads,
+            r.grid,
+            r.reps,
+            r.chunk_size,
+            r.chunks,
+            r.steals,
+            r.repaired_chunks,
+            r.host_cores,
             r.elapsed_ms,
             r.configs_per_sec,
             r.analysis_ms,
@@ -188,10 +250,31 @@ fn write_bench_json(rows: &[BenchRow], out: Option<&str>) {
     println!("wrote {}", path.display());
 }
 
+/// Numeric value of `key` in a one-line JSON object, if present.
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    obj.split(&format!("\"{key}\":"))
+        .nth(1)?
+        .trim_start()
+        .split(|c: char| c == ',' || c == '}')
+        .next()?
+        .trim()
+        .parse::<f64>()
+        .ok()
+}
+
+/// String value of `key` in a one-line JSON object, if present.
+fn str_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    obj.split(&format!("\"{key}\":")).nth(1)?.trim_start().strip_prefix('"')?.split('"').next()
+}
+
 /// Validates a BENCH_dse.json produced by [`write_bench_json`]: at least
 /// one row, every schema key in every row, and a finite positive
-/// `configs_per_sec`. Exits non-zero with a message on the first problem.
-fn check_bench_json(path: &str) {
+/// `configs_per_sec`. With `require_scaling`, additionally demands that
+/// per kernel the threads=8 throughput beats threads=1 — skipped with a
+/// notice when the rows report a single-core measuring host, where a
+/// parallel speedup is physically impossible. Exits non-zero with a
+/// message on the first problem.
+fn check_bench_json(path: &str, require_scaling: bool) {
     let body = match std::fs::read_to_string(path) {
         Ok(b) => b,
         Err(e) => {
@@ -216,20 +299,53 @@ fn check_bench_json(path: &str) {
                 fail(format!("row {i} is missing key \"{key}\""));
             }
         }
-        let cps = obj
-            .split("\"configs_per_sec\":")
-            .nth(1)
-            .and_then(|rest| {
-                rest.trim_start()
-                    .split(|c: char| c == ',' || c == '}')
-                    .next()?
-                    .trim()
-                    .parse::<f64>()
-                    .ok()
-            })
+        let cps = num_field(obj, "configs_per_sec")
             .unwrap_or_else(|| fail(format!("row {i}: configs_per_sec is not a number")));
         if !cps.is_finite() || cps <= 0.0 {
             fail(format!("row {i}: configs_per_sec = {cps} (must be finite and positive)"));
+        }
+    }
+    if require_scaling {
+        // kernel → (threads=1 cps, threads=8 cps, host_cores).
+        let mut per_kernel: Vec<(String, Option<f64>, Option<f64>, usize)> = Vec::new();
+        for obj in &objects {
+            let kernel = str_field(obj, "kernel").unwrap_or("?").to_string();
+            let threads = num_field(obj, "threads").unwrap_or(0.0) as usize;
+            let cps = num_field(obj, "configs_per_sec");
+            let cores = num_field(obj, "host_cores").unwrap_or(1.0) as usize;
+            let entry = match per_kernel.iter_mut().find(|(k, ..)| *k == kernel) {
+                Some(e) => e,
+                None => {
+                    per_kernel.push((kernel, None, None, cores));
+                    per_kernel.last_mut().expect("just pushed")
+                }
+            };
+            match threads {
+                1 => entry.1 = cps,
+                8 => entry.2 = cps,
+                _ => {}
+            }
+        }
+        for (kernel, t1, t8, cores) in &per_kernel {
+            let (Some(t1), Some(t8)) = (t1, t8) else {
+                fail(format!("{kernel}: need threads=1 and threads=8 rows for the scaling gate"));
+            };
+            if *cores < 2 {
+                println!(
+                    "BENCH check: {kernel}: scaling gate skipped \
+                     (rows measured on a {cores}-core host; t1={t1:.0}, t8={t8:.0} configs/s)"
+                );
+            } else if t8 <= t1 {
+                fail(format!(
+                    "{kernel}: threads=8 ({t8:.0} configs/s) does not beat \
+                     threads=1 ({t1:.0} configs/s) on a {cores}-core host"
+                ));
+            } else {
+                println!(
+                    "BENCH check: {kernel}: scaling ok ({:.2}x at 8 threads)",
+                    t8 / t1
+                );
+            }
         }
     }
     println!("BENCH check: {path}: {} rows ok", objects.len());
@@ -246,13 +362,17 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(path) = flag_value(&args, "--check") {
-        check_bench_json(path);
+        check_bench_json(path, args.iter().any(|a| a == "--require-scaling"));
         return;
     }
     let kernels = flag_value(&args, "--kernels");
     let out = flag_value(&args, "--out");
+    let grid = flag_value(&args, "--grid").unwrap_or("fine");
+    let reps = flag_value(&args, "--reps")
+        .map(|r| r.parse::<usize>().expect("--reps takes a positive integer"))
+        .unwrap_or(5);
     if args.iter().any(|a| a == "--bench-only") {
-        write_bench_json(&bench_sweeps(kernels), out);
+        write_bench_json(&bench_sweeps(kernels, grid, reps), out);
         return;
     }
     let platform = Platform::virtex7_adm7v3();
@@ -394,5 +514,5 @@ fn main() {
          synthesis_seconds_extrapolated,exploration_speedup,stepwise_optimal",
         &rows,
     );
-    write_bench_json(&bench_sweeps(kernels), out);
+    write_bench_json(&bench_sweeps(kernels, grid, reps), out);
 }

@@ -141,84 +141,328 @@ pub struct DesignSpaceLimits {
     pub vectorizable: bool,
 }
 
-/// Largest PE replication factor [`enumerate`] generates.
+/// Largest PE replication factor [`SweepGrid::standard`] generates.
 pub const MAX_PES: u32 = 16;
 
-/// Largest CU replication factor [`enumerate`] generates.
+/// Largest CU replication factor [`SweepGrid::standard`] generates.
 pub const MAX_CUS: u32 = 4;
 
-/// Largest vectorization width [`enumerate`] generates.
+/// Largest vectorization width [`SweepGrid::standard`] generates.
 pub const MAX_VECTOR_WIDTH: u32 = 4;
 
-/// Enumerates the design space the experiments sweep.
+/// The knob grids a sweep enumerates: the cross product of these axes
+/// (filtered by [`DesignSpaceLimits`]) is the design space.
 ///
-/// The defaults produce 100–200 configurations per kernel, matching the
-/// "#Designs" column of Table 2.
-pub fn enumerate(limits: &DesignSpaceLimits) -> Vec<OptimizationConfig> {
-    let wg_candidates: Vec<(u32, u32)> = match limits.reqd_work_group {
-        Some(wg) => vec![wg],
-        None => {
-            if limits.global_y > 1 {
-                vec![(4, 4), (8, 8), (16, 8), (16, 16), (32, 8)]
-            } else {
-                vec![(16, 1), (32, 1), (64, 1), (128, 1), (256, 1)]
-            }
-        }
-    };
-    let pes = [1u32, 2, 4, 8, MAX_PES];
-    let cus = [1u32, 2, MAX_CUS];
-    let vecs: &[u32] = if limits.vectorizable { &[1, MAX_VECTOR_WIDTH] } else { &[1] };
-    let modes: &[CommMode] = if limits.has_barrier {
-        &[CommMode::Barrier]
-    } else {
-        &[CommMode::Barrier, CommMode::Pipeline]
-    };
+/// Axis values must be ascending and deduplicated, and each replication
+/// axis must contain `1` (the baseline); the presets guarantee this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepGrid {
+    /// Work-group candidates for 1-D NDRanges.
+    pub work_groups_1d: Vec<(u32, u32)>,
+    /// Work-group candidates for 2-D NDRanges.
+    pub work_groups_2d: Vec<(u32, u32)>,
+    /// PE replication factors (`P`).
+    pub pes: Vec<u32>,
+    /// CU replication factors (`C`).
+    pub cus: Vec<u32>,
+    /// Vectorization widths (dropped to `[1]` for non-vectorizable
+    /// kernels).
+    pub vector_widths: Vec<u32>,
+}
 
-    let mut out = Vec::new();
-    for &wg in &wg_candidates {
-        if u64::from(wg.0) > limits.global_x || u64::from(wg.1) > limits.global_y.max(1) {
-            continue;
-        }
-        if !limits.global_x.is_multiple_of(u64::from(wg.0)) {
-            continue;
-        }
-        if limits.global_y > 1 && !limits.global_y.is_multiple_of(u64::from(wg.1)) {
-            continue;
-        }
-        for pipe in [false, true] {
-            for &p in &pes {
-                if !pipe && p > 1 {
-                    // PE replication without pipelining is dominated and not
-                    // generated by the toolchain.
-                    continue;
-                }
-                if u64::from(p) > wg.0 as u64 * wg.1 as u64 {
-                    continue;
-                }
-                for &c in &cus {
-                    for &v in vecs {
-                        for &mode in modes {
-                            // Pipeline communication overlaps transfers with
-                            // computation *through* the work-item pipeline;
-                            // it requires pipelining to be on.
-                            if mode == CommMode::Pipeline && !pipe {
-                                continue;
-                            }
-                            out.push(OptimizationConfig {
-                                work_group: wg,
-                                work_item_pipeline: pipe,
-                                num_pes: p,
-                                num_cus: c,
-                                vector_width: v,
-                                comm_mode: mode,
-                            });
-                        }
-                    }
-                }
-            }
+impl SweepGrid {
+    /// The paper-scale grid: 100–400 configurations per kernel, matching
+    /// the "#Designs" column of Table 2. This is what [`enumerate`] and
+    /// [`crate::dse::explore_with`] sweep.
+    pub fn standard() -> Self {
+        SweepGrid {
+            work_groups_1d: vec![(16, 1), (32, 1), (64, 1), (128, 1), (256, 1)],
+            work_groups_2d: vec![(4, 4), (8, 8), (16, 8), (16, 16), (32, 8)],
+            pes: vec![1, 2, 4, 8, MAX_PES],
+            cus: vec![1, 2, MAX_CUS],
+            vector_widths: vec![1, MAX_VECTOR_WIDTH],
         }
     }
-    out
+
+    /// A fine-grained grid: every PE count up to 64, every CU count up to
+    /// 16 and eight vector widths, giving ~10⁵ configurations per kernel
+    /// (more work-group shapes, all integer `P`). Meant for the scaled
+    /// sweep; the bound-based pruning and lazy chunk materialization in
+    /// [`crate::dse`] keep it interactive.
+    pub fn fine() -> Self {
+        SweepGrid {
+            work_groups_1d: (3..=10).map(|s| (1u32 << s, 1)).collect(),
+            work_groups_2d: vec![
+                (4, 4),
+                (8, 4),
+                (4, 8),
+                (8, 8),
+                (16, 4),
+                (16, 8),
+                (8, 16),
+                (16, 16),
+                (32, 8),
+                (32, 16),
+                (16, 32),
+                (32, 32),
+            ],
+            pes: (1..=64).collect(),
+            cus: (1..=16).collect(),
+            vector_widths: vec![1, 2, 3, 4, 5, 6, 8, 10, 12, 16],
+        }
+    }
+
+    /// The stress grid: toward 10⁶+ configurations per kernel (every `P`
+    /// up to 128, every `C` up to 32, twelve vector widths). Sweeping it
+    /// exhaustively allocates on the order of a few hundred MB of design
+    /// points; prefer `prune: true`.
+    pub fn ultra() -> Self {
+        SweepGrid {
+            work_groups_1d: (3..=10).map(|s| (1u32 << s, 1)).collect(),
+            work_groups_2d: vec![
+                (4, 4),
+                (8, 4),
+                (4, 8),
+                (8, 8),
+                (16, 4),
+                (4, 16),
+                (16, 8),
+                (8, 16),
+                (16, 16),
+                (32, 8),
+                (8, 32),
+                (32, 16),
+                (16, 32),
+                (32, 32),
+                (64, 8),
+                (64, 16),
+            ],
+            pes: (1..=128).collect(),
+            cus: (1..=32).collect(),
+            vector_widths: vec![1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32],
+        }
+    }
+
+    /// Looks a preset up by name (`standard`, `fine`, `ultra`) — the
+    /// spelling the `dse` binary's `--grid` flag accepts.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "standard" => Some(Self::standard()),
+            "fine" => Some(Self::fine()),
+            "ultra" => Some(Self::ultra()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        SweepGrid::standard()
+    }
+}
+
+/// One `(work_item_pipeline, num_pes)` block of a family: a contiguous
+/// index range whose candidates differ only in `(C, V, mode)`.
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    pipe: bool,
+    num_pes: u32,
+    /// Index of the block's first candidate within its family.
+    offset: usize,
+    len: usize,
+}
+
+/// One work-group family of a [`ConfigSpace`]: a contiguous run of
+/// enumeration indices sharing one work-group size (hence one kernel
+/// analysis).
+#[derive(Debug, Clone)]
+struct FamilySpace {
+    work_group: (u32, u32),
+    /// Global enumeration index of the family's first candidate.
+    offset: usize,
+    len: usize,
+    blocks: Vec<Block>,
+}
+
+/// A lazily-materialized design space: the filtered cross product of a
+/// [`SweepGrid`] under [`DesignSpaceLimits`], addressable by enumeration
+/// index without ever allocating the full candidate list.
+///
+/// The enumeration order is identical to the nested-loop order the
+/// original `enumerate` used (work-group → pipelining → `P` → `C` → `V` →
+/// mode), so [`ConfigSpace::get`] is a pure index-arithmetic decode: the
+/// sweep engine materializes fixed-size chunks on demand, which is what
+/// lets it scale to 10⁶+ points per kernel with bounded memory.
+#[derive(Debug, Clone)]
+pub struct ConfigSpace {
+    families: Vec<FamilySpace>,
+    cus: Vec<u32>,
+    vecs: Vec<u32>,
+    /// Modes available with work-item pipelining on (`[Barrier]` or
+    /// `[Barrier, Pipeline]`); pipelining off always leaves `[Barrier]`.
+    modes_pipe: Vec<CommMode>,
+    total: usize,
+}
+
+impl ConfigSpace {
+    /// Builds the space for `limits` over `grid`.
+    pub fn new(limits: &DesignSpaceLimits, grid: &SweepGrid) -> Self {
+        let wg_candidates: Vec<(u32, u32)> = match limits.reqd_work_group {
+            Some(wg) => vec![wg],
+            None => {
+                if limits.global_y > 1 {
+                    grid.work_groups_2d.clone()
+                } else {
+                    grid.work_groups_1d.clone()
+                }
+            }
+        };
+        let vecs: Vec<u32> =
+            if limits.vectorizable { grid.vector_widths.clone() } else { vec![1] };
+        let modes_pipe: Vec<CommMode> = if limits.has_barrier {
+            vec![CommMode::Barrier]
+        } else {
+            vec![CommMode::Barrier, CommMode::Pipeline]
+        };
+
+        let mut families = Vec::new();
+        let mut total = 0usize;
+        for &wg in &wg_candidates {
+            if u64::from(wg.0) > limits.global_x || u64::from(wg.1) > limits.global_y.max(1) {
+                continue;
+            }
+            if !limits.global_x.is_multiple_of(u64::from(wg.0)) {
+                continue;
+            }
+            if limits.global_y > 1 && !limits.global_y.is_multiple_of(u64::from(wg.1)) {
+                continue;
+            }
+            let wg_size = u64::from(wg.0) * u64::from(wg.1);
+            let mut blocks = Vec::new();
+            let mut fam_len = 0usize;
+            for pipe in [false, true] {
+                for &p in &grid.pes {
+                    if !pipe && p > 1 {
+                        // PE replication without pipelining is dominated and
+                        // not generated by the toolchain.
+                        continue;
+                    }
+                    if u64::from(p) > wg_size {
+                        continue;
+                    }
+                    // Pipeline communication overlaps transfers with
+                    // computation *through* the work-item pipeline; without
+                    // pipelining only barrier mode remains.
+                    let n_modes = if pipe { modes_pipe.len() } else { 1 };
+                    let len = grid.cus.len() * vecs.len() * n_modes;
+                    blocks.push(Block { pipe, num_pes: p, offset: fam_len, len });
+                    fam_len += len;
+                }
+            }
+            if fam_len == 0 {
+                continue;
+            }
+            families.push(FamilySpace { work_group: wg, offset: total, len: fam_len, blocks });
+            total += fam_len;
+        }
+        ConfigSpace { families, cus: grid.cus.clone(), vecs, modes_pipe, total }
+    }
+
+    /// Number of candidates in the space.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// `true` when the space is empty (no work-group candidate survived
+    /// the limits).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of work-group families.
+    pub fn family_count(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Work-group size of family `f`.
+    pub fn family_work_group(&self, f: usize) -> (u32, u32) {
+        self.families[f].work_group
+    }
+
+    /// Number of candidates in family `f`.
+    pub fn family_len(&self, f: usize) -> usize {
+        self.families[f].len
+    }
+
+    /// Global enumeration index of family `f`'s first candidate.
+    pub fn family_offset(&self, f: usize) -> usize {
+        self.families[f].offset
+    }
+
+    /// Decodes the candidate at enumeration index `i` (`i < len()`).
+    pub fn get(&self, i: usize) -> OptimizationConfig {
+        assert!(i < self.total, "index {i} out of bounds for space of {}", self.total);
+        let f = self.families.partition_point(|fam| fam.offset + fam.len <= i);
+        let fam = &self.families[f];
+        self.decode(fam, i - fam.offset)
+    }
+
+    /// Decodes candidate `local` of family `fam` by index arithmetic over
+    /// the family's `(pipe, P)` blocks.
+    fn decode(&self, fam: &FamilySpace, local: usize) -> OptimizationConfig {
+        let b = fam.blocks.partition_point(|b| b.offset + b.len <= local);
+        let block = &fam.blocks[b];
+        let rem = local - block.offset;
+        let n_modes = if block.pipe { self.modes_pipe.len() } else { 1 };
+        let per_cu = self.vecs.len() * n_modes;
+        OptimizationConfig {
+            work_group: fam.work_group,
+            work_item_pipeline: block.pipe,
+            num_pes: block.num_pes,
+            num_cus: self.cus[rem / per_cu],
+            vector_width: self.vecs[(rem / n_modes) % self.vecs.len()],
+            comm_mode: if block.pipe { self.modes_pipe[rem % n_modes] } else { CommMode::Barrier },
+        }
+    }
+
+    /// Materializes the candidates `[start, start + len)` of family `f`
+    /// into `out` as `(enumeration index, config)` pairs, appending.
+    ///
+    /// This is the sweep engine's chunk loader: each work unit calls it
+    /// with its own subrange, so no more than a chunk of the space is ever
+    /// resident per worker.
+    pub fn fill_family_range(
+        &self,
+        f: usize,
+        start: usize,
+        len: usize,
+        out: &mut Vec<(usize, OptimizationConfig)>,
+    ) {
+        let fam = &self.families[f];
+        let end = (start + len).min(fam.len);
+        out.reserve(end.saturating_sub(start));
+        for local in start..end {
+            out.push((fam.offset + local, self.decode(fam, local)));
+        }
+    }
+
+    /// Iterates the whole space in enumeration order.
+    pub fn iter(&self) -> impl Iterator<Item = OptimizationConfig> + '_ {
+        self.families.iter().flat_map(move |fam| {
+            (0..fam.len).map(move |local| self.decode(fam, local))
+        })
+    }
+}
+
+/// Enumerates the design space the experiments sweep, over the
+/// [`SweepGrid::standard`] grid.
+///
+/// The defaults produce 100–400 configurations per kernel, matching the
+/// "#Designs" column of Table 2. Large sweeps should prefer
+/// [`ConfigSpace`] (via [`crate::dse::explore_space`]), which never
+/// materializes the candidate list.
+pub fn enumerate(limits: &DesignSpaceLimits) -> Vec<OptimizationConfig> {
+    ConfigSpace::new(limits, &SweepGrid::standard()).iter().collect()
 }
 
 #[cfg(test)]
@@ -277,6 +521,80 @@ mod tests {
     fn pes_never_exceed_work_group() {
         let space = enumerate(&DesignSpaceLimits { global_x: 64, ..limits_1d() });
         assert!(space.iter().all(|c| u64::from(c.num_pes) <= c.work_group_size()));
+    }
+
+    #[test]
+    fn config_space_get_matches_enumeration_order() {
+        let limits = limits_1d();
+        let listed = enumerate(&limits);
+        let space = ConfigSpace::new(&limits, &SweepGrid::standard());
+        assert_eq!(space.len(), listed.len());
+        for (i, cfg) in listed.iter().enumerate() {
+            assert_eq!(space.get(i), *cfg, "index {i}");
+        }
+        // Families are contiguous, contiguous-offset runs of one work-group.
+        let mut next_offset = 0usize;
+        for f in 0..space.family_count() {
+            assert_eq!(space.family_offset(f), next_offset);
+            for local in 0..space.family_len(f) {
+                assert_eq!(
+                    listed[next_offset + local].work_group,
+                    space.family_work_group(f)
+                );
+            }
+            next_offset += space.family_len(f);
+        }
+        assert_eq!(next_offset, space.len());
+    }
+
+    #[test]
+    fn config_space_fill_family_range_matches_get() {
+        let limits = DesignSpaceLimits { global_x: 256, global_y: 256, ..limits_1d() };
+        let space = ConfigSpace::new(&limits, &SweepGrid::fine());
+        let f = space.family_count() / 2;
+        let mut buf = Vec::new();
+        space.fill_family_range(f, 7, 13, &mut buf);
+        assert_eq!(buf.len(), 13.min(space.family_len(f).saturating_sub(7)));
+        for (idx, cfg) in &buf {
+            assert_eq!(space.get(*idx), *cfg);
+        }
+        // Out-of-range tails are clipped, not panicked.
+        buf.clear();
+        space.fill_family_range(f, space.family_len(f) - 2, 100, &mut buf);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn fine_grid_reaches_a_hundred_thousand_points() {
+        let space = ConfigSpace::new(&limits_1d(), &SweepGrid::fine());
+        assert!(space.len() >= 100_000, "fine grid has {} points", space.len());
+        // Lazy decode agrees with iteration over the whole space.
+        let mut n = 0usize;
+        for (i, cfg) in space.iter().enumerate() {
+            if i % 9973 == 0 {
+                assert_eq!(space.get(i), cfg);
+            }
+            n += 1;
+        }
+        assert_eq!(n, space.len());
+    }
+
+    #[test]
+    fn ultra_grid_reaches_toward_a_million_points() {
+        let space = ConfigSpace::new(&limits_1d(), &SweepGrid::ultra());
+        assert!(space.len() >= 400_000, "ultra 1-D grid has {} points", space.len());
+        let space_2d = ConfigSpace::new(
+            &DesignSpaceLimits { global_x: 256, global_y: 256, ..limits_1d() },
+            &SweepGrid::ultra(),
+        );
+        assert!(
+            space_2d.len() >= 1_000_000,
+            "ultra 2-D grid has {} points",
+            space_2d.len()
+        );
+        for cfg in [space.get(0), space.get(space.len() / 2), space.get(space.len() - 1)] {
+            cfg.validate().expect("generated configs are valid");
+        }
     }
 
     #[test]

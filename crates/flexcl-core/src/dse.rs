@@ -2,45 +2,61 @@
 //!
 //! FlexCL's raison d'être: because one estimate costs microseconds rather
 //! than the hours of a synthesis run, the *entire* optimization space of a
-//! kernel — hundreds of configurations — can be ranked exhaustively within
-//! seconds. Kernel analysis is shared across all configurations with the
-//! same work-group size, so the sweep re-runs only the closed-form model.
+//! kernel — up to millions of configurations over a fine knob grid — can
+//! be ranked exhaustively within seconds. Kernel analysis is shared
+//! across all configurations with the same work-group size, so the sweep
+//! re-runs only the closed-form model.
 //!
-//! The sweep engine is organised around **families**: the contiguous runs
-//! of enumerated configurations that share one work-group size and hence
-//! one [`KernelAnalysis`]. Families are independent, which gives the four
-//! levers [`DseOptions`] exposes:
+//! The sweep engine schedules **chunks**: fixed-size slices of a
+//! *family* (the contiguous run of enumerated configurations sharing one
+//! work-group size and hence one [`KernelAnalysis`]). Chunks are claimed
+//! by workers from a single atomic counter over a fixed schedule order,
+//! which gives the levers [`DseOptions`] exposes:
 //!
-//! * **Parallelism** — families are distributed over `threads` scoped
-//!   worker threads ([`std::thread::scope`], no external dependencies);
-//!   results are merged back in enumeration order, so the returned
-//!   [`DseResult`] is bit-identical to the serial sweep.
+//! * **Parallelism** — workers steal the next unclaimed chunk regardless
+//!   of family, so a sweep parallelizes even when one family dominates
+//!   the space. Per-worker [`EvalContext`]s persist across stolen chunks
+//!   keyed by family id, so the budget-keyed schedule memoization keeps
+//!   its hit rate no matter which worker lands on a chunk. The schedule
+//!   order is fixed up front: each family's tail chunk first (the
+//!   high-parallelism corner of the space, which both starts every
+//!   analysis in parallel and seeds the pruning incumbent with strong
+//!   candidates), then the remaining chunks per family from tail to head.
+//! * **Lazy materialization** — when sweeping a [`ConfigSpace`]
+//!   ([`explore_space`]), candidates are decoded per chunk by index
+//!   arithmetic; the full candidate list is never allocated, which is
+//!   what lets the space grow to 10⁶+ points per kernel.
 //! * **Memoization** — kernel and platform are interned behind [`Arc`]s,
-//!   DRAM micro-benchmark profiles are cached per configuration, each
-//!   worker reuses one [`AnalysisScratch`] across its families, each
-//!   family evaluates through one [`EvalContext`] (schedules computed once
-//!   per distinct resource budget, not once per candidate), and completed
-//!   analyses are kept in a small process-wide content-keyed cache
-//!   ([`DseOptions::reuse_analysis`]) so repeated sweeps skip profiling.
-//!   [`DseResult::stats`] reports where the time went and how the caches
-//!   performed.
-//! * **Pruning** — optionally, a family/mode whose cheap monotonic lower
-//!   bound ([`cycle_lower_bound`]) already exceeds the best feasible cycle
-//!   count seen so far is skipped without evaluating its configurations.
-//!   Every point tied for the global minimum always survives (its family's
-//!   bound can never exceed the incumbent), so [`DseResult::best`] is
-//!   identical to the exhaustive sweep; the exhaustive sweep remains the
-//!   default.
+//!   each family is analyzed once behind a [`OnceLock`] (whichever worker
+//!   touches it first), and completed analyses are kept in a bounded
+//!   process-wide content-keyed cache ([`DseOptions::reuse_analysis`],
+//!   capacity [`DseOptions::analysis_cache_cap`]) so repeated sweeps skip
+//!   profiling. [`DseResult::stats`] reports where the time went and how
+//!   the caches performed.
+//! * **Pruning with deterministic replay** — optionally, a chunk's mode
+//!   whose cheap monotonic lower bound ([`cycle_lower_bound`]) exceeds
+//!   the shared atomic incumbent is skipped without evaluating. The
+//!   incumbent tightens globally across all workers, but reading it
+//!   concurrently is racy, so the claim phase treats it as a *hint*: a
+//!   serial replay pass afterwards recomputes every skip decision against
+//!   the deterministic prefix incumbent (the best feasible point among
+//!   chunks earlier in schedule order), re-evaluating chunks the racy
+//!   incumbent over-pruned and dropping points it under-pruned. The
+//!   returned result is therefore bit-identical at any thread count,
+//!   chunk size, and timing; and since a chunk containing a point tied
+//!   with the global minimum has a bound ≤ that minimum ≤ every prefix
+//!   incumbent (the comparison is strict), [`DseResult::best`] always
+//!   matches the exhaustive sweep.
 //! * **Fault tolerance** — a candidate that fails (typed [`FlexclError`]
 //!   on the normal path, a panic contained by [`std::panic::catch_unwind`]
 //!   as a backstop) is recorded in the sweep's [`DiagnosticsReport`] and
-//!   the sweep continues; the surviving points are bit-identical to a
-//!   clean sweep over the same subset. Profiling runs under the
+//!   the sweep continues; a panicking candidate poisons neither its chunk
+//!   nor its family's other chunks. Profiling runs under the
 //!   [`ProfileFuel`] budget in [`DseOptions::fuel`], so a runaway kernel
 //!   costs a bounded amount of work, not a hung worker.
 
 use crate::analysis::{AnalysisScratch, KernelAnalysis, ProfileFuel, Workload};
-use crate::config::{self, CommMode, DesignSpaceLimits, OptimizationConfig};
+use crate::config::{CommMode, ConfigSpace, DesignSpaceLimits, OptimizationConfig, SweepGrid};
 use crate::error::{ErrorKind, FlexclError};
 use crate::eval::EvalContext;
 use crate::model::{cycle_lower_bound, Estimate};
@@ -48,23 +64,27 @@ use crate::platform::Platform;
 use flexcl_frontend::types::Type;
 use flexcl_ir::Function;
 use std::any::Any;
+use std::borrow::Borrow;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Knobs of the sweep engine. The default — one thread, no pruning,
 /// default fuel — is the exhaustive serial sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DseOptions {
-    /// Worker threads. `1` runs the classic serial sweep on the calling
-    /// thread; larger values fan families out over scoped threads. The
-    /// explored points are bit-identical either way.
+    /// Worker threads. `1` runs the chunk loop on the calling thread;
+    /// larger values fan chunks out over scoped threads. The explored
+    /// points are bit-identical either way.
     pub threads: usize,
-    /// Branch-and-bound pruning. When enabled, whole `(work_group,
-    /// comm_mode)` families may be skipped once the incumbent proves they
-    /// cannot contain the fastest point; [`DseResult::best`] is unchanged,
-    /// but dominated points may be missing from [`DseResult::points`].
+    /// Branch-and-bound pruning. When enabled, whole `(chunk, comm_mode)`
+    /// units may be skipped once the incumbent proves they cannot contain
+    /// the fastest point; [`DseResult::best`] is unchanged, but dominated
+    /// points may be missing from [`DseResult::points`]. The deterministic
+    /// replay pass guarantees the surviving set depends only on the
+    /// schedule order, never on thread timing.
     pub prune: bool,
     /// Fuel budget for each family's dynamic-profiling run. A kernel that
     /// exhausts it fails that family with
@@ -77,6 +97,15 @@ pub struct DseOptions {
     /// bit-identical because the cached analysis is the same value the
     /// sweep would recompute. Disable to force every sweep to re-analyze.
     pub reuse_analysis: bool,
+    /// Candidates per work unit. `0` picks an automatic size that gives
+    /// each worker ~32 chunks of slack (clamped to `16..=2048`). The
+    /// explored points are bit-identical for every chunk size; smaller
+    /// chunks balance better, larger chunks amortize claiming overhead.
+    pub chunk_size: usize,
+    /// Capacity of the process-wide analysis cache (resident entries
+    /// before FIFO eviction). Only consulted when inserting; sweeps with
+    /// different caps share the one cache.
+    pub analysis_cache_cap: usize,
 }
 
 impl Default for DseOptions {
@@ -86,6 +115,8 @@ impl Default for DseOptions {
             prune: false,
             fuel: ProfileFuel::default(),
             reuse_analysis: true,
+            chunk_size: 0,
+            analysis_cache_cap: analysis_cache::DEFAULT_CAP,
         }
     }
 }
@@ -94,6 +125,15 @@ impl DseOptions {
     /// An exhaustive sweep over `threads` workers.
     pub fn parallel(threads: usize) -> Self {
         DseOptions { threads: threads.max(1), ..Self::default() }
+    }
+
+    /// The chunk size a sweep over `total` candidates will use.
+    fn effective_chunk_size(&self, total: usize) -> usize {
+        if self.chunk_size > 0 {
+            self.chunk_size
+        } else {
+            (total / (self.threads.max(1) * 32)).clamp(16, 2048)
+        }
     }
 }
 
@@ -149,23 +189,26 @@ impl DiagnosticsReport {
     }
 }
 
-/// Instrumentation counters for one sweep: where the time went and how
-/// effective the two cache layers were.
+/// Instrumentation counters for one sweep: where the time went, how
+/// effective the cache layers were, and how the scheduler behaved.
 ///
 /// The counters are diagnostics, not part of the modelled result: two
-/// sweeps with different cache behaviour report different stats but
-/// bit-identical [`DseResult::points`].
+/// sweeps with different cache or stealing behaviour report different
+/// stats but bit-identical [`DseResult::points`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DseStats {
     /// Families whose kernel analysis ran or was fetched from cache.
     pub families_analyzed: usize,
-    /// Candidate configurations successfully evaluated.
+    /// Candidate configurations successfully evaluated (including any
+    /// re-evaluated by the deterministic replay pass).
     pub points_evaluated: usize,
     /// Families served by the process-wide analysis cache
     /// ([`DseOptions::reuse_analysis`]).
     pub analysis_cache_hits: u64,
     /// Families that ran the full analysis (profiling included).
     pub analysis_cache_misses: u64,
+    /// Entries evicted from the analysis cache by this sweep's inserts.
+    pub analysis_cache_evictions: u64,
     /// Estimates served by a family's budget-keyed schedule cache
     /// ([`crate::eval::EvalContext`]).
     pub sched_cache_hits: u64,
@@ -178,6 +221,18 @@ pub struct DseStats {
     /// Wall-clock nanoseconds inside scheduler calls (subset of
     /// `estimate_nanos`).
     pub sched_nanos: u64,
+    /// Work units the scheduler dispatched.
+    pub chunks_processed: usize,
+    /// Chunks a worker claimed from a different family than its previous
+    /// chunk (each such claim switches the worker's evaluation context).
+    pub steals: u64,
+    /// Chunks the replay pass re-evaluated because the racy incumbent
+    /// over-pruned them.
+    pub repaired_chunks: usize,
+    /// Candidates per work unit actually used
+    /// ([`DseOptions::effective_chunk_size`] resolution of
+    /// [`DseOptions::chunk_size`]).
+    pub chunk_size: usize,
 }
 
 impl DseStats {
@@ -206,11 +261,16 @@ impl DseStats {
         self.points_evaluated += other.points_evaluated;
         self.analysis_cache_hits += other.analysis_cache_hits;
         self.analysis_cache_misses += other.analysis_cache_misses;
+        self.analysis_cache_evictions += other.analysis_cache_evictions;
         self.sched_cache_hits += other.sched_cache_hits;
         self.sched_cache_misses += other.sched_cache_misses;
         self.analysis_nanos += other.analysis_nanos;
         self.estimate_nanos += other.estimate_nanos;
         self.sched_nanos += other.sched_nanos;
+        self.chunks_processed += other.chunks_processed;
+        self.steals += other.steals;
+        self.repaired_chunks += other.repaired_chunks;
+        // chunk_size is configuration, not a counter; the engine sets it.
     }
 }
 
@@ -329,17 +389,64 @@ pub fn limits_for(func: &Function, workload: &Workload) -> DesignSpaceLimits {
     }
 }
 
-/// A contiguous run of enumerated configurations sharing one work-group
-/// size (hence one kernel analysis), tagged with enumeration indices so
-/// results can be merged back in order.
+/// A contiguous run of explicit candidate configurations sharing one
+/// work-group size (hence one kernel analysis), tagged with enumeration
+/// indices so results can be merged back in order.
 struct Family {
     work_group: (u32, u32),
     entries: Vec<(usize, OptimizationConfig)>,
 }
 
+/// What the engine sweeps: either a lazy [`ConfigSpace`] (chunks decoded
+/// on demand, nothing materialized up front) or an explicit pre-validated
+/// candidate list partitioned into families.
+enum CandidateSet<'a> {
+    Space(&'a ConfigSpace),
+    Explicit(Vec<Family>),
+}
+
+impl CandidateSet<'_> {
+    fn family_count(&self) -> usize {
+        match self {
+            CandidateSet::Space(s) => s.family_count(),
+            CandidateSet::Explicit(fams) => fams.len(),
+        }
+    }
+
+    fn family_work_group(&self, f: usize) -> (u32, u32) {
+        match self {
+            CandidateSet::Space(s) => s.family_work_group(f),
+            CandidateSet::Explicit(fams) => fams[f].work_group,
+        }
+    }
+
+    fn family_len(&self, f: usize) -> usize {
+        match self {
+            CandidateSet::Space(s) => s.family_len(f),
+            CandidateSet::Explicit(fams) => fams[f].entries.len(),
+        }
+    }
+
+    /// Appends family `f`'s candidates `[start, start + len)` to `out` as
+    /// `(enumeration index, config)` pairs.
+    fn fill(&self, f: usize, start: usize, len: usize, out: &mut Vec<(usize, OptimizationConfig)>) {
+        match self {
+            CandidateSet::Space(s) => s.fill_family_range(f, start, len, out),
+            CandidateSet::Explicit(fams) => {
+                let entries = &fams[f].entries;
+                let end = (start + len).min(entries.len());
+                out.extend_from_slice(&entries[start..end]);
+            }
+        }
+    }
+}
+
 /// Best feasible cycle count seen so far across all workers, stored as the
 /// bit pattern of a positive `f64` (for which integer ordering coincides
 /// with float ordering, so `fetch_min` maintains the float minimum).
+///
+/// During the claim phase this is a pruning *hint* only; the replay pass
+/// recomputes all decisions against the deterministic prefix incumbent.
 struct Incumbent(AtomicU64);
 
 impl Incumbent {
@@ -353,18 +460,100 @@ impl Incumbent {
 
     fn offer(&self, cycles: f64) {
         if cycles.is_finite() && cycles >= 0.0 {
-            self.0.fetch_min(cycles.to_bits(), Ordering::Relaxed);
+            let bits = cycles.to_bits();
+            // Cheap load first: most offers lose, and a read avoids
+            // bouncing the cache line exclusive across workers.
+            if bits < self.0.load(Ordering::Relaxed) {
+                self.0.fetch_min(bits, Ordering::Relaxed);
+            }
         }
     }
 }
 
-/// What one family contributed to the sweep: evaluated points plus any
-/// failures, both tagged with enumeration indices.
+/// `[barrier, pipeline]` array index of a communication mode.
+fn mode_idx(mode: CommMode) -> usize {
+    match mode {
+        CommMode::Barrier => 0,
+        CommMode::Pipeline => 1,
+    }
+}
+
+/// One work unit: a slice of one family, in family-local candidate
+/// coordinates.
+#[derive(Debug, Clone, Copy)]
+struct ChunkRef {
+    family: usize,
+    start: usize,
+    len: usize,
+}
+
+/// Builds the fixed schedule order the atomic claim counter walks.
+///
+/// Round 0 is every family's tail chunk in family order: the tail of a
+/// family holds its highest-parallelism configurations (largest PE / CU /
+/// vector counts enumerate last), so this both kicks off all kernel
+/// analyses in parallel and seeds the incumbent with strong candidates
+/// before the bulk of the space is touched. The remaining chunks follow
+/// family-major, tail-1 down to the head, so consecutive claims usually
+/// stay within one family and reuse the worker's evaluation context.
+fn build_schedule(family_lens: &[usize], chunk_size: usize) -> Vec<ChunkRef> {
+    let n_chunks: Vec<usize> = family_lens.iter().map(|&l| l.div_ceil(chunk_size)).collect();
+    let mut sched = Vec::with_capacity(n_chunks.iter().sum());
+    for (f, (&len, &n)) in family_lens.iter().zip(&n_chunks).enumerate() {
+        if n > 0 {
+            let start = (n - 1) * chunk_size;
+            sched.push(ChunkRef { family: f, start, len: len - start });
+        }
+    }
+    for (f, &n) in n_chunks.iter().enumerate() {
+        for c in (0..n.saturating_sub(1)).rev() {
+            sched.push(ChunkRef { family: f, start: c * chunk_size, len: chunk_size });
+        }
+    }
+    sched
+}
+
+/// What one chunk contributed to the sweep: evaluated points plus any
+/// failures, both tagged with enumeration indices, and the pruning
+/// decision the claim phase applied (so replay can audit it).
 #[derive(Default)]
-struct FamilyOutcome {
+struct ChunkOutcome {
     points: Vec<(usize, DesignPoint)>,
     failed: Vec<FailedPoint>,
+    /// Per-mode `[barrier, pipeline]`: `true` if the claim phase skipped
+    /// that mode's candidates against the racy incumbent.
+    skipped: [bool; 2],
+    /// `true` if the claiming worker's previous chunk was a different
+    /// family (the claim switched its evaluation context).
+    stole: bool,
     stats: DseStats,
+}
+
+/// Per-family shared state: the analysis is computed once by whichever
+/// worker claims one of the family's chunks first; every other chunk
+/// reads the settled value.
+struct FamilyState {
+    work_group: (u32, u32),
+    analysis: OnceLock<FamilyAnalysis>,
+}
+
+/// The settled result of analyzing one family.
+enum FamilyAnalysis {
+    Ready {
+        analysis: Arc<KernelAnalysis>,
+        /// `cycle_lower_bound` per mode `[barrier, pipeline]`.
+        bounds: [f64; 2],
+        from_cache: bool,
+        evictions: u64,
+        nanos: u64,
+    },
+    /// The work-group does not tile the NDRange; the family is skipped
+    /// silently (the enumerated space is generated before geometry is
+    /// checked).
+    Geometry { nanos: u64 },
+    /// Analysis failed (typed error or contained panic); every candidate
+    /// of the family is reported with this reason.
+    Failed { kind: ErrorKind, message: String, nanos: u64 },
 }
 
 /// Process-wide memoization of kernel analyses, keyed by the *content* of
@@ -377,7 +566,10 @@ struct FamilyOutcome {
 /// workload (shape *and* argument values — profiling executes the kernel,
 /// so trip counts and the memory trace can depend on data). Two 64-bit
 /// hashes with independent seeds make an accidental collision across the
-/// ≤ [`analysis_cache::CAP`] resident entries implausible.
+/// resident entries implausible. Capacity is per-insert
+/// ([`DseOptions::analysis_cache_cap`]); eviction is FIFO, oldest entry
+/// first, so a parameter study cycling through kernels keeps its working
+/// set instead of dropping everything at once.
 mod analysis_cache {
     use super::*;
     use flexcl_interp::KernelArg;
@@ -393,11 +585,11 @@ mod analysis_cache {
         pub fuel: ProfileFuel,
     }
 
-    /// Resident entries before the cache is reset. The benchmark suite
+    /// Default resident entries before eviction. The benchmark suite
     /// sweeps a handful of kernels with up to ~10 work-group families
     /// each; 64 keeps them all resident while bounding memory held by
     /// profiling artifacts.
-    pub(super) const CAP: usize = 64;
+    pub(super) const DEFAULT_CAP: usize = 64;
 
     static CACHE: Mutex<Vec<(Key, Arc<KernelAnalysis>)>> = Mutex::new(Vec::new());
 
@@ -458,15 +650,21 @@ mod analysis_cache {
         cache.iter().find(|(k, _)| k == key).map(|(_, a)| Arc::clone(a))
     }
 
-    pub(super) fn insert(key: Key, analysis: &Arc<KernelAnalysis>) {
+    /// Inserts under a FIFO policy bounded by `cap`; returns how many
+    /// resident entries were evicted to make room.
+    pub(super) fn insert(key: Key, analysis: &Arc<KernelAnalysis>, cap: usize) -> u64 {
         let mut cache = CACHE.lock().unwrap_or_else(|e| e.into_inner());
         if cache.iter().any(|(k, _)| *k == key) {
-            return; // racing workers computed the same analysis
+            return 0; // racing workers computed the same analysis
         }
-        if cache.len() >= CAP {
-            cache.clear();
+        let cap = cap.max(1);
+        let mut evicted = 0;
+        while cache.len() >= cap {
+            cache.remove(0);
+            evicted += 1;
         }
         cache.push((key, Arc::clone(analysis)));
+        evicted
     }
 }
 
@@ -481,7 +679,7 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
     }
 }
 
-/// The sweep-wide inputs shared by every family: what to analyze, how,
+/// The sweep-wide inputs shared by every chunk: what to analyze, how,
 /// and the precomputed analysis-cache fingerprint (if caching is on).
 #[derive(Clone, Copy)]
 struct SweepInputs<'a> {
@@ -492,104 +690,86 @@ struct SweepInputs<'a> {
     fingerprint: Option<(u64, u64)>,
 }
 
-/// Analyzes one family and evaluates its configurations.
-///
-/// Never aborts the sweep: a geometry mismatch (work-group does not tile
-/// the NDRange) skips the family silently, matching the serial sweep's
-/// historical behaviour; every other failure — typed error or contained
-/// panic — is recorded per candidate in the outcome.
-fn run_family(
+/// Analyzes one family (cache-aware, panic-contained) and settles its
+/// [`FamilyAnalysis`].
+fn analyze_family(
     sweep: &SweepInputs<'_>,
-    family: &Family,
-    incumbent: &Incumbent,
+    work_group: (u32, u32),
     scratch: &mut AnalysisScratch,
-) -> FamilyOutcome {
+) -> FamilyAnalysis {
     let SweepInputs { func, platform, workload, opts, fingerprint } = *sweep;
-    let mut out = FamilyOutcome::default();
-    let fail_all = |out: &mut FamilyOutcome, kind: ErrorKind, message: String| {
-        for &(idx, cfg) in &family.entries {
-            out.failed.push(FailedPoint { index: idx, config: cfg, kind, message: message.clone() });
-        }
-    };
     let cache_key = fingerprint.map(|fingerprint| analysis_cache::Key {
         fingerprint,
-        work_group: family.work_group,
+        work_group,
         fuel: opts.fuel,
     });
-    let t_analysis = Instant::now();
-    out.stats.families_analyzed = 1;
-    let analysis = match catch_unwind(AssertUnwindSafe(|| {
-        testhook::maybe_panic(family.work_group);
+    let t = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        testhook::maybe_panic(work_group);
         if let Some(key) = &cache_key {
             if let Some(hit) = analysis_cache::lookup(key) {
-                return (Ok(hit), true);
+                return (Ok(hit), true, 0);
             }
         }
         let fresh = KernelAnalysis::analyze_interned(
             Arc::clone(func),
             Arc::clone(platform),
             workload,
-            family.work_group,
+            work_group,
             opts.fuel,
             scratch,
         )
         .map(Arc::new);
+        let mut evictions = 0;
         if let (Some(key), Ok(a)) = (&cache_key, &fresh) {
-            analysis_cache::insert(key.clone(), a);
+            evictions = analysis_cache::insert(key.clone(), a, opts.analysis_cache_cap);
         }
-        (fresh, false)
-    })) {
-        Ok((result, from_cache)) => {
-            out.stats.analysis_nanos = t_analysis.elapsed().as_nanos() as u64;
-            if from_cache {
-                out.stats.analysis_cache_hits = 1;
-            } else {
-                out.stats.analysis_cache_misses = 1;
-            }
-            match result {
-                Ok(a) => a,
-                // Work-group sizes that do not tile the workload are not
-                // failures: the enumerated space is generated before
-                // geometry is checked.
-                Err(e) if e.kind() == ErrorKind::Geometry => return out,
-                Err(e) => {
-                    fail_all(&mut out, e.kind(), e.to_string());
-                    return out;
-                }
-            }
+        (fresh, false, evictions)
+    }));
+    let nanos = t.elapsed().as_nanos() as u64;
+    match outcome {
+        Ok((Ok(analysis), from_cache, evictions)) => {
+            let bounds = [
+                cycle_lower_bound(&analysis, CommMode::Barrier),
+                cycle_lower_bound(&analysis, CommMode::Pipeline),
+            ];
+            FamilyAnalysis::Ready { analysis, bounds, from_cache, evictions, nanos }
         }
-        Err(payload) => {
-            out.stats.analysis_nanos = t_analysis.elapsed().as_nanos() as u64;
-            out.stats.analysis_cache_misses = 1;
-            let msg = panic_message(payload);
-            fail_all(&mut out, ErrorKind::Panic, format!("analysis panicked: {msg}"));
-            return out;
+        Ok((Err(e), _, _)) if e.kind() == ErrorKind::Geometry => FamilyAnalysis::Geometry { nanos },
+        Ok((Err(e), _, _)) => {
+            FamilyAnalysis::Failed { kind: e.kind(), message: e.to_string(), nanos }
         }
-    };
+        Err(payload) => FamilyAnalysis::Failed {
+            kind: ErrorKind::Panic,
+            message: format!("analysis panicked: {}", panic_message(payload)),
+            nanos,
+        },
+    }
+}
 
-    // Branch-and-bound: a mode whose optimistic bound cannot beat the
-    // incumbent is skipped wholesale. The comparison is strict, so any
-    // family containing a point tied with the global minimum survives
-    // (its bound is ≤ that minimum ≤ the incumbent at all times).
-    let skip = |mode: CommMode| {
-        opts.prune && cycle_lower_bound(&analysis, mode) > incumbent.get()
-    };
-    let (skip_barrier, skip_pipeline) = (skip(CommMode::Barrier), skip(CommMode::Pipeline));
-
-    // One evaluation context for the whole family: the budget-keyed
-    // schedule caches and the scheduler scratch live exactly as long as
-    // the analysis they memoize, on this worker thread.
-    let mut ctx = EvalContext::new(&analysis);
-    let t_estimate = Instant::now();
-    for &(idx, cfg) in &family.entries {
-        let skipped = match cfg.comm_mode {
-            CommMode::Barrier => skip_barrier,
-            CommMode::Pipeline => skip_pipeline,
-        };
-        if skipped {
+/// Evaluates `entries` (those whose mode is kept) through `ctx`,
+/// accumulating points, failures and instrumentation into `out`.
+///
+/// Shared by the claim phase and the replay repair pass, so a repaired
+/// chunk is bit-identical to what the claim phase would have produced:
+/// the estimates are pure functions of `(analysis, config)`.
+fn evaluate_entries<A: Borrow<KernelAnalysis>>(
+    ctx: &mut EvalContext<A>,
+    entries: &[(usize, OptimizationConfig)],
+    keep: [bool; 2],
+    incumbent: &Incumbent,
+    out: &mut ChunkOutcome,
+) {
+    let before = ctx.stats;
+    let t = Instant::now();
+    for &(idx, cfg) in entries {
+        if !keep[mode_idx(cfg.comm_mode)] {
             continue;
         }
-        match catch_unwind(AssertUnwindSafe(|| ctx.estimate(&cfg))) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            testhook::maybe_panic_estimate(idx);
+            ctx.estimate(&cfg)
+        })) {
             Ok(Ok(est)) => {
                 if est.feasible {
                     incumbent.offer(est.cycles);
@@ -611,11 +791,234 @@ fn run_family(
             }),
         }
     }
-    out.stats.estimate_nanos = t_estimate.elapsed().as_nanos() as u64;
-    out.stats.sched_cache_hits = ctx.stats.sched_cache_hits;
-    out.stats.sched_cache_misses = ctx.stats.sched_cache_misses;
-    out.stats.sched_nanos = ctx.stats.sched_nanos;
+    out.stats.estimate_nanos += t.elapsed().as_nanos() as u64;
+    out.stats.sched_cache_hits += ctx.stats.sched_cache_hits - before.sched_cache_hits;
+    out.stats.sched_cache_misses += ctx.stats.sched_cache_misses - before.sched_cache_misses;
+    out.stats.sched_nanos += ctx.stats.sched_nanos - before.sched_nanos;
+}
+
+/// Processes one claimed chunk: settles its family's analysis if first,
+/// applies the racy pruning hint, and evaluates the surviving candidates.
+#[allow(clippy::too_many_arguments)]
+fn process_chunk(
+    sweep: &SweepInputs<'_>,
+    set: &CandidateSet<'_>,
+    states: &[FamilyState],
+    chunk: ChunkRef,
+    incumbent: &Incumbent,
+    ctxs: &mut HashMap<usize, EvalContext<Arc<KernelAnalysis>>>,
+    scratch: &mut AnalysisScratch,
+    buf: &mut Vec<(usize, OptimizationConfig)>,
+) -> ChunkOutcome {
+    let mut out = ChunkOutcome::default();
+    let state = &states[chunk.family];
+    let fam = state.analysis.get_or_init(|| analyze_family(sweep, state.work_group, scratch));
+    match fam {
+        FamilyAnalysis::Geometry { .. } => {}
+        FamilyAnalysis::Failed { kind, message, .. } => {
+            buf.clear();
+            set.fill(chunk.family, chunk.start, chunk.len, buf);
+            for &(idx, cfg) in buf.iter() {
+                out.failed.push(FailedPoint {
+                    index: idx,
+                    config: cfg,
+                    kind: *kind,
+                    message: message.clone(),
+                });
+            }
+        }
+        FamilyAnalysis::Ready { analysis, bounds, .. } => {
+            // Branch-and-bound hint: a mode whose optimistic bound cannot
+            // beat the incumbent is skipped. The comparison is strict, so
+            // any chunk containing a point tied with the global minimum
+            // survives (its bound is ≤ that minimum ≤ the incumbent at
+            // all times); replay audits the rest.
+            let inc = incumbent.get();
+            let keep = [
+                !sweep.opts.prune || bounds[0] <= inc,
+                !sweep.opts.prune || bounds[1] <= inc,
+            ];
+            out.skipped = [!keep[0], !keep[1]];
+            if keep[0] || keep[1] {
+                buf.clear();
+                set.fill(chunk.family, chunk.start, chunk.len, buf);
+                let ctx = ctxs
+                    .entry(chunk.family)
+                    .or_insert_with(|| EvalContext::new(Arc::clone(analysis)));
+                evaluate_entries(ctx, buf, keep, incumbent, &mut out);
+            }
+        }
+    }
     out
+}
+
+/// The claim loop every worker runs: grab the next unclaimed chunk from
+/// the shared counter, process it, park the outcome in its slot.
+fn worker_loop(
+    sweep: &SweepInputs<'_>,
+    set: &CandidateSet<'_>,
+    states: &[FamilyState],
+    sched: &[ChunkRef],
+    next: &AtomicUsize,
+    incumbent: &Incumbent,
+    slots: &[Mutex<Option<ChunkOutcome>>],
+) {
+    let mut scratch = AnalysisScratch::new();
+    let mut ctxs: HashMap<usize, EvalContext<Arc<KernelAnalysis>>> = HashMap::new();
+    let mut buf: Vec<(usize, OptimizationConfig)> = Vec::new();
+    let mut last_family: Option<usize> = None;
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(&chunk) = sched.get(i) else { break };
+        let stole = last_family.is_some_and(|f| f != chunk.family);
+        last_family = Some(chunk.family);
+        let mut out =
+            process_chunk(sweep, set, states, chunk, incumbent, &mut ctxs, &mut scratch, &mut buf);
+        out.stole = stole;
+        // Panics inside process_chunk are contained, so the lock can only
+        // be poisoned by a crash in this bookkeeping itself; recover the
+        // data either way.
+        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+    }
+}
+
+/// Runs the chunked sweep over `set` and merges the outcome in
+/// enumeration order. `failed` carries upfront validation failures from
+/// the explicit path.
+fn run_sweep(
+    func: &Function,
+    platform: &Platform,
+    workload: &Workload,
+    set: &CandidateSet<'_>,
+    mut failed: Vec<FailedPoint>,
+    opts: DseOptions,
+    start: Instant,
+) -> DseResult {
+    // Intern the kernel and platform once; every family's analysis shares
+    // these allocations instead of cloning them.
+    let func = Arc::new(func.clone());
+    let platform = Arc::new(platform.clone());
+
+    // One content fingerprint covers the whole sweep: families differ only
+    // in work-group size, which is part of the cache key, not the hash.
+    let fingerprint = opts
+        .reuse_analysis
+        .then(|| analysis_cache::fingerprint(&func, &platform, workload));
+    let sweep = SweepInputs { func: &func, platform: &platform, workload, opts, fingerprint };
+
+    let family_lens: Vec<usize> = (0..set.family_count()).map(|f| set.family_len(f)).collect();
+    let total: usize = family_lens.iter().sum();
+    let chunk_size = opts.effective_chunk_size(total);
+    let sched = build_schedule(&family_lens, chunk_size);
+    let states: Vec<FamilyState> = (0..set.family_count())
+        .map(|f| FamilyState { work_group: set.family_work_group(f), analysis: OnceLock::new() })
+        .collect();
+
+    let incumbent = Incumbent::new();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ChunkOutcome>>> =
+        sched.iter().map(|_| Mutex::new(None)).collect();
+
+    let workers = opts.threads.max(1).min(sched.len().max(1));
+    if workers <= 1 {
+        worker_loop(&sweep, set, &states, &sched, &next, &incumbent, &slots);
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| worker_loop(&sweep, set, &states, &sched, &next, &incumbent, &slots));
+            }
+        });
+    }
+
+    // Deterministic replay: walk the chunks in schedule order, maintaining
+    // the prefix incumbent (best feasible cycle count among *kept* points
+    // of earlier chunks), and recompute every pruning decision against it.
+    // Chunks the racy incumbent over-pruned are re-evaluated; points it
+    // under-pruned are dropped. The surviving set is a pure function of
+    // the schedule order and the model — identical at any thread count,
+    // chunk size, and timing.
+    let mut stats = DseStats { chunks_processed: sched.len(), chunk_size, ..DseStats::default() };
+    let mut indexed: Vec<(usize, DesignPoint)> = Vec::new();
+    let mut prefix_best = f64::INFINITY;
+    let mut repair_ctxs: HashMap<usize, EvalContext<Arc<KernelAnalysis>>> = HashMap::new();
+    let mut buf: Vec<(usize, OptimizationConfig)> = Vec::new();
+    for (i, &chunk) in sched.iter().enumerate() {
+        let mut out = slots[i]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("every chunk index was claimed by a worker");
+        stats.steals += u64::from(out.stole);
+        if let Some(FamilyAnalysis::Ready { analysis, bounds, .. }) =
+            states[chunk.family].analysis.get()
+        {
+            let keep = [
+                !opts.prune || bounds[0] <= prefix_best,
+                !opts.prune || bounds[1] <= prefix_best,
+            ];
+            // Drop what the racy hint under-pruned...
+            out.points.retain(|(_, p)| keep[mode_idx(p.config.comm_mode)]);
+            out.failed.retain(|f| keep[mode_idx(f.config.comm_mode)]);
+            // ...and repair what it over-pruned.
+            let need = [keep[0] && out.skipped[0], keep[1] && out.skipped[1]];
+            if need[0] || need[1] {
+                buf.clear();
+                set.fill(chunk.family, chunk.start, chunk.len, &mut buf);
+                let entries: Vec<(usize, OptimizationConfig)> = buf
+                    .iter()
+                    .copied()
+                    .filter(|(_, c)| need[mode_idx(c.comm_mode)])
+                    .collect();
+                if !entries.is_empty() {
+                    let ctx = repair_ctxs
+                        .entry(chunk.family)
+                        .or_insert_with(|| EvalContext::new(Arc::clone(analysis)));
+                    evaluate_entries(ctx, &entries, [true, true], &incumbent, &mut out);
+                    stats.repaired_chunks += 1;
+                }
+            }
+            for (_, p) in &out.points {
+                if p.estimate.feasible {
+                    prefix_best = prefix_best.min(p.estimate.cycles);
+                }
+            }
+        }
+        indexed.append(&mut out.points);
+        failed.append(&mut out.failed);
+        stats.merge(&out.stats);
+    }
+
+    // Family-level accounting, once per family regardless of chunk count.
+    for state in &states {
+        if let Some(fam) = state.analysis.get() {
+            stats.families_analyzed += 1;
+            match fam {
+                FamilyAnalysis::Ready { from_cache, evictions, nanos, .. } => {
+                    if *from_cache {
+                        stats.analysis_cache_hits += 1;
+                    } else {
+                        stats.analysis_cache_misses += 1;
+                    }
+                    stats.analysis_cache_evictions += evictions;
+                    stats.analysis_nanos += nanos;
+                }
+                FamilyAnalysis::Geometry { nanos } | FamilyAnalysis::Failed { nanos, .. } => {
+                    stats.analysis_cache_misses += 1;
+                    stats.analysis_nanos += nanos;
+                }
+            }
+        }
+    }
+
+    indexed.sort_by_key(|(idx, _)| *idx);
+    failed.sort_by_key(|f| f.index);
+    let points = indexed.into_iter().map(|(_, p)| p).collect();
+    DseResult {
+        points,
+        elapsed: start.elapsed(),
+        diagnostics: DiagnosticsReport { failed },
+        stats,
+    }
 }
 
 /// Exhaustively explores the design space of `func` on `workload` with the
@@ -634,12 +1037,14 @@ pub fn explore(
     explore_with(func, platform, workload, DseOptions::default())
 }
 
-/// Explores the design space of `func` on `workload` under `opts`.
+/// Explores the design space of `func` on `workload` under `opts`, over
+/// the [`SweepGrid::standard`] grid.
 ///
 /// With `opts.prune == false` the explored points are exactly the
 /// enumerated space in enumeration order (minus failed candidates),
-/// bit-identical for every thread count. With pruning, dominated families
-/// may be absent but [`DseResult::best`] matches the exhaustive sweep.
+/// bit-identical for every thread count and chunk size. With pruning,
+/// dominated points may be absent, but the surviving set is still
+/// deterministic and [`DseResult::best`] matches the exhaustive sweep.
 ///
 /// # Errors
 ///
@@ -652,15 +1057,40 @@ pub fn explore_with(
     workload: &Workload,
     opts: DseOptions,
 ) -> Result<DseResult, FlexclError> {
+    explore_space(func, platform, workload, &SweepGrid::standard(), opts)
+}
+
+/// Explores the design space of `func` on `workload` over an explicit
+/// knob [`SweepGrid`] under `opts`.
+///
+/// This is the large-sweep entry point: the [`ConfigSpace`] is decoded
+/// chunk by chunk, so a [`SweepGrid::fine`] or [`SweepGrid::ultra`] grid
+/// with 10⁵–10⁶⁺ candidates never materializes its candidate list. The
+/// determinism guarantees of [`explore_with`] apply unchanged.
+///
+/// # Errors
+///
+/// Returns [`FlexclError::Platform`] if the platform description is
+/// invalid. Per-candidate failures do not abort the sweep; they are
+/// recorded in [`DseResult::diagnostics`].
+pub fn explore_space(
+    func: &Function,
+    platform: &Platform,
+    workload: &Workload,
+    grid: &SweepGrid,
+    opts: DseOptions,
+) -> Result<DseResult, FlexclError> {
+    let start = Instant::now();
+    platform.validate()?;
     let limits = limits_for(func, workload);
-    let configs = config::enumerate(&limits);
-    explore_configs(func, platform, workload, &configs, opts)
+    let space = ConfigSpace::new(&limits, grid);
+    Ok(run_sweep(func, platform, workload, &CandidateSet::Space(&space), Vec::new(), opts, start))
 }
 
 /// Explores an explicit list of candidate configurations under `opts`.
 ///
 /// This is the fault-injection surface: unlike [`explore_with`], the
-/// candidates need not come from [`config::enumerate`] — invalid entries
+/// candidates need not come from [`crate::config::enumerate`] — invalid entries
 /// are diagnosed per candidate ([`ErrorKind::Config`]) and skipped, and
 /// the surviving points are bit-identical to a sweep over only the valid
 /// subset. `DseResult::points` preserves the order of `configs`.
@@ -679,11 +1109,6 @@ pub fn explore_configs(
 ) -> Result<DseResult, FlexclError> {
     let start = Instant::now();
     platform.validate()?;
-
-    // Intern the kernel and platform once; every family's analysis shares
-    // these allocations instead of cloning them.
-    let func = Arc::new(func.clone());
-    let platform = Arc::new(platform.clone());
 
     // Validate candidates up front (an invalid config must not drag a
     // whole family down), then partition the valid ones into
@@ -708,83 +1133,27 @@ pub fn explore_configs(
         }
     }
 
-    // One content fingerprint covers the whole sweep: families differ only
-    // in work-group size, which is part of the cache key, not the hash.
-    let fingerprint = opts
-        .reuse_analysis
-        .then(|| analysis_cache::fingerprint(&func, &platform, workload));
-
-    let incumbent = Incumbent::new();
-    let mut indexed: Vec<(usize, DesignPoint)> = Vec::new();
-    let mut stats = DseStats::default();
-    let sweep = SweepInputs { func: &func, platform: &platform, workload, opts, fingerprint };
-
-    if opts.threads <= 1 || families.len() <= 1 {
-        let mut scratch = AnalysisScratch::new();
-        for family in &families {
-            let outcome = run_family(&sweep, family, &incumbent, &mut scratch);
-            indexed.extend(outcome.points);
-            failed.extend(outcome.failed);
-            stats.merge(&outcome.stats);
-        }
-    } else {
-        let workers = opts.threads.min(families.len());
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<FamilyOutcome>>> =
-            families.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| {
-                    let mut scratch = AnalysisScratch::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(family) = families.get(i) else { break };
-                        let outcome = run_family(&sweep, family, &incumbent, &mut scratch);
-                        // Panics inside run_family are contained, so the
-                        // lock can only be poisoned by a crash in this
-                        // bookkeeping itself; recover the data either way.
-                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
-                    }
-                });
-            }
-        });
-        // Merge in family order; the final sort restores enumeration order
-        // exactly as the serial loop produces it.
-        for slot in slots {
-            let outcome = slot
-                .into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("every family index was claimed by a worker");
-            indexed.extend(outcome.points);
-            failed.extend(outcome.failed);
-            stats.merge(&outcome.stats);
-        }
-    }
-
-    indexed.sort_by_key(|(idx, _)| *idx);
-    failed.sort_by_key(|f| f.index);
-    let points = indexed.into_iter().map(|(_, p)| p).collect();
-    Ok(DseResult {
-        points,
-        elapsed: start.elapsed(),
-        diagnostics: DiagnosticsReport { failed },
-        stats,
-    })
+    Ok(run_sweep(func, platform, workload, &CandidateSet::Explicit(families), failed, opts, start))
 }
 
 /// Test-only fault injection for the DSE panic backstop.
 ///
 /// Hidden from docs and not part of the public API contract: the
-/// fault-injection suite arms a panic for a specific work-group size and
+/// fault-injection suite arms a panic for a specific work-group size (the
+/// analysis path) or a specific candidate index (the estimate path) and
 /// asserts the sweep survives, attributes the failure, and leaves every
-/// other family bit-identical. Disarmed state (the default) is a single
+/// other point bit-identical. Disarmed state (the default) is a single
 /// relaxed atomic load on the sweep path.
 #[doc(hidden)]
 pub mod testhook {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     /// `0` = disarmed; otherwise the packed work-group to panic on.
     static ARMED: AtomicU64 = AtomicU64::new(0);
+
+    /// `usize::MAX` = disarmed; otherwise the enumeration index whose
+    /// estimate panics.
+    static ESTIMATE_ARMED: AtomicUsize = AtomicUsize::new(usize::MAX);
 
     fn pack(wg: (u32, u32)) -> u64 {
         (u64::from(wg.0) << 32) | u64::from(wg.1)
@@ -795,14 +1164,27 @@ pub mod testhook {
         ARMED.store(pack(wg), Ordering::SeqCst);
     }
 
-    /// Disarms the injected panic.
+    /// Arms an injected panic for the estimate of the candidate at
+    /// enumeration index `index`.
+    pub fn arm_estimate_panic(index: usize) {
+        ESTIMATE_ARMED.store(index, Ordering::SeqCst);
+    }
+
+    /// Disarms all injected panics.
     pub fn disarm() {
         ARMED.store(0, Ordering::SeqCst);
+        ESTIMATE_ARMED.store(usize::MAX, Ordering::SeqCst);
     }
 
     pub(crate) fn maybe_panic(wg: (u32, u32)) {
         if pack(wg) != 0 && ARMED.load(Ordering::Relaxed) == pack(wg) {
             panic!("testhook: injected panic for work-group {}x{}", wg.0, wg.1);
+        }
+    }
+
+    pub(crate) fn maybe_panic_estimate(index: usize) {
+        if ESTIMATE_ARMED.load(Ordering::Relaxed) == index {
+            panic!("testhook: injected panic for candidate {index}");
         }
     }
 }
@@ -916,6 +1298,40 @@ mod tests {
     }
 
     #[test]
+    fn tiny_chunks_are_bit_identical_to_serial() {
+        // Chunk size 5 forces many chunks per family and plenty of context
+        // switches; the merged result must not care.
+        let (f, w) = vadd();
+        let platform = Platform::virtex7_adm7v3();
+        let serial = explore(&f, &platform, &w).expect("serial");
+        let chunked = explore_with(
+            &f,
+            &platform,
+            &w,
+            DseOptions { threads: 4, chunk_size: 5, ..DseOptions::default() },
+        )
+        .expect("chunked");
+        assert_points_identical(&serial, &chunked);
+        assert!(chunked.stats.chunks_processed > serial.stats.chunks_processed);
+    }
+
+    #[test]
+    fn explore_space_standard_grid_matches_explore_with() {
+        let (f, w) = vadd();
+        let platform = Platform::virtex7_adm7v3();
+        let via_enumerate = explore(&f, &platform, &w).expect("explore");
+        let via_space = explore_space(
+            &f,
+            &platform,
+            &w,
+            &SweepGrid::standard(),
+            DseOptions::default(),
+        )
+        .expect("explore_space");
+        assert_points_identical(&via_enumerate, &via_space);
+    }
+
+    #[test]
     fn pruned_sweep_finds_the_same_best() {
         let (f, w) = vadd();
         let platform = Platform::virtex7_adm7v3();
@@ -940,6 +1356,31 @@ mod tests {
                 .find(|q| q.config == p.config)
                 .expect("pruned point present in exhaustive sweep, in order");
             assert_eq!(twin.estimate, p.estimate);
+        }
+    }
+
+    #[test]
+    fn pruned_sweep_is_deterministic_across_thread_counts() {
+        // The replay pass makes even the *pruned* survivor set a pure
+        // function of the schedule order, not of thread timing.
+        let (f, w) = vadd();
+        let platform = Platform::virtex7_adm7v3();
+        let reference = explore_with(
+            &f,
+            &platform,
+            &w,
+            DseOptions { prune: true, threads: 1, ..DseOptions::default() },
+        )
+        .expect("reference");
+        for threads in [2, 4, 8] {
+            let parallel = explore_with(
+                &f,
+                &platform,
+                &w,
+                DseOptions { prune: true, threads, ..DseOptions::default() },
+            )
+            .expect("parallel pruned");
+            assert_points_identical(&reference, &parallel);
         }
     }
 

@@ -31,9 +31,12 @@
 use crate::analysis::KernelAnalysis;
 use crate::config::{CommMode, OptimizationConfig};
 use crate::error::FlexclError;
-use crate::model::{effective_pe_parallelism, infeasible, pe_budget, Estimate};
+use crate::model::{
+    effective_pe_parallelism, infeasible, pe_budget, Estimate, InfeasibleReason,
+};
 use flexcl_ir::DepEdge;
 use flexcl_sched::{ResourceBudget, SchedScratch};
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -54,8 +57,14 @@ pub struct EvalStats {
 /// analysis) and call [`EvalContext::estimate`] per candidate. Results are
 /// bit-identical to [`crate::estimate`] in any call order: the cached
 /// values are pure functions of `(analysis, budget)`.
-pub struct EvalContext<'a> {
-    analysis: &'a KernelAnalysis,
+///
+/// The context is generic over how it holds the analysis: a borrowed
+/// `&KernelAnalysis` for one-shot evaluation ([`crate::estimate`]'s
+/// path), or an owned `Arc<KernelAnalysis>` so a sweep worker can keep
+/// one long-lived context per family it has stolen chunks from, without
+/// tying the context's lifetime to a stack frame.
+pub struct EvalContext<A: Borrow<KernelAnalysis>> {
+    analysis: A,
     /// Budget-independent dependence edges for the work-item graph.
     deps: Vec<DepEdge>,
     /// `budget → (II_comp^wi, D_comp^PE)` (work-item pipelining on).
@@ -78,34 +87,55 @@ pub struct EvalContext<'a> {
     pub stats: EvalStats,
 }
 
-impl<'a> EvalContext<'a> {
+impl<A: Borrow<KernelAnalysis>> EvalContext<A> {
     /// Prepares a context: precomputes the dependence edges and the
     /// mode-dependent memory/dispatch constants.
-    pub fn new(analysis: &'a KernelAnalysis) -> Self {
-        let platform = &analysis.platform;
+    pub fn new(analysis: A) -> Self {
+        Self::with_scratch(analysis, SchedScratch::new())
+    }
+
+    /// [`EvalContext::new`] reusing a recycled [`SchedScratch`] (from
+    /// [`EvalContext::into_scratch`]) so per-family contexts created in
+    /// sequence — the sweep's repair pass, a server's request loop —
+    /// keep one set of scheduler buffers alive instead of reallocating.
+    pub fn with_scratch(analysis: A, scratch: SchedScratch) -> Self {
+        let a = analysis.borrow();
+        let platform = &a.platform;
         let dl = f64::from(platform.schedule_overhead);
+        let deps = a.work_item_deps();
+        let l_mem_wi_pipeline = a.l_mem_wi();
+        let l_mem_wi_barrier = a.l_mem_wi_phased();
+        let n_wi_kernel = (a.global.0 * a.global.1) as f64;
+        // Steady-state dispatch cost per group (scheduler overlap hides
+        // most of ΔL once a CU is warm); `C·ΔL` pays the cold starts.
+        let dl_warm = dl * (1.0 - platform.dispatch_overlap).max(0.0);
+        let launch = f64::from(platform.launch_overhead);
         EvalContext {
-            deps: analysis.work_item_deps(),
+            deps,
             pipe_cache: HashMap::new(),
             lat_cache: HashMap::new(),
             mem_scale_cache: HashMap::new(),
-            scratch: SchedScratch::new(),
-            l_mem_wi_pipeline: analysis.l_mem_wi(),
-            l_mem_wi_barrier: analysis.l_mem_wi_phased(),
-            n_wi_kernel: (analysis.global.0 * analysis.global.1) as f64,
+            scratch,
+            l_mem_wi_pipeline,
+            l_mem_wi_barrier,
+            n_wi_kernel,
             dl,
-            // Steady-state dispatch cost per group (scheduler overlap hides
-            // most of ΔL once a CU is warm); `C·ΔL` pays the cold starts.
-            dl_warm: dl * (1.0 - platform.dispatch_overlap).max(0.0),
-            launch: f64::from(platform.launch_overhead),
+            dl_warm,
+            launch,
             stats: EvalStats::default(),
             analysis,
         }
     }
 
+    /// Dissolves the context, handing its scheduler scratch back for the
+    /// next context to reuse.
+    pub fn into_scratch(self) -> SchedScratch {
+        self.scratch
+    }
+
     /// The analysis this context evaluates against.
     pub fn analysis(&self) -> &KernelAnalysis {
-        self.analysis
+        self.analysis.borrow()
     }
 
     fn pipeline_params(&mut self, budget: &ResourceBudget) -> Result<(u32, u32), FlexclError> {
@@ -115,7 +145,10 @@ impl<'a> EvalContext<'a> {
         }
         self.stats.sched_cache_misses += 1;
         let t0 = Instant::now();
-        let r = self.analysis.pipeline_params_with(budget, &self.deps, &mut self.scratch);
+        let r = self
+            .analysis
+            .borrow()
+            .pipeline_params_with(budget, &self.deps, &mut self.scratch);
         self.stats.sched_nanos += t0.elapsed().as_nanos() as u64;
         self.pipe_cache.insert(*budget, r.clone());
         r
@@ -128,7 +161,7 @@ impl<'a> EvalContext<'a> {
         }
         self.stats.sched_cache_misses += 1;
         let t0 = Instant::now();
-        let r = self.analysis.work_item_latency_with(budget, &mut self.scratch);
+        let r = self.analysis.borrow().work_item_latency_with(budget, &mut self.scratch);
         self.stats.sched_nanos += t0.elapsed().as_nanos() as u64;
         self.lat_cache.insert(*budget, r.clone());
         r
@@ -144,7 +177,7 @@ impl<'a> EvalContext<'a> {
     /// scheduled under the configuration's resource budget.
     pub fn estimate(&mut self, config: &OptimizationConfig) -> Result<Estimate, FlexclError> {
         config.validate()?;
-        let analysis = self.analysis;
+        let analysis = self.analysis.borrow();
         let platform = &analysis.platform;
         let n_wi_kernel = self.n_wi_kernel;
         let n_wi_wg = config.work_group_size() as f64;
@@ -160,7 +193,7 @@ impl<'a> EvalContext<'a> {
         if dsps_needed > u64::from(platform.total_dsps) {
             return Ok(infeasible(
                 config,
-                format!("needs {dsps_needed} DSPs, device has {}", platform.total_dsps),
+                InfeasibleReason::Dsps { needed: dsps_needed, available: platform.total_dsps },
             ));
         }
         let bram_needed = analysis
@@ -170,10 +203,10 @@ impl<'a> EvalContext<'a> {
         if bram_needed > platform.total_bram_bytes {
             return Ok(infeasible(
                 config,
-                format!(
-                    "needs {bram_needed} BRAM bytes, device has {}",
-                    platform.total_bram_bytes
-                ),
+                InfeasibleReason::BramBytes {
+                    needed: bram_needed,
+                    available: platform.total_bram_bytes,
+                },
             ));
         }
 
@@ -187,6 +220,8 @@ impl<'a> EvalContext<'a> {
             let d = self.work_item_latency(&budget)?.round().max(1.0) as u32;
             (d, d)
         };
+        // Re-borrow: the scheduler calls above needed `&mut self`.
+        let analysis = self.analysis.borrow();
 
         // ---- CU model (Eq. 5–6) ------------------------------------------
         let n_pe = effective_pe_parallelism(analysis, config);

@@ -62,14 +62,18 @@ pub mod platform;
 pub use analysis::{AnalysisScratch, ContentionCurve, ContentionProbe, KernelAnalysis,
     ProfileFuel, ResolvedRecurrence, Workload};
 pub use area::{estimate_area, pareto_frontier, AreaEstimate, ParetoPoint};
-pub use config::{enumerate, CommMode, DesignSpaceLimits, OptimizationConfig};
+pub use config::{
+    enumerate, CommMode, ConfigSpace, DesignSpaceLimits, OptimizationConfig, SweepGrid,
+};
 pub use dse::{
-    explore, explore_configs, explore_with, limits_for, DesignPoint, DiagnosticsReport,
-    DseOptions, DseResult, DseStats, FailedPoint,
+    explore, explore_configs, explore_space, explore_with, limits_for, DesignPoint,
+    DiagnosticsReport, DseOptions, DseResult, DseStats, FailedPoint,
 };
 pub use error::{ErrorKind, FlexclError};
 pub use eval::{EvalContext, EvalStats};
-pub use model::{cycle_lower_bound, cycles_to_seconds, estimate, pe_budget, Estimate};
+pub use model::{
+    cycle_lower_bound, cycles_to_seconds, estimate, pe_budget, Estimate, InfeasibleReason,
+};
 pub use platform::Platform;
 
 /// The FlexCL model bound to a platform — the main entry point.

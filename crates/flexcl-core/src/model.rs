@@ -26,6 +26,44 @@ use crate::error::FlexclError;
 use flexcl_sched::ResourceBudget;
 use std::fmt;
 
+/// Why a configuration does not fit on the device.
+///
+/// A plain-data enum rather than a formatted `String`: large sweeps visit
+/// hundreds of thousands of infeasible points (extreme `P·C` products are
+/// DSP-bound), and allocating a message per point dominated the sweep's
+/// time before the work-stealing scheduler landed. The human-readable
+/// form is produced on demand by the `Display` impl.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InfeasibleReason {
+    /// The configuration needs more DSP slices than the device has.
+    Dsps {
+        /// DSPs the replicated design would consume.
+        needed: u64,
+        /// DSPs on the device.
+        available: u32,
+    },
+    /// The configuration needs more BRAM than the device has.
+    BramBytes {
+        /// BRAM bytes the replicated local arrays would consume.
+        needed: u64,
+        /// BRAM bytes on the device.
+        available: u64,
+    },
+}
+
+impl fmt::Display for InfeasibleReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfeasibleReason::Dsps { needed, available } => {
+                write!(f, "needs {needed} DSPs, device has {available}")
+            }
+            InfeasibleReason::BramBytes { needed, available } => {
+                write!(f, "needs {needed} BRAM bytes, device has {available}")
+            }
+        }
+    }
+}
+
 /// A performance estimate for one configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Estimate {
@@ -61,8 +99,8 @@ pub struct Estimate {
     pub overhead_cycles: f64,
     /// Whether the configuration fits on the device.
     pub feasible: bool,
-    /// Human-readable reason when infeasible.
-    pub infeasible_reason: Option<String>,
+    /// Reason when infeasible (render with `Display`).
+    pub infeasible_reason: Option<InfeasibleReason>,
 }
 
 impl Estimate {
@@ -96,11 +134,10 @@ impl fmt::Display for Estimate {
                 self.mode
             )
         } else {
-            write!(
-                f,
-                "infeasible: {}",
-                self.infeasible_reason.as_deref().unwrap_or("unknown")
-            )
+            match &self.infeasible_reason {
+                Some(reason) => write!(f, "infeasible: {reason}"),
+                None => f.write_str("infeasible: unknown"),
+            }
         }
     }
 }
@@ -247,7 +284,7 @@ pub(crate) fn effective_pe_parallelism(
     cap.max(1)
 }
 
-pub(crate) fn infeasible(config: &OptimizationConfig, reason: String) -> Estimate {
+pub(crate) fn infeasible(config: &OptimizationConfig, reason: InfeasibleReason) -> Estimate {
     Estimate {
         cycles: f64::INFINITY,
         ii_comp: 0,

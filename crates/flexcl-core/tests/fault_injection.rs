@@ -14,9 +14,11 @@
 //! Only corrupt platform tables reject the whole sweep, and they do so up
 //! front with a typed error rather than a hundred per-candidate failures.
 //!
-//! All sweeps here run with `prune: false` (the default): pruned sweeps
-//! drop dominated points in a timing-dependent way, so bit-identity is
-//! only promised for exhaustive sweeps.
+//! Most sweeps here run with `prune: false` (the default) so the clean
+//! reference covers every candidate; pruned sweeps are fair game too —
+//! the scheduler's deterministic replay pass makes even the pruned
+//! survivor set independent of thread timing (see
+//! `tests/chunk_determinism.rs`).
 
 use flexcl_core::dse::testhook;
 use flexcl_core::{
@@ -193,6 +195,47 @@ fn injected_panic_is_contained_and_attributed() {
         }
         // The other families are untouched: bit-identical to a clean sweep
         // over exactly the surviving candidates.
+        assert_points_identical(&clean, &result);
+    }
+}
+
+#[test]
+fn estimate_panic_is_isolated_to_one_candidate() {
+    let _guard = serialize();
+    let (f, w) = vadd();
+    let platform = Platform::virtex7_adm7v3();
+    let all = enumerate(&limits_for(&f, &w));
+
+    // Poison a candidate from the middle of a family: its chunk must keep
+    // evaluating past the panic, and the family's other chunks must be
+    // untouched.
+    let victim = all.len() / 2;
+    let survivors: Vec<OptimizationConfig> = all
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(i, _)| i != victim)
+        .map(|(_, c)| c)
+        .collect();
+    let clean = explore_configs(&f, &platform, &w, &survivors, DseOptions::default())
+        .expect("clean sweep");
+
+    for threads in [1, 4] {
+        // Small chunks so the poisoned family spans many chunks.
+        let opts = DseOptions { threads, chunk_size: 7, ..DseOptions::default() };
+        let _disarm = Disarm;
+        testhook::arm_estimate_panic(victim);
+        let result = explore_with(&f, &platform, &w, opts).expect("sweep survives the panic");
+        testhook::disarm();
+
+        assert_eq!(result.diagnostics.skipped_count(), 1);
+        let fp = &result.diagnostics.failed[0];
+        assert_eq!(fp.index, victim);
+        assert_eq!(fp.config, all[victim]);
+        assert_eq!(fp.kind, ErrorKind::Panic);
+        assert!(fp.message.contains("injected panic"), "{}", fp.message);
+        // Every other candidate — including the rest of the victim's own
+        // chunk and family — is bit-identical to the clean sweep.
         assert_points_identical(&clean, &result);
     }
 }

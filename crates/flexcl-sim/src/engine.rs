@@ -116,7 +116,9 @@ pub fn system_run(
     let est = estimate(&analysis, config)?;
     if !est.feasible {
         return Err(SimError::Infeasible(
-            est.infeasible_reason.unwrap_or_else(|| "resources exceeded".into()),
+            est.infeasible_reason
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "resources exceeded".into()),
         ));
     }
 

@@ -10,14 +10,19 @@ cargo test -q
 # with bit-identical surviving points.
 cargo clippy -p flexcl-core -p flexcl-interp -- -D warnings -W clippy::unwrap_used
 cargo test -q -p flexcl-core --test fault_injection
-# Sweep-throughput smoke: a model-only vadd sweep must complete, and its
-# BENCH_dse.json must carry the full schema with finite, positive
-# configs-per-second in every row (validated by the binary's --check).
+# Sweep-throughput smoke and scaling gate: a model-only vadd sweep over
+# the fine grid (≥10⁵ points) must complete, its BENCH_dse.json must
+# carry the full schema (chunk size, steal count, repetitions, host
+# cores, finite positive configs-per-second), and threads=8 throughput
+# must beat threads=1 — the --check skips the scaling comparison with a
+# notice when the measuring host has a single core, where a parallel
+# speedup is physically impossible.
 BENCH_SMOKE="$(mktemp -t bench_dse_smoke.XXXXXX.json)"
 trap 'rm -f "$BENCH_SMOKE"' EXIT
 cargo run --release -q -p flexcl-bench --bin dse -- \
-  --bench-only --kernels vadd --out "$BENCH_SMOKE"
-cargo run --release -q -p flexcl-bench --bin dse -- --check "$BENCH_SMOKE"
+  --bench-only --grid fine --kernels vadd --reps 3 --out "$BENCH_SMOKE"
+cargo run --release -q -p flexcl-bench --bin dse -- \
+  --check "$BENCH_SMOKE" --require-scaling
 # Accuracy smoke: model-vs-sim triage over one wavefront kernel (nw has
 # memory-silent groups, exercising the heaviest-group floor and the
 # stratified profile). Fails if the kernel's mean |error| drifts past 10%
