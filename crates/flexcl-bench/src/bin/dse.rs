@@ -143,9 +143,10 @@ fn bench_sweeps(filter: Option<&str>, grid_name: &str, reps: usize) -> Vec<Bench
             let (secs, res) = &runs[runs.len() / 2];
             if !res.diagnostics.is_clean() {
                 eprintln!(
-                    "  warning: {} skipped {} candidate(s): {}",
+                    "  warning: {} skipped {} candidate(s) [{}]: {}",
                     name,
                     res.diagnostics.skipped_count(),
+                    res.diagnostics.summary(),
                     res.diagnostics.failed[0].message
                 );
             }

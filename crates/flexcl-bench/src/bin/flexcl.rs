@@ -278,8 +278,9 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
         println!();
     } else {
         println!(
-            "skipped {} candidate(s); first failure: {}\n",
+            "skipped {} candidate(s) [{}]; first failure: {}\n",
             result.diagnostics.skipped_count(),
+            result.diagnostics.summary(),
             result.diagnostics.failed[0].message
         );
     }

@@ -1,0 +1,390 @@
+//! `serve_bench` — load generator for the flexcl-serve estimation
+//! server, emitting `BENCH_serve.json`.
+//!
+//! ```text
+//! serve_bench [--steady-requests N] [--steady-clients N] [--overload-clients N]
+//!             [--workers N] [--out PATH]
+//! serve_bench --check PATH [--require-overload] [--min-rps X]
+//! ```
+//!
+//! Two phases against an in-process server (the transport is exercised
+//! by the tier-1 smoke; this measures the service core):
+//!
+//! * **steady** — a small kernel working set is warmed once, then
+//!   clients replay it; traffic is cache-hit dominated, measuring the
+//!   request path a warm production server actually runs. Reports
+//!   client-observed p50/p99 latency and requests/s.
+//! * **overload** — a deliberately tiny queue (`2×` more concurrent
+//!   clients than capacity) of unique fine-grid sources, some with
+//!   impossible deadlines. Proves the robustness counters move: shed,
+//!   degraded and deadline rejections must all be nonzero while the
+//!   server keeps answering.
+//!
+//! `--check` validates a previously written file: schema keys on every
+//! row, finite positive throughput, and (with `--require-overload`) the
+//! nonzero shed/degraded/deadline acceptance gate.
+
+use flexcl_serve::server::ServerConfig;
+use flexcl_serve::{CounterSnapshot, Server};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One kernel shape per distinct fingerprint in the steady working set.
+fn steady_kernel(i: usize) -> String {
+    format!(
+        "__kernel void k{i}(__global float* a, __global float* b) {{ \
+           int i = get_global_id(0); a[i] = a[i] * {}.0f + b[i]; }}",
+        i + 1
+    )
+}
+
+fn request(id: &str, src: &str, global: u64, extra: &str) -> String {
+    let src_json = src.replace('\\', "\\\\").replace('"', "\\\"");
+    format!(r#"{{"id":"{id}","src":"{src_json}","global":{global}{extra}}}"#)
+}
+
+struct PhaseRow {
+    phase: &'static str,
+    workers: usize,
+    clients: usize,
+    queue_cap: usize,
+    requests: u64,
+    counters: CounterSnapshot,
+    p50_ms: f64,
+    p99_ms: f64,
+    requests_per_sec: f64,
+    elapsed_ms: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Fires `total` requests from `clients` threads, each picking frames
+/// round-robin from `frames`, and collects client-side latencies.
+fn fire(
+    server: &Arc<Server>,
+    frames: &Arc<Vec<String>>,
+    clients: usize,
+    total: usize,
+) -> (Vec<f64>, f64) {
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let server = Arc::clone(server);
+            let frames = Arc::clone(frames);
+            let next = Arc::clone(&next);
+            std::thread::spawn(move || {
+                let mut lat = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        return lat;
+                    }
+                    let t = Instant::now();
+                    let _ = server.handle_frame(&frames[i % frames.len()]);
+                    lat.push(t.elapsed().as_secs_f64() * 1000.0);
+                }
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(total);
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    (latencies, elapsed)
+}
+
+fn steady_phase(workers: usize, clients: usize, total: usize) -> PhaseRow {
+    let queue_cap = 256;
+    let (server, _) = Server::start(ServerConfig {
+        workers,
+        queue_cap,
+        degrade_at: usize::MAX,
+        default_deadline_ms: 60_000,
+        ..ServerConfig::default()
+    })
+    .expect("start steady server");
+    let server = Arc::new(server);
+
+    // Warm the working set: 4 kernel shapes, computed once each. Note
+    // the server runs cache-less here — the warm path being measured is
+    // the *core analysis cache* plus the request pipeline, the same
+    // shape a warm persistent cache serves.
+    let frames: Vec<String> = (0..4)
+        .map(|i| request(&format!("w{i}"), &steady_kernel(i), 1024, ""))
+        .collect();
+    for f in &frames {
+        let resp = server.handle_frame(f);
+        assert_eq!(resp.kind(), "ok", "warm-up failed: {}", resp.to_json());
+    }
+    let frames = Arc::new(frames);
+
+    let (latencies, elapsed) = fire(&server, &frames, clients, total);
+    let requests = latencies.len() as u64;
+    let row = PhaseRow {
+        phase: "steady",
+        workers,
+        clients,
+        queue_cap,
+        requests,
+        counters: server.counters(),
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        requests_per_sec: requests as f64 / elapsed,
+        elapsed_ms: elapsed * 1000.0,
+    };
+    Arc::into_inner(server).expect("sole handle").shutdown();
+    row
+}
+
+fn overload_phase(workers: usize, clients: usize) -> PhaseRow {
+    // 2× overload by construction: concurrent clients = 2 × queue_cap.
+    let queue_cap = clients / 2;
+    let (server, _) = Server::start(ServerConfig {
+        workers,
+        queue_cap,
+        degrade_at: 1,
+        default_deadline_ms: 30_000,
+        ..ServerConfig::default()
+    })
+    .expect("start overload server");
+    let server = Arc::new(server);
+
+    // Unique fine-grid sources (no cache relief) plus a slice of
+    // impossible deadlines: every robustness counter must move.
+    let frames: Vec<String> = (0..clients * 4)
+        .map(|i| {
+            let src = format!(
+                "__kernel void o{i}(__global float* a) {{ \
+                   int i = get_global_id(0); a[i] = a[i] + {i}.0f; }}"
+            );
+            let extra = if i % 7 == 3 {
+                r#","grid":"fine","deadline_ms":0"#
+            } else {
+                r#","grid":"fine""#
+            };
+            request(&format!("o{i}"), &src, 1024, extra)
+        })
+        .collect();
+    let total = frames.len();
+    let frames = Arc::new(frames);
+
+    let (latencies, elapsed) = fire(&server, &frames, clients, total);
+    // The storm's deadline-0 requests race admission control and may all
+    // be shed; this post-storm probe lands in an empty queue, so it is
+    // always admitted and always rejected at claim time — the
+    // deadline_expired counter is deterministic, not a race artifact.
+    let probe = request("probe", &steady_kernel(0), 1024, r#","deadline_ms":0"#);
+    assert_eq!(server.handle_frame(&probe).kind(), "deadline");
+    let row = PhaseRow {
+        phase: "overload",
+        workers,
+        clients,
+        queue_cap,
+        requests: latencies.len() as u64,
+        counters: server.counters(),
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        requests_per_sec: latencies.len() as f64 / elapsed,
+        elapsed_ms: elapsed * 1000.0,
+    };
+    Arc::into_inner(server).expect("sole handle").shutdown();
+    row
+}
+
+/// Every key a BENCH_serve.json row must carry.
+const BENCH_KEYS: [&str; 18] = [
+    "phase",
+    "workers",
+    "clients",
+    "queue_cap",
+    "requests",
+    "completed",
+    "shed",
+    "degraded",
+    "deadline_expired",
+    "malformed",
+    "failed",
+    "cache_hits",
+    "cache_misses",
+    "p50_ms",
+    "p99_ms",
+    "requests_per_sec",
+    "elapsed_ms",
+    "host_cores",
+];
+
+fn write_bench_json(rows: &[PhaseRow], out: Option<&str>) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut body = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let c = &r.counters;
+        body.push_str(&format!(
+            "  {{\"phase\": \"{}\", \"workers\": {}, \"clients\": {}, \"queue_cap\": {}, \
+             \"requests\": {}, \"completed\": {}, \"shed\": {}, \"degraded\": {}, \
+             \"deadline_expired\": {}, \"malformed\": {}, \"failed\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"requests_per_sec\": {:.1}, \"elapsed_ms\": {:.1}, \"host_cores\": {}}}{}\n",
+            r.phase,
+            r.workers,
+            r.clients,
+            r.queue_cap,
+            r.requests,
+            c.completed,
+            c.shed,
+            c.degraded,
+            c.deadline_expired,
+            c.malformed,
+            c.failed,
+            c.cache_hits,
+            c.cache_misses,
+            r.p50_ms,
+            r.p99_ms,
+            r.requests_per_sec,
+            r.elapsed_ms,
+            cores,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("]\n");
+    let path = match out {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_serve.json"),
+    };
+    std::fs::write(&path, body).expect("write BENCH_serve.json");
+    for r in rows {
+        let c = &r.counters;
+        println!(
+            "  {:<9} {:>6} requests  {:>9.0} req/s  p50={:.2}ms p99={:.2}ms  \
+             ok={} shed={} degraded={} deadline={}",
+            r.phase,
+            r.requests,
+            r.requests_per_sec,
+            r.p50_ms,
+            r.p99_ms,
+            c.completed,
+            c.shed,
+            c.degraded,
+            c.deadline_expired,
+        );
+    }
+    println!("wrote {}", path.display());
+}
+
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    obj.split(&format!("\"{key}\":"))
+        .nth(1)?
+        .trim_start()
+        .split(|c: char| c == ',' || c == '}')
+        .next()?
+        .trim()
+        .parse::<f64>()
+        .ok()
+}
+
+fn str_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    obj.split(&format!("\"{key}\":")).nth(1)?.trim_start().strip_prefix('"')?.split('"').next()
+}
+
+/// Validates a BENCH_serve.json: schema keys on every row, finite
+/// positive throughput, optional steady-phase rps floor, and (with
+/// `require_overload`) an overload row with nonzero shed, degraded and
+/// deadline counters. Exits non-zero on the first problem.
+fn check_bench_json(path: &str, require_overload: bool, min_rps: Option<f64>) {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("BENCH check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let fail = |msg: String| -> ! {
+        eprintln!("BENCH check: {path}: {msg}");
+        std::process::exit(1);
+    };
+    let objects: Vec<&str> = body.lines().filter(|l| l.trim_start().starts_with('{')).collect();
+    if objects.is_empty() {
+        fail("no benchmark rows".to_string());
+    }
+    let mut saw_overload_gate = false;
+    for (i, obj) in objects.iter().enumerate() {
+        for key in BENCH_KEYS {
+            if !obj.contains(&format!("\"{key}\":")) {
+                fail(format!("row {i} is missing key \"{key}\""));
+            }
+        }
+        let rps = num_field(obj, "requests_per_sec")
+            .unwrap_or_else(|| fail(format!("row {i}: requests_per_sec is not a number")));
+        if !rps.is_finite() || rps <= 0.0 {
+            fail(format!("row {i}: requests_per_sec = {rps} (must be finite and positive)"));
+        }
+        let phase = str_field(obj, "phase").unwrap_or("?");
+        if phase == "steady" {
+            if let Some(floor) = min_rps {
+                if rps < floor {
+                    fail(format!("steady phase sustained {rps:.0} req/s < the {floor:.0} floor"));
+                }
+            }
+        }
+        if phase == "overload" {
+            let shed = num_field(obj, "shed").unwrap_or(0.0);
+            let degraded = num_field(obj, "degraded").unwrap_or(0.0);
+            let deadline = num_field(obj, "deadline_expired").unwrap_or(0.0);
+            let completed = num_field(obj, "completed").unwrap_or(0.0);
+            if require_overload {
+                if shed <= 0.0 || degraded <= 0.0 || deadline <= 0.0 {
+                    fail(format!(
+                        "overload row: shed={shed} degraded={degraded} \
+                         deadline_expired={deadline} — all must be nonzero"
+                    ));
+                }
+                if completed <= 0.0 {
+                    fail("overload row: server completed nothing under pressure".to_string());
+                }
+                saw_overload_gate = true;
+            }
+        }
+    }
+    if require_overload && !saw_overload_gate {
+        fail("no overload row to gate on".to_string());
+    }
+    println!("BENCH check: {path}: {} rows ok", objects.len());
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = flag_value(&args, "--check") {
+        let min_rps = flag_value(&args, "--min-rps").map(|v| v.parse().expect("bad --min-rps"));
+        check_bench_json(path, args.iter().any(|a| a == "--require-overload"), min_rps);
+        return;
+    }
+    let parse = |flag: &str, default: usize| -> usize {
+        flag_value(&args, flag).map_or(default, |v| v.parse().expect("bad flag value"))
+    };
+    let workers =
+        parse("--workers", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2));
+    let steady_requests = parse("--steady-requests", 20_000);
+    let steady_clients = parse("--steady-clients", 4);
+    let overload_clients = parse("--overload-clients", 16);
+
+    println!("steady phase: {steady_clients} clients, {steady_requests} requests…");
+    let steady = steady_phase(workers, steady_clients, steady_requests);
+    println!("overload phase: {overload_clients} clients on a {}-slot queue…", overload_clients / 2);
+    let overload = overload_phase(workers, overload_clients);
+    write_bench_json(&[steady, overload], flag_value(&args, "--out"));
+}

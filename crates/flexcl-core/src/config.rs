@@ -253,6 +253,19 @@ impl SweepGrid {
             _ => None,
         }
     }
+
+    /// The next-cheaper preset on the degradation ladder the serving
+    /// layer walks under queue pressure: `ultra` → `fine` → `standard` →
+    /// (none). `standard` is the floor — a degraded request is still a
+    /// full paper-scale sweep, never an empty one. Returns `None` for the
+    /// floor and for unknown names.
+    pub fn coarser(name: &str) -> Option<&'static str> {
+        match name {
+            "ultra" => Some("fine"),
+            "fine" => Some("standard"),
+            _ => None,
+        }
+    }
 }
 
 impl Default for SweepGrid {
@@ -521,6 +534,20 @@ mod tests {
     fn pes_never_exceed_work_group() {
         let space = enumerate(&DesignSpaceLimits { global_x: 64, ..limits_1d() });
         assert!(space.iter().all(|c| u64::from(c.num_pes) <= c.work_group_size()));
+    }
+
+    #[test]
+    fn degradation_ladder_descends_to_standard_floor() {
+        assert_eq!(SweepGrid::coarser("ultra"), Some("fine"));
+        assert_eq!(SweepGrid::coarser("fine"), Some("standard"));
+        assert_eq!(SweepGrid::coarser("standard"), None);
+        assert_eq!(SweepGrid::coarser("bogus"), None);
+        // Every rung names a real preset.
+        let mut name = "ultra";
+        while let Some(next) = SweepGrid::coarser(name) {
+            assert!(SweepGrid::by_name(next).is_some(), "{next}");
+            name = next;
+        }
     }
 
     #[test]

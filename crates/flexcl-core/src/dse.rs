@@ -67,9 +67,122 @@ use std::any::Any;
 use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Cooperative cancellation for a sweep: an optional wall-clock deadline
+/// plus an explicit cancel flag, shared between the sweep's workers and
+/// whoever is waiting on the result (a serving thread, a signal handler).
+///
+/// The token is checked at **chunk-claim boundaries**: an expired or
+/// cancelled sweep stops claiming new work, lets in-flight chunks finish
+/// (a chunk is the unit of isolation — bounded work, never a hung
+/// worker), and returns [`FlexclError::Deadline`] carrying the partial
+/// [`DseStats`] accumulated before the stop. A sweep observes the token
+/// only through [`explore_space_deadline`]; the plain entry points never
+/// cancel.
+///
+/// Cloning shares the token: `cancel()` through any clone stops every
+/// sweep holding one.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    /// Wall-clock stop time, fixed at construction.
+    deadline: Option<Instant>,
+    /// Deterministic trip wire for tests: remaining checkpoint passes
+    /// before the token self-cancels. `u64::MAX` disables it.
+    trip_after: AtomicU64,
+}
+
+impl Default for CancelInner {
+    fn default() -> Self {
+        CancelInner {
+            cancelled: AtomicBool::new(false),
+            deadline: None,
+            trip_after: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+impl CancelToken {
+    /// A token that never fires unless [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that fires once `timeout` has elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self::at(Instant::now() + timeout)
+    }
+
+    /// A token that fires at the absolute instant `deadline`.
+    pub fn at(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner { deadline: Some(deadline), ..CancelInner::default() }),
+        }
+    }
+
+    /// A token that lets `n` checkpoint passes through and cancels on the
+    /// next one — a deterministic stand-in for "the deadline fired at an
+    /// arbitrary chunk boundary", used by the cancellation tests.
+    pub fn after_checkpoints(n: u64) -> Self {
+        let t = CancelToken::new();
+        t.inner.trip_after.store(n, Ordering::SeqCst);
+        t
+    }
+
+    /// Cancels the token; every sweep sharing it stops at its next
+    /// chunk-claim boundary.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once the token has been cancelled or its deadline passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The sweep-side check, called before each chunk claim. Latches the
+    /// cancelled flag (so `is_cancelled` stays true afterwards) and
+    /// drives the deterministic trip wire.
+    pub(crate) fn checkpoint(&self) -> bool {
+        if self.is_cancelled() {
+            self.inner.cancelled.store(true, Ordering::Relaxed);
+            return true;
+        }
+        let tripped = self
+            .inner
+            .trip_after
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| match v {
+                u64::MAX => None, // trip wire disabled
+                0 => None,        // already tripped; latch below
+                v => Some(v - 1),
+            })
+            .is_err_and(|v| v == 0);
+        if tripped {
+            self.inner.cancelled.store(true, Ordering::Relaxed);
+        }
+        tripped
+    }
+
+    /// Why the token fired, for the typed error's detail field.
+    fn reason(&self) -> &'static str {
+        if self.inner.deadline.is_some() {
+            "deadline exceeded"
+        } else {
+            "cancelled"
+        }
+    }
+}
 
 /// Knobs of the sweep engine. The default — one thread, no pruning,
 /// default fuel — is the exhaustive serial sweep.
@@ -104,8 +217,17 @@ pub struct DseOptions {
     pub chunk_size: usize,
     /// Capacity of the process-wide analysis cache (resident entries
     /// before FIFO eviction). Only consulted when inserting; sweeps with
-    /// different caps share the one cache.
+    /// different caps share the one cache. **`0` disables the cache for
+    /// this sweep** — no lookups and no inserts, exactly as if
+    /// [`DseOptions::reuse_analysis`] were `false` — rather than behaving
+    /// as some accidental tiny capacity.
     pub analysis_cache_cap: usize,
+    /// Per-sweep fault injection for the robustness test surface: unlike
+    /// the process-global [`testhook`] arming, a fault injected here is
+    /// scoped to this one sweep, so concurrent sweeps (a serving batch)
+    /// can prove isolation. Production callers leave it `None`.
+    #[doc(hidden)]
+    pub inject: Option<testhook::InjectedFault>,
 }
 
 impl Default for DseOptions {
@@ -117,6 +239,7 @@ impl Default for DseOptions {
             reuse_analysis: true,
             chunk_size: 0,
             analysis_cache_cap: analysis_cache::DEFAULT_CAP,
+            inject: None,
         }
     }
 }
@@ -186,6 +309,31 @@ impl DiagnosticsReport {
     /// Number of failures of a given kind.
     pub fn count_of(&self, kind: ErrorKind) -> usize {
         self.failed.iter().filter(|f| f.kind == kind).count()
+    }
+
+    /// Failure counts grouped by [`ErrorKind`], most frequent first (ties
+    /// break on first occurrence) — what a CLI or server prints instead
+    /// of a hundred per-candidate lines.
+    pub fn kind_counts(&self) -> Vec<(ErrorKind, usize)> {
+        let mut counts: Vec<(ErrorKind, usize)> = Vec::new();
+        for f in &self.failed {
+            match counts.iter_mut().find(|(k, _)| *k == f.kind) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((f.kind, 1)),
+            }
+        }
+        counts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        counts
+    }
+
+    /// Human-readable one-line breakdown, e.g. `config x3, panic x1`;
+    /// empty string when the report is clean.
+    pub fn summary(&self) -> String {
+        self.kind_counts()
+            .iter()
+            .map(|(k, n)| format!("{k} x{n}"))
+            .collect::<Vec<_>>()
+            .join(", ")
     }
 }
 
@@ -706,6 +854,12 @@ fn analyze_family(
     let t = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         testhook::maybe_panic(work_group);
+        if opts.inject == Some(testhook::InjectedFault::AnalysisPanic) {
+            panic!(
+                "testhook: injected per-sweep panic analyzing work-group {}x{}",
+                work_group.0, work_group.1
+            );
+        }
         if let Some(key) = &cache_key {
             if let Some(hit) = analysis_cache::lookup(key) {
                 return (Ok(hit), true, 0);
@@ -758,6 +912,7 @@ fn evaluate_entries<A: Borrow<KernelAnalysis>>(
     entries: &[(usize, OptimizationConfig)],
     keep: [bool; 2],
     incumbent: &Incumbent,
+    inject: Option<testhook::InjectedFault>,
     out: &mut ChunkOutcome,
 ) {
     let before = ctx.stats;
@@ -768,6 +923,9 @@ fn evaluate_entries<A: Borrow<KernelAnalysis>>(
         }
         match catch_unwind(AssertUnwindSafe(|| {
             testhook::maybe_panic_estimate(idx);
+            if inject == Some(testhook::InjectedFault::EstimatePanic(idx)) {
+                panic!("testhook: injected per-sweep panic for candidate {idx}");
+            }
             ctx.estimate(&cfg)
         })) {
             Ok(Ok(est)) => {
@@ -845,7 +1003,7 @@ fn process_chunk(
                 let ctx = ctxs
                     .entry(chunk.family)
                     .or_insert_with(|| EvalContext::new(Arc::clone(analysis)));
-                evaluate_entries(ctx, buf, keep, incumbent, &mut out);
+                evaluate_entries(ctx, buf, keep, incumbent, sweep.opts.inject, &mut out);
             }
         }
     }
@@ -853,7 +1011,10 @@ fn process_chunk(
 }
 
 /// The claim loop every worker runs: grab the next unclaimed chunk from
-/// the shared counter, process it, park the outcome in its slot.
+/// the shared counter, process it, park the outcome in its slot. The
+/// cancellation token is consulted before every claim — the boundary at
+/// which a deadline-bounded sweep stops stealing work mid-flight.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     sweep: &SweepInputs<'_>,
     set: &CandidateSet<'_>,
@@ -862,12 +1023,16 @@ fn worker_loop(
     next: &AtomicUsize,
     incumbent: &Incumbent,
     slots: &[Mutex<Option<ChunkOutcome>>],
+    cancel: Option<&CancelToken>,
 ) {
     let mut scratch = AnalysisScratch::new();
     let mut ctxs: HashMap<usize, EvalContext<Arc<KernelAnalysis>>> = HashMap::new();
     let mut buf: Vec<(usize, OptimizationConfig)> = Vec::new();
     let mut last_family: Option<usize> = None;
     loop {
+        if cancel.is_some_and(|c| c.checkpoint()) {
+            break;
+        }
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(&chunk) = sched.get(i) else { break };
         let stole = last_family.is_some_and(|f| f != chunk.family);
@@ -884,7 +1049,10 @@ fn worker_loop(
 
 /// Runs the chunked sweep over `set` and merges the outcome in
 /// enumeration order. `failed` carries upfront validation failures from
-/// the explicit path.
+/// the explicit path. With a cancellation token, a deadline or explicit
+/// cancel stops the claim loop and the call returns
+/// [`FlexclError::Deadline`] carrying the partial [`DseStats`].
+#[allow(clippy::too_many_arguments)]
 fn run_sweep(
     func: &Function,
     platform: &Platform,
@@ -893,7 +1061,8 @@ fn run_sweep(
     mut failed: Vec<FailedPoint>,
     opts: DseOptions,
     start: Instant,
-) -> DseResult {
+    cancel: Option<&CancelToken>,
+) -> Result<DseResult, FlexclError> {
     // Intern the kernel and platform once; every family's analysis shares
     // these allocations instead of cloning them.
     let func = Arc::new(func.clone());
@@ -901,8 +1070,8 @@ fn run_sweep(
 
     // One content fingerprint covers the whole sweep: families differ only
     // in work-group size, which is part of the cache key, not the hash.
-    let fingerprint = opts
-        .reuse_analysis
+    // Capacity 0 is the documented no-cache mode: no lookups, no inserts.
+    let fingerprint = (opts.reuse_analysis && opts.analysis_cache_cap > 0)
         .then(|| analysis_cache::fingerprint(&func, &platform, workload));
     let sweep = SweepInputs { func: &func, platform: &platform, workload, opts, fingerprint };
 
@@ -921,12 +1090,36 @@ fn run_sweep(
 
     let workers = opts.threads.max(1).min(sched.len().max(1));
     if workers <= 1 {
-        worker_loop(&sweep, set, &states, &sched, &next, &incumbent, &slots);
+        worker_loop(&sweep, set, &states, &sched, &next, &incumbent, &slots, cancel);
     } else {
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| worker_loop(&sweep, set, &states, &sched, &next, &incumbent, &slots));
+                s.spawn(|| {
+                    worker_loop(&sweep, set, &states, &sched, &next, &incumbent, &slots, cancel)
+                });
             }
+        });
+    }
+
+    // A tripped token means some tail of the schedule was never claimed:
+    // the design points are incomplete and are discarded, but the
+    // instrumentation from the chunks that did finish rides out on the
+    // typed error so callers can see how far the sweep got.
+    if cancel.is_some_and(|c| c.checkpoint()) {
+        let mut stats = DseStats { chunk_size, ..DseStats::default() };
+        for slot in &slots {
+            let Some(out) = slot.lock().unwrap_or_else(|e| e.into_inner()).take() else {
+                continue;
+            };
+            stats.chunks_processed += 1;
+            stats.steals += u64::from(out.stole);
+            stats.merge(&out.stats);
+        }
+        account_families(&states, &mut stats);
+        return Err(FlexclError::Deadline {
+            elapsed_ms: start.elapsed().as_millis() as u64,
+            detail: cancel.map_or("cancelled", |c| c.reason()).to_string(),
+            stats: Box::new(stats),
         });
     }
 
@@ -973,7 +1166,7 @@ fn run_sweep(
                     let ctx = repair_ctxs
                         .entry(chunk.family)
                         .or_insert_with(|| EvalContext::new(Arc::clone(analysis)));
-                    evaluate_entries(ctx, &entries, [true, true], &incumbent, &mut out);
+                    evaluate_entries(ctx, &entries, [true, true], &incumbent, opts.inject, &mut out);
                     stats.repaired_chunks += 1;
                 }
             }
@@ -988,8 +1181,22 @@ fn run_sweep(
         stats.merge(&out.stats);
     }
 
-    // Family-level accounting, once per family regardless of chunk count.
-    for state in &states {
+    account_families(&states, &mut stats);
+
+    indexed.sort_by_key(|(idx, _)| *idx);
+    failed.sort_by_key(|f| f.index);
+    let points = indexed.into_iter().map(|(_, p)| p).collect();
+    Ok(DseResult {
+        points,
+        elapsed: start.elapsed(),
+        diagnostics: DiagnosticsReport { failed },
+        stats,
+    })
+}
+
+/// Family-level accounting, once per family regardless of chunk count.
+fn account_families(states: &[FamilyState], stats: &mut DseStats) {
+    for state in states {
         if let Some(fam) = state.analysis.get() {
             stats.families_analyzed += 1;
             match fam {
@@ -1008,16 +1215,6 @@ fn run_sweep(
                 }
             }
         }
-    }
-
-    indexed.sort_by_key(|(idx, _)| *idx);
-    failed.sort_by_key(|f| f.index);
-    let points = indexed.into_iter().map(|(_, p)| p).collect();
-    DseResult {
-        points,
-        elapsed: start.elapsed(),
-        diagnostics: DiagnosticsReport { failed },
-        stats,
     }
 }
 
@@ -1084,7 +1281,47 @@ pub fn explore_space(
     platform.validate()?;
     let limits = limits_for(func, workload);
     let space = ConfigSpace::new(&limits, grid);
-    Ok(run_sweep(func, platform, workload, &CandidateSet::Space(&space), Vec::new(), opts, start))
+    run_sweep(func, platform, workload, &CandidateSet::Space(&space), Vec::new(), opts, start, None)
+}
+
+/// Explores a knob grid like [`explore_space`], but bounded by a
+/// [`CancelToken`]: the token is consulted at every chunk-claim boundary,
+/// so an expired deadline or an explicit [`CancelToken::cancel`] stops
+/// the sweep mid-flight instead of letting it run to completion.
+///
+/// A stopped sweep returns [`FlexclError::Deadline`] carrying the partial
+/// [`DseStats`] accumulated before the stop; the (incomplete) design
+/// points are discarded so callers can never mistake a truncated Pareto
+/// set for a full one. A sweep that finishes before the token trips is
+/// bit-identical to [`explore_space`] with the same options.
+///
+/// # Errors
+///
+/// Returns [`FlexclError::Platform`] for an invalid platform description
+/// and [`FlexclError::Deadline`] when the token trips before the sweep
+/// covers the space. Per-candidate failures still do not abort the sweep.
+pub fn explore_space_deadline(
+    func: &Function,
+    platform: &Platform,
+    workload: &Workload,
+    grid: &SweepGrid,
+    opts: DseOptions,
+    cancel: &CancelToken,
+) -> Result<DseResult, FlexclError> {
+    let start = Instant::now();
+    platform.validate()?;
+    let limits = limits_for(func, workload);
+    let space = ConfigSpace::new(&limits, grid);
+    run_sweep(
+        func,
+        platform,
+        workload,
+        &CandidateSet::Space(&space),
+        Vec::new(),
+        opts,
+        start,
+        Some(cancel),
+    )
 }
 
 /// Explores an explicit list of candidate configurations under `opts`.
@@ -1133,7 +1370,7 @@ pub fn explore_configs(
         }
     }
 
-    Ok(run_sweep(func, platform, workload, &CandidateSet::Explicit(families), failed, opts, start))
+    run_sweep(func, platform, workload, &CandidateSet::Explicit(families), failed, opts, start, None)
 }
 
 /// Test-only fault injection for the DSE panic backstop.
@@ -1186,6 +1423,24 @@ pub mod testhook {
         if ESTIMATE_ARMED.load(Ordering::Relaxed) == index {
             panic!("testhook: injected panic for candidate {index}");
         }
+    }
+
+    /// A fault armed for a *single sweep* via
+    /// [`DseOptions::inject`](super::DseOptions), as opposed to the
+    /// process-global `arm_*` hooks above. Per-sweep injection is what the
+    /// serving layer uses to poison one request while concurrent sweeps in
+    /// the same process stay clean — the global hooks would leak across
+    /// requests.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum InjectedFault {
+        /// Panic inside the family analysis of every work-group in this
+        /// sweep (caught by the per-family backstop; the whole sweep
+        /// degrades to `ErrorKind::Panic` diagnostics).
+        AnalysisPanic,
+        /// Panic inside the estimate of the candidate at this enumeration
+        /// index (caught by the per-chunk backstop; only that candidate is
+        /// skipped).
+        EstimatePanic(usize),
     }
 }
 

@@ -38,6 +38,13 @@ pub enum ErrorKind {
     Config,
     /// A worker panicked and the panic was contained by the DSE backstop.
     Panic,
+    /// A sweep hit its deadline (or was cancelled) before finishing; the
+    /// error carries the partial [`crate::dse::DseStats`] accumulated up
+    /// to the stop.
+    Deadline,
+    /// A service rejected the request under load instead of queueing it
+    /// unboundedly; the error carries a retry-after hint.
+    Overloaded,
 }
 
 impl fmt::Display for ErrorKind {
@@ -53,6 +60,8 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Platform => "platform",
             ErrorKind::Config => "config",
             ErrorKind::Panic => "panic",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Overloaded => "overloaded",
         };
         f.write_str(s)
     }
@@ -130,6 +139,27 @@ pub enum FlexclError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// A sweep stopped at its deadline (or an explicit cancellation)
+    /// before covering the space. The work already done is not lost to
+    /// observability: the partial sweep statistics ride along.
+    Deadline {
+        /// Wall-clock milliseconds the sweep ran before stopping.
+        elapsed_ms: u64,
+        /// Why the sweep stopped (`deadline exceeded` or `cancelled`).
+        detail: String,
+        /// Instrumentation from the chunks completed before the stop
+        /// (boxed to keep the error type small on every `Result` path).
+        stats: Box<crate::dse::DseStats>,
+    },
+    /// A service shed the request instead of queueing it unboundedly.
+    Overloaded {
+        /// Requests already queued when this one arrived.
+        queue_depth: usize,
+        /// The bounded queue's capacity.
+        capacity: usize,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl FlexclError {
@@ -146,6 +176,8 @@ impl FlexclError {
             FlexclError::Platform { .. } => ErrorKind::Platform,
             FlexclError::Config { .. } => ErrorKind::Config,
             FlexclError::Panic { .. } => ErrorKind::Panic,
+            FlexclError::Deadline { .. } => ErrorKind::Deadline,
+            FlexclError::Overloaded { .. } => ErrorKind::Overloaded,
         }
     }
 }
@@ -185,6 +217,17 @@ impl fmt::Display for FlexclError {
             FlexclError::Panic { context, message } => {
                 write!(f, "panic in {context}: {message}")
             }
+            FlexclError::Deadline { elapsed_ms, detail, stats } => write!(
+                f,
+                "sweep stopped after {elapsed_ms} ms: {detail} \
+                 ({} points evaluated across {} chunks before the stop)",
+                stats.points_evaluated, stats.chunks_processed
+            ),
+            FlexclError::Overloaded { queue_depth, capacity, retry_after_ms } => write!(
+                f,
+                "overloaded: queue at {queue_depth}/{capacity}; \
+                 retry after {retry_after_ms} ms"
+            ),
         }
     }
 }
@@ -226,5 +269,24 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("runaway") && s.contains("64x1") && s.contains("step limit"));
+    }
+
+    #[test]
+    fn service_kinds_are_stable_and_carry_context() {
+        let d = FlexclError::Deadline {
+            elapsed_ms: 42,
+            detail: "deadline exceeded".into(),
+            stats: Box::new(crate::dse::DseStats { points_evaluated: 7, ..Default::default() }),
+        };
+        assert_eq!(d.kind(), ErrorKind::Deadline);
+        assert_eq!(ErrorKind::Deadline.to_string(), "deadline");
+        let s = d.to_string();
+        assert!(s.contains("42 ms") && s.contains("7 points"), "{s}");
+
+        let o = FlexclError::Overloaded { queue_depth: 9, capacity: 8, retry_after_ms: 25 };
+        assert_eq!(o.kind(), ErrorKind::Overloaded);
+        assert_eq!(ErrorKind::Overloaded.to_string(), "overloaded");
+        let s = o.to_string();
+        assert!(s.contains("9/8") && s.contains("25 ms"), "{s}");
     }
 }

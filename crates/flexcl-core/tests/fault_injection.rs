@@ -241,6 +241,44 @@ fn estimate_panic_is_isolated_to_one_candidate() {
 }
 
 #[test]
+fn per_sweep_injected_faults_poison_only_their_own_sweep() {
+    let _guard = serialize();
+    let (f, w) = vadd();
+    let platform = Platform::virtex7_adm7v3();
+    let clean = explore_with(&f, &platform, &w, DseOptions::default()).expect("clean sweep");
+    assert!(clean.diagnostics.is_clean());
+
+    // An analysis panic armed through DseOptions (the serving layer's
+    // per-request fault surface) takes down every family of *that* sweep…
+    let opts = DseOptions {
+        inject: Some(testhook::InjectedFault::AnalysisPanic),
+        ..DseOptions::default()
+    };
+    let poisoned = explore_with(&f, &platform, &w, opts).expect("sweep survives");
+    assert!(poisoned.points.is_empty());
+    let n = poisoned.diagnostics.skipped_count();
+    assert!(n > 0);
+    assert_eq!(poisoned.diagnostics.count_of(ErrorKind::Panic), n);
+
+    // …while a concurrent-in-time clean sweep (same process, nothing
+    // armed globally) is untouched — unlike the arm_panic statics, the
+    // per-sweep fault cannot leak.
+    let after = explore_with(&f, &platform, &w, DseOptions::default()).expect("clean rerun");
+    assert!(after.diagnostics.is_clean());
+    assert_points_identical(&clean, &after);
+
+    // The estimate-path variant hits exactly one candidate.
+    let opts = DseOptions {
+        inject: Some(testhook::InjectedFault::EstimatePanic(5)),
+        ..DseOptions::default()
+    };
+    let one = explore_with(&f, &platform, &w, opts).expect("sweep survives");
+    assert_eq!(one.diagnostics.skipped_count(), 1);
+    assert_eq!(one.diagnostics.failed[0].index, 5);
+    assert_eq!(one.diagnostics.failed[0].kind, ErrorKind::Panic);
+}
+
+#[test]
 fn disarmed_testhook_costs_nothing_and_changes_nothing() {
     let _guard = serialize();
     let (f, w) = vadd();

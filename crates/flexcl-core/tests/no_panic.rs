@@ -87,6 +87,7 @@ fn arb_opts() -> BoxedStrategy<DseOptions> {
                     reuse_analysis,
                     chunk_size,
                     analysis_cache_cap: cache_cap,
+                    inject: None,
                 }
             },
         )

@@ -1,0 +1,384 @@
+//! Crash-safe persistent result cache: checksummed, atomically written,
+//! LRU-sharded.
+//!
+//! The in-memory 64-entry analysis cache in `flexcl-core` dies with the
+//! process; a serving deployment wants warm answers to survive restarts
+//! and crashes. This cache generalizes it to disk with three invariants:
+//!
+//! 1. **Atomic visibility** — an entry is written to a temp file in its
+//!    shard directory, fsynced, then renamed into place. Same-directory
+//!    rename is atomic on POSIX, so a reader (or a post-crash reopen)
+//!    sees either the whole entry or no entry, never a torn one.
+//! 2. **Checksummed reads** — every entry carries a CRC32 of its
+//!    payload in a fixed header. A record that fails validation — torn
+//!    header, bad magic, length mismatch, checksum mismatch — is
+//!    *quarantined* (moved to `quarantine/` for post-mortem) and treated
+//!    as a miss, never served and never allowed to fail startup.
+//! 3. **Bounded footprint** — entries hash-shard across 16 directories;
+//!    each shard keeps an in-memory LRU index capped at a fixed entry
+//!    count, evicting the coldest file on overflow. Payloads live only
+//!    on disk, so server memory stays bounded by the index, not the
+//!    corpus.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of shard directories (and LRU locks).
+pub const SHARDS: usize = 16;
+
+/// Entry header magic; bump the suffix on any format change so stale
+/// caches quarantine instead of misparse.
+const MAGIC: &str = "FCACHEv1";
+
+/// A 128-bit content fingerprint, as produced by
+/// [`crate::server::request_fingerprint`].
+pub type Key = (u64, u64);
+
+/// What [`PersistentCache::open`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpenReport {
+    /// Valid entries indexed for serving.
+    pub loaded: usize,
+    /// Corrupt records moved to `quarantine/`.
+    pub quarantined: usize,
+    /// Orphaned temp files (a crash mid-write) removed.
+    pub cleaned_tmp: usize,
+}
+
+/// Running cache traffic counters (relaxed atomics; exact under quiesce).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups served from disk.
+    pub hits: AtomicU64,
+    /// Lookups that missed (including quarantined-on-read).
+    pub misses: AtomicU64,
+    /// Entries evicted by the per-shard LRU cap.
+    pub evictions: AtomicU64,
+    /// Corrupt records quarantined at open or on read.
+    pub quarantined: AtomicU64,
+}
+
+struct Shard {
+    /// Key → last-use tick. Payloads stay on disk.
+    index: HashMap<Key, u64>,
+}
+
+/// The disk-persisted result cache. All methods take `&self`; shards
+/// lock independently, so concurrent workers only contend when they hash
+/// to the same shard.
+pub struct PersistentCache {
+    root: PathBuf,
+    cap_per_shard: usize,
+    shards: Vec<Mutex<Shard>>,
+    clock: AtomicU64,
+    /// Traffic counters.
+    pub stats: CacheStats,
+}
+
+fn shard_of(key: Key) -> usize {
+    (key.0 as usize) % SHARDS
+}
+
+fn entry_name(key: Key) -> String {
+    format!("{:016x}{:016x}.fc", key.0, key.1)
+}
+
+fn parse_entry_name(name: &str) -> Option<Key> {
+    let hex = name.strip_suffix(".fc")?;
+    if hex.len() != 32 {
+        return None;
+    }
+    let a = u64::from_str_radix(&hex[..16], 16).ok()?;
+    let b = u64::from_str_radix(&hex[16..], 16).ok()?;
+    Some((a, b))
+}
+
+/// CRC-32 (IEEE 802.3), bitwise implementation — the corpus entries are
+/// small and the loop is not on the serving hot path (hits read one
+/// file).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Encodes `payload` into the on-disk record format.
+fn encode(payload: &[u8]) -> Vec<u8> {
+    let mut rec = format!("{MAGIC} {:08x} {}\n", crc32(payload), payload.len()).into_bytes();
+    rec.extend_from_slice(payload);
+    rec
+}
+
+/// Decodes and validates a record; `None` means corrupt.
+fn decode(record: &[u8]) -> Option<Vec<u8>> {
+    let nl = record.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&record[..nl]).ok()?;
+    let mut parts = header.split(' ');
+    if parts.next()? != MAGIC {
+        return None;
+    }
+    let crc = u32::from_str_radix(parts.next()?, 16).ok()?;
+    let len: usize = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    let payload = &record[nl + 1..];
+    if payload.len() != len || crc32(payload) != crc {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+impl PersistentCache {
+    /// Opens (creating if absent) a cache rooted at `root`, scanning
+    /// every shard: valid entries are indexed, corrupt records are moved
+    /// to `root/quarantine/`, and temp files orphaned by a crash
+    /// mid-write are deleted. Corruption is never fatal — the report
+    /// says what was found.
+    ///
+    /// # Errors
+    ///
+    /// Only genuine I/O failures (permissions, full disk) — never
+    /// corrupt content.
+    pub fn open(root: &Path, cap_per_shard: usize) -> io::Result<(PersistentCache, OpenReport)> {
+        let cache = PersistentCache {
+            root: root.to_path_buf(),
+            cap_per_shard: cap_per_shard.max(1),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard { index: HashMap::new() })).collect(),
+            clock: AtomicU64::new(1),
+            stats: CacheStats::default(),
+        };
+        fs::create_dir_all(cache.quarantine_dir())?;
+        let mut report = OpenReport::default();
+        for s in 0..SHARDS {
+            let dir = cache.shard_dir(s);
+            fs::create_dir_all(&dir)?;
+            let mut shard = cache.shards[s].lock().unwrap_or_else(|e| e.into_inner());
+            for entry in fs::read_dir(&dir)? {
+                let entry = entry?;
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let path = entry.path();
+                if name.starts_with(".tmp-") {
+                    fs::remove_file(&path)?;
+                    report.cleaned_tmp += 1;
+                    continue;
+                }
+                let valid = parse_entry_name(&name).filter(|&k| shard_of(k) == s).and_then(
+                    |k| {
+                        let rec = fs::read(&path).ok()?;
+                        decode(&rec).map(|_| k)
+                    },
+                );
+                match valid {
+                    Some(key) => {
+                        let tick = cache.clock.fetch_add(1, Ordering::Relaxed);
+                        shard.index.insert(key, tick);
+                        report.loaded += 1;
+                    }
+                    None => {
+                        cache.quarantine(&path)?;
+                        report.quarantined += 1;
+                    }
+                }
+            }
+            // Respect the cap even for a corpus written by a larger
+            // configuration.
+            while shard.index.len() > cache.cap_per_shard {
+                Self::evict_coldest(&cache.root, s, &mut shard);
+                cache.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        cache.stats.quarantined.store(report.quarantined as u64, Ordering::Relaxed);
+        Ok((cache, report))
+    }
+
+    fn shard_dir(&self, s: usize) -> PathBuf {
+        self.root.join(format!("shard_{s:02x}"))
+    }
+
+    fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
+    fn entry_path(&self, key: Key) -> PathBuf {
+        self.shard_dir(shard_of(key)).join(entry_name(key))
+    }
+
+    fn quarantine(&self, path: &Path) -> io::Result<()> {
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+        let dest = self.quarantine_dir().join(name.unwrap_or_else(|| "unknown".into()));
+        // A same-named earlier quarantine is replaced; rename within one
+        // filesystem never partially applies.
+        fs::rename(path, dest)
+    }
+
+    fn evict_coldest(root: &Path, s: usize, shard: &mut Shard) {
+        let Some((&key, _)) = shard.index.iter().min_by_key(|(_, &tick)| tick) else { return };
+        shard.index.remove(&key);
+        let _ = fs::remove_file(root.join(format!("shard_{s:02x}")).join(entry_name(key)));
+    }
+
+    /// Looks `key` up, verifying the record checksum on every read. A
+    /// record that went corrupt since it was indexed is quarantined and
+    /// reported as a miss.
+    pub fn get(&self, key: Key) -> Option<Vec<u8>> {
+        let s = shard_of(key);
+        let mut shard = self.shards[s].lock().unwrap_or_else(|e| e.into_inner());
+        if !shard.index.contains_key(&key) {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let path = self.entry_path(key);
+        let payload = fs::read(&path).ok().and_then(|rec| decode(&rec));
+        match payload {
+            Some(p) => {
+                let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+                shard.index.insert(key, tick);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(p)
+            }
+            None => {
+                shard.index.remove(&key);
+                let _ = self.quarantine(&path);
+                self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `payload` under `key`: temp file in the shard directory,
+    /// fsync, atomic rename. Evicts the shard's coldest entry past the
+    /// cap.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; on error no partially-written entry is visible.
+    pub fn put(&self, key: Key, payload: &[u8]) -> io::Result<()> {
+        let s = shard_of(key);
+        let dir = self.shard_dir(s);
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!(".tmp-{tick}"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&encode(payload))?;
+            f.sync_all()?;
+        }
+        let dest = dir.join(entry_name(key));
+        if let Err(e) = fs::rename(&tmp, &dest) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        let mut shard = self.shards[s].lock().unwrap_or_else(|e| e.into_inner());
+        shard.index.insert(key, tick);
+        while shard.index.len() > self.cap_per_shard {
+            Self::evict_coldest(&self.root, s, &mut shard);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Entries currently indexed across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).index.len())
+            .sum()
+    }
+
+    /// True when no entries are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flips one payload byte of `key`'s on-disk record *in place*,
+    /// bypassing the atomic write path. Returns whether an entry was
+    /// corrupted. Fault injection only: this simulates bit rot /
+    /// torn-write damage so tests can prove the checksum path
+    /// quarantines instead of serving garbage.
+    #[doc(hidden)]
+    pub fn corrupt_entry_for_test(&self, key: Key) -> bool {
+        let path = self.entry_path(key);
+        let Ok(mut rec) = fs::read(&path) else { return false };
+        let Some(nl) = rec.iter().position(|&b| b == b'\n') else { return false };
+        if nl + 1 >= rec.len() {
+            return false;
+        }
+        rec[nl + 1] ^= 0x41;
+        let Ok(mut f) = fs::File::create(&path) else { return false };
+        f.write_all(&rec).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("flexcl-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn record_codec_rejects_damage() {
+        let rec = encode(b"hello");
+        assert_eq!(decode(&rec).as_deref(), Some(&b"hello"[..]));
+        for i in 0..rec.len() {
+            let mut bad = rec.clone();
+            bad[i] ^= 1;
+            assert_ne!(decode(&bad).as_deref(), Some(&b"hello"[..]), "byte {i}");
+        }
+        assert_eq!(decode(b""), None);
+        assert_eq!(decode(b"FCACHEv1 deadbeef 5\nhell"), None);
+    }
+
+    #[test]
+    fn put_get_survive_reopen() {
+        let dir = tmpdir("reopen");
+        let (c, report) = PersistentCache::open(&dir, 8).expect("open");
+        assert_eq!(report, OpenReport::default());
+        c.put((1, 2), b"alpha").expect("put");
+        c.put((3, 4), b"beta").expect("put");
+        assert_eq!(c.get((1, 2)).as_deref(), Some(&b"alpha"[..]));
+        drop(c);
+
+        let (c, report) = PersistentCache::open(&dir, 8).expect("reopen");
+        assert_eq!(report.loaded, 2);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(c.get((3, 4)).as_deref(), Some(&b"beta"[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_within_shard() {
+        let dir = tmpdir("lru");
+        let (c, _) = PersistentCache::open(&dir, 2).expect("open");
+        // All three keys land in shard 0 (key.0 % 16 == 0).
+        c.put((0, 1), b"one").expect("put");
+        c.put((16, 2), b"two").expect("put");
+        assert!(c.get((0, 1)).is_some()); // warm "one"
+        c.put((32, 3), b"three").expect("put"); // evicts coldest = "two"
+        assert_eq!(c.len(), 2);
+        assert!(c.get((16, 2)).is_none());
+        assert!(c.get((0, 1)).is_some() && c.get((32, 3)).is_some());
+        assert_eq!(c.stats.evictions.load(Ordering::Relaxed), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,87 @@
+//! Transport loops: stdin-jsonl and length-prefixed TCP.
+
+use crate::protocol::{read_frame, write_frame};
+use crate::server::Server;
+use std::io::{self, BufRead, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+/// Serves newline-delimited JSON requests from `input`, writing one
+/// response line per request to `output`. Returns the number of frames
+/// served at EOF. Blank lines are skipped; a malformed line gets a typed
+/// `malformed` response and service continues.
+///
+/// # Errors
+///
+/// Only transport I/O failures — request-level problems are answered in
+/// band.
+pub fn serve_jsonl(
+    server: &Server,
+    input: &mut impl BufRead,
+    output: &mut impl Write,
+) -> io::Result<u64> {
+    let mut frames = 0u64;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            return Ok(frames);
+        }
+        let frame = line.trim();
+        if frame.is_empty() {
+            continue;
+        }
+        let response = server.handle_frame(frame);
+        writeln!(output, "{}", response.to_json())?;
+        output.flush()?;
+        frames += 1;
+    }
+}
+
+/// Accept loop for the length-prefixed TCP transport: one handler thread
+/// per connection, each serving frames sequentially until the peer
+/// closes. Runs until the listener errors (or forever).
+///
+/// # Errors
+///
+/// Fatal accept errors; per-connection failures only end that
+/// connection.
+pub fn serve_tcp(server: Arc<Server>, listener: TcpListener) -> io::Result<()> {
+    loop {
+        let (stream, _) = listener.accept()?;
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let mut reader = stream.try_clone().expect("clone stream");
+            let mut writer = stream;
+            while let Ok(Some(frame)) = read_frame(&mut reader) {
+                let response = server.handle_frame(&frame);
+                if write_frame(&mut writer, &response.to_json()).is_err() {
+                    break;
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+
+    #[test]
+    fn jsonl_answers_every_line_and_survives_garbage() {
+        let (server, _) = Server::start(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        })
+        .expect("start");
+        let input = "\n{\"id\":\"bad\"\n";
+        let mut out = Vec::new();
+        let n = serve_jsonl(&server, &mut input.as_bytes(), &mut out).expect("serve");
+        assert_eq!(n, 1);
+        let text = String::from_utf8(out).expect("utf-8");
+        assert!(text.contains("\"kind\":\"malformed\""), "{text}");
+        let c = server.shutdown();
+        assert_eq!(c.malformed, 1);
+    }
+}

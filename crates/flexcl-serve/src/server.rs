@@ -1,0 +1,548 @@
+//! The estimation server: a sharded thread pool with robustness as the
+//! organizing principle.
+//!
+//! Every request passes four gates, in order:
+//!
+//! 1. **Admission** — the queue is bounded. A request arriving at a full
+//!    queue is shed immediately with a typed `overloaded` rejection and
+//!    a retry-after hint derived from observed service time; it never
+//!    waits to fail.
+//! 2. **Degradation** — under queue pressure (but below shedding) the
+//!    requested [`SweepGrid`] is walked down the ladder
+//!    `ultra → fine → standard`, one rung per `degrade_at` of queue
+//!    depth. The response records how many rungs were applied, so a
+//!    client always knows it got a degraded answer.
+//! 3. **Deadline** — every request has one (its own or the server
+//!    default). The sweep runs under a [`CancelToken`]; an expired
+//!    deadline stops work at the next chunk-claim boundary and the
+//!    client gets a typed `deadline` rejection carrying how far the
+//!    sweep got. Requests that expire while still queued are rejected
+//!    without doing any work at all.
+//! 4. **Isolation** — panics, fuel exhaustion and cache corruption armed
+//!    per-request (testhook deployments) or arising naturally are
+//!    contained by the engine's typed-error backstops; one poisoned
+//!    request can only ever fail itself.
+//!
+//! Requests shard by content fingerprint, so identical sources land on
+//! the same worker and the same [`PersistentCache`] entries.
+
+use crate::cache::{Key, OpenReport, PersistentCache};
+use crate::protocol::{CacheDisposition, Request, RequestFault, Response, SweepSummary};
+use crate::workload;
+use flexcl_core::config::SweepGrid;
+use flexcl_core::dse::testhook::InjectedFault;
+use flexcl_core::{CancelToken, DseOptions, FlexclError, Platform, ProfileFuel};
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (= queue shards).
+    pub workers: usize,
+    /// Bounded queue capacity across all shards; arrivals past it shed.
+    pub queue_cap: usize,
+    /// Queue depth per degradation rung: at `degrade_at` queued requests
+    /// the grid drops one rung, at `2*degrade_at` two, and so on.
+    pub degrade_at: usize,
+    /// Deadline for requests that do not carry one, milliseconds.
+    pub default_deadline_ms: u64,
+    /// Directory for the persistent result cache; `None` serves
+    /// compute-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Per-shard entry cap of the persistent cache.
+    pub cache_cap_per_shard: usize,
+    /// Target platform for every sweep.
+    pub platform: Platform,
+    /// Honor per-request `fault` fields. Off by default: production
+    /// traffic must not be able to arm faults.
+    pub enable_testhooks: bool,
+    /// Clamp on per-request sweep threads.
+    pub max_sweep_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_cap: 64,
+            degrade_at: 8,
+            default_deadline_ms: 10_000,
+            cache_dir: None,
+            cache_cap_per_shard: 64,
+            platform: Platform::virtex7_adm7v3(),
+            enable_testhooks: false,
+            max_sweep_threads: 4,
+        }
+    }
+}
+
+/// Monotonic service counters, readable while the server runs.
+#[derive(Debug, Default)]
+struct Counters {
+    received: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    degraded: AtomicU64,
+    deadline_expired: AtomicU64,
+    malformed: AtomicU64,
+    failed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Frames received (well-formed or not).
+    pub received: u64,
+    /// Requests answered `ok`.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests answered from a coarser grid than asked.
+    pub degraded: u64,
+    /// Requests rejected at/past their deadline (queued or mid-sweep).
+    pub deadline_expired: u64,
+    /// Frames rejected as malformed.
+    pub malformed: u64,
+    /// Requests rejected with any other typed pipeline error.
+    pub failed: u64,
+    /// Persistent-cache hits.
+    pub cache_hits: u64,
+    /// Persistent-cache misses (including cache-off computes).
+    pub cache_misses: u64,
+}
+
+struct Job {
+    req: Request,
+    grid_used: String,
+    degraded: u32,
+    deadline: Instant,
+    accepted: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+struct ShardQueue {
+    q: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    shards: Vec<ShardQueue>,
+    queued: AtomicUsize,
+    shutdown: AtomicBool,
+    counters: Counters,
+    cache: Option<PersistentCache>,
+    /// EWMA of service time in microseconds (×16 fixed point), feeding
+    /// the retry-after hint.
+    service_ewma_us: AtomicU64,
+}
+
+/// A running server. Cloning the handle shares the instance; call
+/// [`Server::shutdown`] on the last handle to stop the workers.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Content fingerprint of a request: everything that determines the
+/// answer — source, kernel, geometry, grid actually swept, pruning, and
+/// synthesis values — and nothing that does not (id, deadline, thread
+/// count; sweeps are bit-identical across those by construction).
+pub fn request_fingerprint(req: &Request, grid_used: &str, platform_tag: &str) -> Key {
+    let mut parts = (0u64, 0u64);
+    for (seed, out) in [(0x9E37_79B9u64, &mut parts.0), (0xC2B2_AE35u64, &mut parts.1)] {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        seed.hash(&mut h);
+        req.src.hash(&mut h);
+        req.kernel.hash(&mut h);
+        req.global.hash(&mut h);
+        grid_used.hash(&mut h);
+        req.prune.hash(&mut h);
+        req.synthesis.buf_elems.hash(&mut h);
+        req.synthesis.scalar_int.hash(&mut h);
+        req.synthesis.scalar_float.to_bits().hash(&mut h);
+        platform_tag.hash(&mut h);
+        *out = h.finish();
+    }
+    parts
+}
+
+impl Server {
+    /// Starts the worker pool (and opens the persistent cache when
+    /// configured), returning the handle plus the cache's startup scan
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures creating the cache directory tree. Corrupt cache
+    /// *content* is quarantined, reported, and never fatal.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<(Server, OpenReport)> {
+        let (cache, report) = match &cfg.cache_dir {
+            Some(dir) => {
+                let (c, r) = PersistentCache::open(dir, cfg.cache_cap_per_shard)?;
+                (Some(c), r)
+            }
+            None => (None, OpenReport::default()),
+        };
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            shards: (0..workers)
+                .map(|_| ShardQueue { q: Mutex::new(VecDeque::new()), cv: Condvar::new() })
+                .collect(),
+            queued: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            cache,
+            service_ewma_us: AtomicU64::new(0),
+            cfg,
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("flexcl-serve-{w}"))
+                    .spawn(move || worker(&inner, w))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok((Server { inner, workers: handles }, report))
+    }
+
+    /// Handles one raw frame end to end: parse, admit, enqueue, wait for
+    /// the worker's answer. Blocks the calling (connection) thread, not
+    /// a worker; shed and malformed frames return without touching the
+    /// queue.
+    pub fn handle_frame(&self, frame: &str) -> Response {
+        self.inner.counters.received.fetch_add(1, Ordering::Relaxed);
+        match Request::parse(frame) {
+            Ok(req) => self.submit(req),
+            Err(e) => {
+                self.inner.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                Response::malformed(&e)
+            }
+        }
+    }
+
+    /// Admits, degrades, shards and enqueues `req`, then waits for its
+    /// response.
+    pub fn submit(&self, req: Request) -> Response {
+        let inner = &self.inner;
+        // Admission: reserve a queue slot or shed. The compare-exchange
+        // loop keeps the bound exact under concurrent arrivals.
+        let mut depth = inner.queued.load(Ordering::Relaxed);
+        loop {
+            if depth >= inner.cfg.queue_cap {
+                inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+                let retry = inner.retry_after_ms();
+                return Response::from_error(
+                    &req.id,
+                    &FlexclError::Overloaded {
+                        queue_depth: depth,
+                        capacity: inner.cfg.queue_cap,
+                        retry_after_ms: retry,
+                    },
+                );
+            }
+            match inner.queued.compare_exchange_weak(
+                depth,
+                depth + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(cur) => depth = cur,
+            }
+        }
+
+        // Degradation ladder: one rung per `degrade_at` of depth at
+        // admission time.
+        let mut grid_used = req.grid.clone();
+        let mut degraded = 0u32;
+        if inner.cfg.degrade_at > 0 {
+            for _ in 0..depth / inner.cfg.degrade_at {
+                match SweepGrid::coarser(&grid_used) {
+                    Some(next) => {
+                        grid_used = next.to_string();
+                        degraded += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        if degraded > 0 {
+            inner.counters.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let now = Instant::now();
+        let deadline_ms = req.deadline_ms.unwrap_or(inner.cfg.default_deadline_ms);
+        let shard = (request_fingerprint(&req, &grid_used, inner.platform_tag()).0 as usize)
+            % inner.shards.len();
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            req,
+            grid_used,
+            degraded,
+            deadline: now + Duration::from_millis(deadline_ms),
+            accepted: now,
+            reply: tx,
+        };
+        {
+            let sq = &inner.shards[shard];
+            let mut q = sq.q.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(job);
+            sq.cv.notify_one();
+        }
+        // A worker always answers (even on deadline), so a recv error
+        // can only mean shutdown raced the job.
+        rx.recv().unwrap_or_else(|_| Response::Err {
+            id: "?".to_string(),
+            kind: "overloaded".to_string(),
+            message: "server shut down before the request was served".to_string(),
+            retry_after_ms: None,
+        })
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> CounterSnapshot {
+        let c = &self.inner.counters;
+        CounterSnapshot {
+            received: c.received.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            malformed: c.malformed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Requests currently queued (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queued.load(Ordering::Relaxed)
+    }
+
+    /// The persistent cache, when one is configured (tests use this to
+    /// corrupt entries in place).
+    #[doc(hidden)]
+    pub fn cache(&self) -> Option<&PersistentCache> {
+        self.inner.cache.as_ref()
+    }
+
+    /// Stops the workers and joins them. Jobs still queued are answered
+    /// with an `overloaded` rejection by the draining workers before
+    /// they exit.
+    pub fn shutdown(mut self) -> CounterSnapshot {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for sq in &self.inner.shards {
+            sq.cv.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.counters()
+    }
+}
+
+impl Inner {
+    fn platform_tag(&self) -> &str {
+        &self.cfg.platform.name
+    }
+
+    /// Retry-after hint: expected queue drain time from the service-time
+    /// EWMA, floored at 1 ms so clients always back off.
+    fn retry_after_ms(&self) -> u64 {
+        let ewma_us = self.service_ewma_us.load(Ordering::Relaxed) >> 4;
+        let depth = self.queued.load(Ordering::Relaxed) as u64;
+        let workers = self.shards.len() as u64;
+        (ewma_us * (depth + 1) / workers / 1000).max(1)
+    }
+
+    fn observe_service(&self, elapsed: Duration) {
+        let us = (elapsed.as_micros() as u64) << 4;
+        // EWMA with α = 1/8 in ×16 fixed point; racy updates only blur
+        // the hint.
+        let old = self.service_ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 { us } else { old - (old >> 3) + (us >> 3) };
+        self.service_ewma_us.store(new, Ordering::Relaxed);
+    }
+}
+
+/// One worker: drain the owned shard, answer every job.
+fn worker(inner: &Inner, shard: usize) {
+    let sq = &inner.shards[shard];
+    loop {
+        let job = {
+            let mut q = sq.q.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break Some(job);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = sq
+                    .cv
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        let Some(job) = job else { return };
+        inner.queued.fetch_sub(1, Ordering::Relaxed);
+        let response = if inner.shutdown.load(Ordering::SeqCst) {
+            Response::Err {
+                id: job.req.id.clone(),
+                kind: "overloaded".to_string(),
+                message: "server is shutting down".to_string(),
+                retry_after_ms: None,
+            }
+        } else {
+            serve_job(inner, &job)
+        };
+        match &response {
+            Response::Ok { .. } => {
+                inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Err { kind, .. } if kind == "deadline" => {
+                inner.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Err { .. } => {
+                inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.observe_service(job.accepted.elapsed());
+        // The client may have given up (dropped receiver); that is its
+        // right, not an error.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Serves one admitted job: queued-deadline check, cache lookup,
+/// compile, sweep under the cancellation token, persist.
+fn serve_job(inner: &Inner, job: &Job) -> Response {
+    let req = &job.req;
+    let now = Instant::now();
+    if now >= job.deadline {
+        // Expired while queued: reject without burning compute on an
+        // answer nobody is waiting for.
+        return Response::from_error(
+            &req.id,
+            &FlexclError::Deadline {
+                elapsed_ms: job.accepted.elapsed().as_millis() as u64,
+                detail: "deadline expired while queued".to_string(),
+                stats: Default::default(),
+            },
+        );
+    }
+
+    let fault = if inner.cfg.enable_testhooks { req.fault } else { None };
+    let key = request_fingerprint(req, &job.grid_used, inner.platform_tag());
+
+    // Cache lookup — skipped when a corruption fault is armed so the
+    // request demonstrably computes and then damages its own entry.
+    if fault != Some(RequestFault::CorruptCache) {
+        if let Some(cache) = &inner.cache {
+            if let Some(payload) = cache.get(key) {
+                if let Ok(summary) =
+                    SweepSummary::from_json(&String::from_utf8_lossy(&payload))
+                {
+                    inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Response::Ok {
+                        id: req.id.clone(),
+                        summary,
+                        degraded: job.degraded,
+                        grid_used: job.grid_used.clone(),
+                        cache: CacheDisposition::Hit,
+                        elapsed_ms: job.accepted.elapsed().as_millis() as u64,
+                    };
+                }
+                // Decoded bytes that fail the protocol parse count as
+                // corruption too; fall through to recompute.
+            }
+        }
+    }
+    inner.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    let prepared = match workload::prepare(
+        &req.src,
+        req.kernel.as_deref(),
+        req.global,
+        req.synthesis,
+    ) {
+        Ok(p) => p,
+        Err(e) => return Response::from_error(&req.id, &e),
+    };
+
+    let grid = SweepGrid::by_name(&job.grid_used).unwrap_or_default();
+    let opts = DseOptions {
+        threads: req.threads.clamp(1, inner.cfg.max_sweep_threads.max(1)),
+        prune: req.prune,
+        fuel: match fault {
+            Some(RequestFault::Fuel) => {
+                ProfileFuel { step_limit: 1, trace_limit: 1, ..ProfileFuel::default() }
+            }
+            _ => ProfileFuel::default(),
+        },
+        inject: match fault {
+            Some(RequestFault::Panic) => Some(InjectedFault::AnalysisPanic),
+            Some(RequestFault::EstimatePanic) => Some(InjectedFault::EstimatePanic(0)),
+            _ => None,
+        },
+        ..DseOptions::default()
+    };
+    let cancel = CancelToken::at(job.deadline);
+    let result = match flexcl_core::explore_space_deadline(
+        &prepared.func,
+        &inner.cfg.platform,
+        &prepared.workload,
+        &grid,
+        opts,
+        &cancel,
+    ) {
+        Ok(r) => r,
+        Err(e) => return Response::from_error(&req.id, &e),
+    };
+
+    // A sweep where nothing survived is a typed rejection, not an empty
+    // success: surface the dominant failure kind from the diagnostics.
+    if result.points.is_empty() && !result.diagnostics.is_clean() {
+        let first = &result.diagnostics.failed[0];
+        return Response::Err {
+            id: req.id.clone(),
+            kind: first.kind.to_string(),
+            message: format!(
+                "all {} candidates failed ({}); first: {}",
+                result.diagnostics.failed.len(),
+                result.diagnostics.summary(),
+                first.message
+            ),
+            retry_after_ms: None,
+        };
+    }
+
+    let summary = SweepSummary::of(&result);
+    if let Some(cache) = &inner.cache {
+        // Persist best-effort: a full disk must not fail the request.
+        let _ = cache.put(key, summary.to_json().as_bytes());
+        if fault == Some(RequestFault::CorruptCache) {
+            cache.corrupt_entry_for_test(key);
+        }
+    }
+    Response::Ok {
+        id: req.id.clone(),
+        summary,
+        degraded: job.degraded,
+        grid_used: job.grid_used.clone(),
+        cache: if inner.cache.is_some() { CacheDisposition::Miss } else { CacheDisposition::Off },
+        elapsed_ms: job.accepted.elapsed().as_millis() as u64,
+    }
+}

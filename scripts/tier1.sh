@@ -32,3 +32,28 @@ trap 'rm -f "$BENCH_SMOKE" "$BENCH_ACC"' EXIT
 cargo run --release -q -p flexcl-bench --bin triage -- \
   --kernels nw --out "$BENCH_ACC" --max-mean-err 10 --no-csv
 cargo run --release -q -p flexcl-bench --bin triage -- --check "$BENCH_ACC"
+# Serving smoke: the estimation server must answer a good request with a
+# typed ok, a malformed frame with a typed rejection (not a crash), and
+# a past-deadline request with a typed deadline error — then shut down
+# cleanly and report its counters. jsonl transport, no network needed.
+SERVE_CACHE="$(mktemp -d -t serve_smoke_cache.XXXXXX)"
+SERVE_OUT="$(mktemp -t serve_smoke_out.XXXXXX.jsonl)"
+BENCH_SERVE="$(mktemp -t bench_serve_smoke.XXXXXX.json)"
+trap 'rm -f "$BENCH_SMOKE" "$BENCH_ACC" "$SERVE_OUT" "$BENCH_SERVE"; rm -rf "$SERVE_CACHE"' EXIT
+printf '%s\n' \
+  '{"id":"good","src":"__kernel void vadd(__global float* a, __global float* b, __global float* c) { int i = get_global_id(0); c[i] = a[i] + b[i]; }","global":4096}' \
+  '{"id":"bad"' \
+  '{"id":"late","src":"__kernel void vadd(__global float* a, __global float* b, __global float* c) { int i = get_global_id(0); c[i] = a[i] + b[i]; }","global":4096,"deadline_ms":0}' \
+  | cargo run --release -q -p flexcl-serve --bin serve -- --stdin --cache-dir "$SERVE_CACHE" > "$SERVE_OUT"
+grep -q '"id":"good".*"status":"ok"' "$SERVE_OUT"
+grep -q '"status":"error","kind":"malformed"' "$SERVE_OUT"
+grep -q '"id":"late".*"kind":"deadline"' "$SERVE_OUT"
+# Serving throughput + overload gate: steady phase must sustain ≥1k req/s
+# of cache-warm traffic, and the overload phase (2× more concurrent
+# clients than queue slots) must show admission control actually working:
+# nonzero shed, degraded and deadline counters while requests still
+# complete. Schema checked the same way as the other BENCH files.
+cargo run --release -q -p flexcl-bench --bin serve_bench -- \
+  --steady-requests 4000 --out "$BENCH_SERVE"
+cargo run --release -q -p flexcl-bench --bin serve_bench -- \
+  --check "$BENCH_SERVE" --require-overload --min-rps 1000
