@@ -35,6 +35,10 @@
 //! * `--reps N` — repetitions per row (default 5); the row reports the
 //!   median.
 //! * `--out PATH` — write the JSON to `PATH` instead of the repo root.
+//! * `--verbose` — print each measured sweep's internals (the
+//!   [`flexcl_core::DseStats`] rendering) and diagnostics.
+//! * `--trace-out PATH` (with `--trace-sample N`) — dump the span trace
+//!   of the run as JSONL.
 //! * `--check PATH` — validate an existing BENCH_dse.json (schema keys
 //!   present, `configs_per_sec` finite and positive) and exit; used by
 //!   `scripts/tier1.sh`. With `--require-scaling`, additionally require
@@ -103,7 +107,7 @@ fn vadd() -> (flexcl_ir::Function, Workload) {
 /// threads over vadd and a few PolyBench kernels. `filter` restricts the
 /// kernels to names containing the given substring; each row is the
 /// median of `reps` timed sweeps after one warm-up.
-fn bench_sweeps(filter: Option<&str>, grid_name: &str, reps: usize) -> Vec<BenchRow> {
+fn bench_sweeps(filter: Option<&str>, grid_name: &str, reps: usize, verbose: bool) -> Vec<BenchRow> {
     let platform = Platform::virtex7_adm7v3();
     let grid = SweepGrid::by_name(grid_name)
         .unwrap_or_else(|| panic!("unknown grid {grid_name:?} (standard|fine|ultra)"));
@@ -141,6 +145,10 @@ fn bench_sweeps(filter: Option<&str>, grid_name: &str, reps: usize) -> Vec<Bench
             }
             runs.sort_by(|(a, _), (b, _)| a.total_cmp(b));
             let (secs, res) = &runs[runs.len() / 2];
+            if verbose {
+                println!("{name} threads={threads} sweep internals:\n{}", res.stats);
+                println!("  diagnostics      : {}", res.diagnostics);
+            }
             if !res.diagnostics.is_clean() {
                 eprintln!(
                     "  warning: {} skipped {} candidate(s) [{}]: {}",
@@ -372,8 +380,22 @@ fn main() {
     let reps = flag_value(&args, "--reps")
         .map(|r| r.parse::<usize>().expect("--reps takes a positive integer"))
         .unwrap_or(5);
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let traced = match flag_value(&args, "--trace-out") {
+        Some(path) => {
+            let sample = flag_value(&args, "--trace-sample")
+                .map(|n| n.parse::<u64>().expect("--trace-sample takes a positive integer"))
+                .unwrap_or(1);
+            let file = std::fs::File::create(path).expect("create --trace-out file");
+            flexcl_obs::trace::install(Box::new(file), sample)
+        }
+        None => false,
+    };
     if args.iter().any(|a| a == "--bench-only") {
-        write_bench_json(&bench_sweeps(kernels, grid, reps), out);
+        write_bench_json(&bench_sweeps(kernels, grid, reps, verbose), out);
+        if traced {
+            flexcl_obs::trace::shutdown();
+        }
         return;
     }
     let platform = Platform::virtex7_adm7v3();
@@ -515,5 +537,8 @@ fn main() {
          synthesis_seconds_extrapolated,exploration_speedup,stepwise_optimal",
         &rows,
     );
-    write_bench_json(&bench_sweeps(kernels, grid, reps), out);
+    write_bench_json(&bench_sweeps(kernels, grid, reps, verbose), out);
+    if traced {
+        flexcl_obs::trace::shutdown();
+    }
 }

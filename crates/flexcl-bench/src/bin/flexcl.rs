@@ -5,10 +5,13 @@
 //!                           [--pes P] [--cus C] [--vector V] [--mode pipeline]
 //!                           [--platform 7v3|ku060] [--scalar-int N] [--scalar-float X]
 //!                           [--buf-elems N]
-//! flexcl explore  kernel.cl --kernel name --global 4096 [--top 10] [--pareto]
+//! flexcl explore  kernel.cl --kernel name --global 4096 [--top 10] [--pareto] [--verbose]
 //! flexcl ir       kernel.cl --kernel name
 //! flexcl patterns [--platform 7v3|ku060]
 //! ```
+//!
+//! Every subcommand accepts `--trace-out PATH` (plus `--trace-sample N`)
+//! to dump the span trace of the run as JSONL.
 //!
 //! Buffer arguments are synthesized automatically: every pointer parameter
 //! gets a buffer of `--buf-elems` elements (default: 64 × the global size)
@@ -41,7 +44,8 @@ fn run(args: &[String]) -> Result<(), String> {
         print_help();
         return Ok(());
     };
-    match cmd.as_str() {
+    let traced = install_tracer(args)?;
+    let result = match cmd.as_str() {
         "estimate" => cmd_estimate(&args[1..]),
         "explore" => cmd_explore(&args[1..]),
         "ir" => cmd_ir(&args[1..]),
@@ -51,7 +55,27 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
+    };
+    if traced {
+        flexcl_obs::trace::shutdown();
     }
+    result
+}
+
+/// Arms the process-wide tracer when `--trace-out PATH` is present
+/// (optionally with `--trace-sample N`); works with every subcommand.
+fn install_tracer(args: &[String]) -> Result<bool, String> {
+    let value_of = |flag: &str| -> Option<&String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
+    };
+    let Some(path) = value_of("--trace-out") else { return Ok(false) };
+    let sample: u64 = match value_of("--trace-sample") {
+        Some(v) => v.parse().map_err(|_| "bad --trace-sample")?,
+        None => 1,
+    };
+    let file =
+        std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    Ok(flexcl_obs::trace::install(Box::new(file), sample))
 }
 
 fn print_help() {
@@ -72,7 +96,10 @@ fn print_help() {
          \x20 --platform P        7v3 | ku060 (default 7v3)\n\
          \x20 --buf-elems N       synthesized buffer length per pointer param\n\
          \x20 --scalar-int N      value for int scalar params (default 16)\n\
-         \x20 --scalar-float X    value for float scalar params (default 1.0)"
+         \x20 --scalar-float X    value for float scalar params (default 1.0)\n\
+         \x20 --verbose           (explore) print sweep internals and diagnostics\n\
+         \x20 --trace-out PATH    write the run's span trace to PATH as JSONL\n\
+         \x20 --trace-sample N    keep 1-in-N hot-loop spans (default 1 = all)"
     );
 }
 
@@ -83,7 +110,7 @@ struct Flags {
     switches: std::collections::HashSet<String>,
 }
 
-const BOOL_FLAGS: &[&str] = &["pipeline", "pareto"];
+const BOOL_FLAGS: &[&str] = &["pipeline", "pareto", "verbose"];
 
 fn parse_flags(args: &[String]) -> Flags {
     let mut f = Flags {
@@ -292,6 +319,10 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
     }
     if let Some(s) = result.speedup_over_baseline() {
         println!("\nbest vs unoptimized baseline: {s:.1}x");
+    }
+    if flags.switches.contains("verbose") {
+        println!("\nsweep internals:\n{}", result.stats);
+        println!("  diagnostics      : {}", result.diagnostics);
     }
     if flags.switches.contains("pareto") {
         let wg = ranked.first().map(|p| p.config.work_group).unwrap_or((64, 1));

@@ -63,13 +63,43 @@ use crate::model::{cycle_lower_bound, Estimate};
 use crate::platform::Platform;
 use flexcl_frontend::types::Type;
 use flexcl_ir::Function;
+use flexcl_obs::{metrics, trace};
 use std::any::Any;
 use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Process-wide sweep counters in the global metrics registry
+/// ([`flexcl_obs::metrics::global`]): cumulative across every sweep this
+/// process ran, complementing the per-sweep [`DseStats`]. Handles are
+/// resolved once; the hot path touches only relaxed atomics.
+struct DseMetrics {
+    sweeps: metrics::Counter,
+    chunks: metrics::Counter,
+    steals: metrics::Counter,
+    points: metrics::Counter,
+    pruned_modes: metrics::Counter,
+    repaired_chunks: metrics::Counter,
+}
+
+fn dse_metrics() -> &'static DseMetrics {
+    static M: OnceLock<DseMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let g = metrics::global();
+        DseMetrics {
+            sweeps: g.counter("dse.sweeps"),
+            chunks: g.counter("dse.chunks_processed"),
+            steals: g.counter("dse.steals"),
+            points: g.counter("dse.points_evaluated"),
+            pruned_modes: g.counter("dse.pruned_modes"),
+            repaired_chunks: g.counter("dse.repaired_chunks"),
+        }
+    })
+}
 
 /// Cooperative cancellation for a sweep: an optional wall-clock deadline
 /// plus an explicit cancel flag, shared between the sweep's workers and
@@ -337,6 +367,24 @@ impl DiagnosticsReport {
     }
 }
 
+impl fmt::Display for DiagnosticsReport {
+    /// A one-line human-readable verdict: `clean` for an empty report,
+    /// otherwise the skipped count, the per-kind breakdown and the first
+    /// failure's detail.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean (no candidates skipped)");
+        }
+        write!(
+            f,
+            "{} candidate(s) skipped [{}]; first: {}",
+            self.skipped_count(),
+            self.summary(),
+            self.failed[0].message
+        )
+    }
+}
+
 /// Instrumentation counters for one sweep: where the time went, how
 /// effective the cache layers were, and how the scheduler behaved.
 ///
@@ -419,6 +467,42 @@ impl DseStats {
         self.steals += other.steals;
         self.repaired_chunks += other.repaired_chunks;
         // chunk_size is configuration, not a counter; the engine sets it.
+    }
+}
+
+impl fmt::Display for DseStats {
+    /// A human-readable summary table — what the `dse` and `flexcl`
+    /// binaries print under `--verbose` instead of a raw field dump.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        writeln!(f, "  points evaluated : {}", self.points_evaluated)?;
+        writeln!(
+            f,
+            "  chunks processed : {} (size {}, {} steals, {} repaired)",
+            self.chunks_processed, self.chunk_size, self.steals, self.repaired_chunks
+        )?;
+        writeln!(
+            f,
+            "  families         : {} ({} analysis-cache hits / {} misses, {} evictions)",
+            self.families_analyzed,
+            self.analysis_cache_hits,
+            self.analysis_cache_misses,
+            self.analysis_cache_evictions
+        )?;
+        writeln!(
+            f,
+            "  sched cache      : {:.1}% hit ({} hits / {} misses)",
+            self.sched_cache_hit_rate() * 100.0,
+            self.sched_cache_hits,
+            self.sched_cache_misses
+        )?;
+        write!(
+            f,
+            "  phase time       : analysis {:.2} ms, estimate {:.2} ms (sched {:.2} ms)",
+            ms(self.analysis_nanos),
+            ms(self.estimate_nanos),
+            ms(self.sched_nanos)
+        )
     }
 }
 
@@ -836,6 +920,20 @@ struct SweepInputs<'a> {
     workload: &'a Workload,
     opts: DseOptions,
     fingerprint: Option<(u64, u64)>,
+    /// Trace id of the enclosing `dse.sweep` span (`0` when tracing is
+    /// off) — the explicit parent for spans opened on worker threads,
+    /// which do not inherit the sweep thread's span stack.
+    span: u64,
+}
+
+/// The parent for a span opened inside sweep machinery: the innermost
+/// open span if this thread has one (the serial path, or a live sampled
+/// chunk span), else the sweep's root span (worker threads).
+fn sweep_parent(sweep: &SweepInputs<'_>) -> u64 {
+    match trace::current_span_id() {
+        0 => sweep.span,
+        p => p,
+    }
 }
 
 /// Analyzes one family (cache-aware, panic-contained) and settles its
@@ -845,7 +943,10 @@ fn analyze_family(
     work_group: (u32, u32),
     scratch: &mut AnalysisScratch,
 ) -> FamilyAnalysis {
-    let SweepInputs { func, platform, workload, opts, fingerprint } = *sweep;
+    let SweepInputs { func, platform, workload, opts, fingerprint, .. } = *sweep;
+    let mut span = trace::span_with_parent("dse.analysis", sweep_parent(sweep));
+    span.attr_u64("wg_x", u64::from(work_group.0));
+    span.attr_u64("wg_y", u64::from(work_group.1));
     let cache_key = fingerprint.map(|fingerprint| analysis_cache::Key {
         fingerprint,
         work_group,
@@ -883,6 +984,7 @@ fn analyze_family(
     let nanos = t.elapsed().as_nanos() as u64;
     match outcome {
         Ok((Ok(analysis), from_cache, evictions)) => {
+            span.attr_u64("from_cache", u64::from(from_cache));
             let bounds = [
                 cycle_lower_bound(&analysis, CommMode::Barrier),
                 cycle_lower_bound(&analysis, CommMode::Pipeline),
@@ -916,6 +1018,7 @@ fn evaluate_entries<A: Borrow<KernelAnalysis>>(
     out: &mut ChunkOutcome,
 ) {
     let before = ctx.stats;
+    let points_before = out.stats.points_evaluated;
     let t = Instant::now();
     for &(idx, cfg) in entries {
         if !keep[mode_idx(cfg.comm_mode)] {
@@ -953,6 +1056,9 @@ fn evaluate_entries<A: Borrow<KernelAnalysis>>(
     out.stats.sched_cache_hits += ctx.stats.sched_cache_hits - before.sched_cache_hits;
     out.stats.sched_cache_misses += ctx.stats.sched_cache_misses - before.sched_cache_misses;
     out.stats.sched_nanos += ctx.stats.sched_nanos - before.sched_nanos;
+    // One registry update per batch, not per point: live process-wide
+    // progress at negligible hot-loop cost.
+    dse_metrics().points.add((out.stats.points_evaluated - points_before) as u64);
 }
 
 /// Processes one claimed chunk: settles its family's analysis if first,
@@ -997,6 +1103,10 @@ fn process_chunk(
                 !sweep.opts.prune || bounds[1] <= inc,
             ];
             out.skipped = [!keep[0], !keep[1]];
+            let pruned = u64::from(out.skipped[0]) + u64::from(out.skipped[1]);
+            if pruned > 0 {
+                dse_metrics().pruned_modes.add(pruned);
+            }
             if keep[0] || keep[1] {
                 buf.clear();
                 set.fill(chunk.family, chunk.start, chunk.len, buf);
@@ -1037,9 +1147,23 @@ fn worker_loop(
         let Some(&chunk) = sched.get(i) else { break };
         let stole = last_family.is_some_and(|f| f != chunk.family);
         last_family = Some(chunk.family);
+        // Sampled per-chunk span: 1-in-N keeps tracing affordable across
+        // the tens of thousands of chunks a fine-grid sweep claims.
+        let mut chunk_span = trace::span_sampled("dse.chunk", sweep.span);
+        if chunk_span.is_live() {
+            chunk_span.attr_u64("family", chunk.family as u64);
+            chunk_span.attr_u64("len", chunk.len as u64);
+            chunk_span.attr_u64("stole", u64::from(stole));
+        }
         let mut out =
             process_chunk(sweep, set, states, chunk, incumbent, &mut ctxs, &mut scratch, &mut buf);
         out.stole = stole;
+        drop(chunk_span);
+        let m = dse_metrics();
+        m.chunks.inc();
+        if stole {
+            m.steals.inc();
+        }
         // Panics inside process_chunk are contained, so the lock can only
         // be poisoned by a crash in this bookkeeping itself; recover the
         // data either way.
@@ -1073,11 +1197,26 @@ fn run_sweep(
     // Capacity 0 is the documented no-cache mode: no lookups, no inserts.
     let fingerprint = (opts.reuse_analysis && opts.analysis_cache_cap > 0)
         .then(|| analysis_cache::fingerprint(&func, &platform, workload));
-    let sweep = SweepInputs { func: &func, platform: &platform, workload, opts, fingerprint };
 
     let family_lens: Vec<usize> = (0..set.family_count()).map(|f| set.family_len(f)).collect();
     let total: usize = family_lens.iter().sum();
     let chunk_size = opts.effective_chunk_size(total);
+
+    dse_metrics().sweeps.inc();
+    let mut sweep_span = trace::span("dse.sweep");
+    sweep_span.attr_str("kernel", &func.name);
+    sweep_span.attr_u64("points", total as u64);
+    sweep_span.attr_u64("families", family_lens.len() as u64);
+    sweep_span.attr_u64("threads", opts.threads.max(1) as u64);
+    sweep_span.attr_u64("chunk_size", chunk_size as u64);
+    let sweep = SweepInputs {
+        func: &func,
+        platform: &platform,
+        workload,
+        opts,
+        fingerprint,
+        span: sweep_span.id(),
+    };
     let sched = build_schedule(&family_lens, chunk_size);
     let states: Vec<FamilyState> = (0..set.family_count())
         .map(|f| FamilyState { work_group: set.family_work_group(f), analysis: OnceLock::new() })
@@ -1116,6 +1255,7 @@ fn run_sweep(
             stats.merge(&out.stats);
         }
         account_families(&states, &mut stats);
+        sweep_span.attr_str("outcome", cancel.map_or("cancelled", |c| c.reason()));
         return Err(FlexclError::Deadline {
             elapsed_ms: start.elapsed().as_millis() as u64,
             detail: cancel.map_or("cancelled", |c| c.reason()).to_string(),
@@ -1130,6 +1270,7 @@ fn run_sweep(
     // under-pruned are dropped. The surviving set is a pure function of
     // the schedule order and the model — identical at any thread count,
     // chunk size, and timing.
+    let mut replay_span = trace::span("dse.replay");
     let mut stats = DseStats { chunks_processed: sched.len(), chunk_size, ..DseStats::default() };
     let mut indexed: Vec<(usize, DesignPoint)> = Vec::new();
     let mut prefix_best = f64::INFINITY;
@@ -1181,6 +1322,9 @@ fn run_sweep(
         stats.merge(&out.stats);
     }
 
+    replay_span.attr_u64("repaired_chunks", stats.repaired_chunks as u64);
+    drop(replay_span);
+    dse_metrics().repaired_chunks.add(stats.repaired_chunks as u64);
     account_families(&states, &mut stats);
 
     indexed.sort_by_key(|(idx, _)| *idx);
@@ -1660,6 +1804,54 @@ mod tests {
         let bad = Platform { global_ports: 0, ..Platform::virtex7_adm7v3() };
         let err = explore(&f, &bad, &w).unwrap_err();
         assert_eq!(err.kind(), ErrorKind::Platform);
+    }
+
+    #[test]
+    fn dse_stats_display_is_a_readable_table() {
+        let stats = DseStats {
+            families_analyzed: 10,
+            points_evaluated: 121_600,
+            analysis_cache_hits: 8,
+            analysis_cache_misses: 2,
+            analysis_cache_evictions: 1,
+            sched_cache_hits: 118_000,
+            sched_cache_misses: 3_600,
+            analysis_nanos: 12_300_000,
+            estimate_nanos: 40_100_000,
+            sched_nanos: 8_200_000,
+            chunks_processed: 60,
+            steals: 3,
+            repaired_chunks: 2,
+            chunk_size: 2048,
+        };
+        let s = stats.to_string();
+        assert!(s.contains("points evaluated : 121600"), "{s}");
+        assert!(s.contains("chunks processed : 60 (size 2048, 3 steals, 2 repaired)"), "{s}");
+        assert!(s.contains("families         : 10 (8 analysis-cache hits / 2 misses"), "{s}");
+        assert!(s.contains("sched cache      : 97.0% hit"), "{s}");
+        assert!(s.contains("analysis 12.30 ms, estimate 40.10 ms (sched 8.20 ms)"), "{s}");
+        // Every line is indented so the table slots under a header line.
+        assert!(s.lines().all(|l| l.starts_with("  ")), "{s}");
+    }
+
+    #[test]
+    fn diagnostics_display_covers_clean_and_failing_reports() {
+        let clean = DiagnosticsReport::default();
+        assert_eq!(clean.to_string(), "clean (no candidates skipped)");
+
+        let mut failing = DiagnosticsReport::default();
+        for (i, kind) in
+            [ErrorKind::Config, ErrorKind::Config, ErrorKind::Panic].into_iter().enumerate()
+        {
+            failing.failed.push(FailedPoint {
+                index: i,
+                config: OptimizationConfig::baseline((64, 1)),
+                kind,
+                message: format!("failure {i}"),
+            });
+        }
+        let s = failing.to_string();
+        assert_eq!(s, "3 candidate(s) skipped [config x2, panic x1]; first: failure 0");
     }
 
     #[test]

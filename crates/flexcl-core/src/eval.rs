@@ -35,10 +35,24 @@ use crate::model::{
     effective_pe_parallelism, infeasible, pe_budget, Estimate, InfeasibleReason,
 };
 use flexcl_ir::DepEdge;
+use flexcl_obs::metrics;
 use flexcl_sched::{ResourceBudget, SchedScratch};
 use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::Instant;
+
+/// Process-wide schedule-cache counters: every context reports its
+/// lookups here (one relaxed, sharded `fetch_add` each) so a live
+/// metrics snapshot shows cumulative hit rates across sweeps, not just
+/// the per-sweep [`EvalStats`].
+fn cache_counters() -> &'static (metrics::Counter, metrics::Counter) {
+    static C: OnceLock<(metrics::Counter, metrics::Counter)> = OnceLock::new();
+    C.get_or_init(|| {
+        let g = metrics::global();
+        (g.counter("eval.sched_cache_hits"), g.counter("eval.sched_cache_misses"))
+    })
+}
 
 /// Counters describing what one [`EvalContext`] did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -141,9 +155,11 @@ impl<A: Borrow<KernelAnalysis>> EvalContext<A> {
     fn pipeline_params(&mut self, budget: &ResourceBudget) -> Result<(u32, u32), FlexclError> {
         if let Some(r) = self.pipe_cache.get(budget) {
             self.stats.sched_cache_hits += 1;
+            cache_counters().0.inc();
             return r.clone();
         }
         self.stats.sched_cache_misses += 1;
+        cache_counters().1.inc();
         let t0 = Instant::now();
         let r = self
             .analysis
@@ -157,9 +173,11 @@ impl<A: Borrow<KernelAnalysis>> EvalContext<A> {
     fn work_item_latency(&mut self, budget: &ResourceBudget) -> Result<f64, FlexclError> {
         if let Some(r) = self.lat_cache.get(budget) {
             self.stats.sched_cache_hits += 1;
+            cache_counters().0.inc();
             return r.clone();
         }
         self.stats.sched_cache_misses += 1;
+        cache_counters().1.inc();
         let t0 = Instant::now();
         let r = self.analysis.borrow().work_item_latency_with(budget, &mut self.scratch);
         self.stats.sched_nanos += t0.elapsed().as_nanos() as u64;

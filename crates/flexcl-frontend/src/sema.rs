@@ -48,8 +48,11 @@ pub fn analyze(program: &mut Program) -> Result<()> {
 ///
 /// Propagates lexical, syntactic and semantic errors.
 pub fn parse_and_check(src: &str) -> Result<Program> {
+    let mut span = flexcl_obs::span("frontend.parse");
+    span.attr_u64("src_bytes", src.len() as u64);
     let mut p = crate::parser::parse(src)?;
     analyze(&mut p)?;
+    span.attr_u64("kernels", p.kernels.len() as u64);
     Ok(p)
 }
 

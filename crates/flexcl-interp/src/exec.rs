@@ -245,6 +245,7 @@ pub fn run(
     ndrange: NdRange,
     opts: RunOptions,
 ) -> Result<Profile, InterpError> {
+    let mut span = flexcl_obs::span("interp.profile");
     ndrange.validate()?;
     if args.len() != func.params.len() {
         return Err(InterpError::BadArguments(format!(
@@ -300,6 +301,8 @@ pub fn run(
         });
     }
 
+    span.attr_u64("groups_profiled", observations.len() as u64);
+    span.attr_u64("work_items", machine.work_items_executed);
     Ok(Profile::from_group_parts(
         func,
         observations,

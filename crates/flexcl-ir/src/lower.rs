@@ -48,7 +48,11 @@ use std::collections::HashMap;
 /// # }
 /// ```
 pub fn lower_kernel(kernel: &ast::KernelDef) -> Result<Function> {
-    Lowerer::new(kernel).run()
+    let mut span = flexcl_obs::span("ir.lower");
+    let func = Lowerer::new(kernel).run()?;
+    span.attr_u64("blocks", func.blocks.len() as u64);
+    span.attr_u64("insts", func.insts.len() as u64);
+    Ok(func)
 }
 
 /// Lowers every kernel in a program.

@@ -1,0 +1,33 @@
+//! # flexcl-obs
+//!
+//! Zero-dependency observability for the FlexCL stack: a span-based
+//! structured tracer ([`trace`]) and a sharded metrics registry
+//! ([`metrics`]), shared by the estimation pipeline, the DSE engine and
+//! the serve layer.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Free when off.** Tracing is gated on one relaxed atomic load;
+//!    metrics handles are single relaxed RMWs on pre-registered cells.
+//!    Instrumentation stays compiled into release hot paths.
+//! 2. **Never blocks, never lies.** The trace sink is a bounded
+//!    channel drained by a dedicated writer thread; overflow and
+//!    writer errors increment a `trace_dropped` counter that every
+//!    metrics snapshot surfaces, instead of stalling a sweep or
+//!    silently losing records.
+//! 3. **No dependencies.** Like the rest of the workspace this crate
+//!    builds offline from `std` alone; trace output is hand-formatted
+//!    JSONL, metrics export is hand-formatted JSON + a flat text
+//!    exposition.
+//!
+//! The span taxonomy and registry layout are documented in DESIGN.md
+//! §13; the overhead methodology (and its CI gate) lives in
+//! `obs_bench` / `BENCH_obs.json`.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{global, Counter, Gauge, Histogram, Registry, Snapshot};
+pub use trace::{current_span_id, span, span_sampled, span_with_parent, Span};

@@ -1,0 +1,150 @@
+//! Metrics-registry correctness under concurrency, snapshot fidelity,
+//! and histogram bucket/percentile properties.
+
+use flexcl_obs::metrics::{bucket_bound, bucket_index, Registry, HIST_BUCKETS};
+use proptest::prelude::*;
+
+#[test]
+fn counters_are_exact_under_hammering() {
+    let r = Registry::new();
+    let c = r.counter("hammer");
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c = c.clone();
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn histograms_lose_no_samples_under_hammering() {
+    let r = Registry::new();
+    let h = r.histogram("lat");
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = h.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let snap = h.summarize();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    // Sum of 0..160000.
+    let n = THREADS * PER_THREAD;
+    assert_eq!(snap.sum, n * (n - 1) / 2);
+}
+
+#[test]
+fn gauges_balance_under_hammering() {
+    let r = Registry::new();
+    let g = r.gauge("depth");
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let g = g.clone();
+            s.spawn(move || {
+                for _ in 0..10_000 {
+                    g.add(3);
+                    g.add(-3);
+                }
+            });
+        }
+    });
+    assert_eq!(g.get(), 0);
+}
+
+#[test]
+fn snapshot_matches_ground_truth() {
+    let r = Registry::new();
+    let c = r.counter("reqs");
+    let g = r.gauge("inflight");
+    let h = r.histogram("ms");
+    let values = [3u64, 3, 5, 9, 120, 121, 4000];
+    c.add(42);
+    g.set(-7);
+    for &v in &values {
+        h.record(v);
+    }
+
+    let snap = r.snapshot();
+    assert_eq!(snap.counters, vec![("reqs".to_string(), 42)]);
+    assert_eq!(snap.gauges, vec![("inflight".to_string(), -7)]);
+    assert_eq!(snap.histograms.len(), 1);
+    let (name, hs) = &snap.histograms[0];
+    assert_eq!(name, "ms");
+    assert_eq!(hs.count, values.len() as u64);
+    assert_eq!(hs.sum, values.iter().sum::<u64>());
+    // Exact nearest-rank order statistics land in known buckets:
+    // p50 → 4th of 7 sorted samples = 9 → bucket bound 15;
+    // p99 → 7th = 4000 → bucket bound 4095.
+    assert_eq!(hs.p50, 15);
+    assert_eq!(hs.p99, 4095);
+
+    // A second snapshot after more traffic sees the delta.
+    c.inc();
+    assert_eq!(r.snapshot().counters[0].1, 43);
+}
+
+#[test]
+fn bucket_bounds_are_monotone() {
+    for i in 1..HIST_BUCKETS {
+        assert!(
+            bucket_bound(i) > bucket_bound(i - 1),
+            "bound({i}) = {} !> bound({}) = {}",
+            bucket_bound(i),
+            i - 1,
+            bucket_bound(i - 1)
+        );
+    }
+}
+
+/// Exact nearest-rank percentile over raw samples, the ground truth the
+/// histogram approximates.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// Every value sits inside its bucket's (lo, hi] range.
+    #[test]
+    fn bucket_index_is_consistent_with_bounds(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(v <= bucket_bound(i));
+        if i > 0 {
+            prop_assert!(v > bucket_bound(i - 1));
+        }
+    }
+
+    /// An extracted percentile is the upper bound of the bucket that
+    /// holds the exact order statistic — i.e. within one bucket of
+    /// exact, never below it.
+    #[test]
+    fn percentiles_are_within_one_bucket(
+        mut samples in proptest::collection::vec(0u64..1_000_000, 1..200),
+        which in 0usize..3,
+    ) {
+        let r = Registry::new();
+        let h = r.histogram("x");
+        for &v in &samples {
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let snap = h.summarize();
+        let (p, got) = [(50.0, snap.p50), (95.0, snap.p95), (99.0, snap.p99)][which];
+        let exact = exact_percentile(&samples, p);
+        prop_assert_eq!(bucket_index(got), bucket_index(exact));
+        prop_assert!(got >= exact);
+    }
+}

@@ -1,0 +1,80 @@
+//! Regression coverage for the silent-drop gap: trace records lost to
+//! sink overflow or writer failure must show up in `trace_dropped`,
+//! never vanish.
+
+use flexcl_obs::trace;
+use std::io::Write;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serializes the tests in this file: the tracer is process-global.
+fn tracer_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A writer that fails every write, modelling a closed pipe or a full
+/// disk under the sink.
+struct FailingWriter;
+
+impl Write for FailingWriter {
+    fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+        Err(std::io::Error::other("sink failure"))
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn writer_errors_are_counted_not_silent() {
+    let _guard = tracer_lock();
+    let before = trace::dropped_counter().get();
+    assert!(trace::install(Box::new(FailingWriter), 1));
+    for _ in 0..10 {
+        drop(trace::span("doomed"));
+    }
+    trace::shutdown();
+    let dropped = trace::dropped_counter().get() - before;
+    assert_eq!(dropped, 10, "every failed write must be counted");
+}
+
+/// A writer that blocks until the test releases it, so the bounded
+/// channel behind the tracer fills up.
+struct BlockedWriter(Arc<Mutex<()>>);
+
+impl Write for BlockedWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let _stall = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn sink_overflow_is_counted_not_silent() {
+    let _guard = tracer_lock();
+    let before = trace::dropped_counter().get();
+    let stall = Arc::new(Mutex::new(()));
+    let held = stall.lock().unwrap();
+    assert!(trace::install(Box::new(BlockedWriter(stall.clone())), 1));
+    // The writer thread wedges on its first record while we pour spans
+    // into the bounded channel; everything past capacity must be
+    // counted as dropped, and nothing may block.
+    const SPANS: u64 = 70_000;
+    for _ in 0..SPANS {
+        drop(trace::span("flood"));
+    }
+    let dropped_while_wedged = trace::dropped_counter().get() - before;
+    assert!(
+        dropped_while_wedged > 0,
+        "overflow past the bounded sink must increment trace_dropped"
+    );
+    drop(held); // un-wedge the writer so shutdown can drain and join
+    trace::shutdown();
+    let dropped = trace::dropped_counter().get() - before;
+    // Conservation: every span either reached the writer or was counted.
+    assert!(dropped <= SPANS);
+    assert!(dropped >= dropped_while_wedged);
+}

@@ -119,7 +119,9 @@ pub fn schedule_with(
     budget: &ResourceBudget,
     scratch: &mut SchedScratch,
 ) -> Result<ListSchedule, SchedError> {
+    let mut span = flexcl_obs::span("sched.list");
     let n = graph.len();
+    span.attr_u64("nodes", n as u64);
     if n == 0 {
         return Ok(ListSchedule { start: Vec::new(), length: 0 });
     }

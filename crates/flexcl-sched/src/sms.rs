@@ -45,7 +45,9 @@ pub fn schedule_with(
     depth_floor: u32,
     scratch: &mut SchedScratch,
 ) -> ModuloSchedule {
+    let mut span = flexcl_obs::span("sched.sms");
     let n = graph.len();
+    span.attr_u64("nodes", n as u64);
     if n == 0 {
         return ModuloSchedule { ii: 1, depth: depth_floor.max(1), start: Vec::new() };
     }

@@ -14,7 +14,12 @@
 //!   --platform P         7v3 | ku060 (default 7v3)
 //!   --threads N          max sweep threads per request (default 4)
 //!   --enable-testhooks   honor per-request `fault` fields (tests only)
+//!   --trace-out PATH     write span traces (JSONL) to PATH
+//!   --trace-sample N     keep 1-in-N hot-loop spans (default 1 = all)
 //! ```
+//!
+//! A `{"metrics":"json"}` (or `"text"`) frame on either transport
+//! returns a live metrics snapshot instead of running a sweep.
 //!
 //! In `--stdin` mode the process exits 0 at EOF after printing a counter
 //! summary to stderr — which is what the tier-1 smoke asserts on.
@@ -39,6 +44,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut cfg = ServerConfig::default();
     let mut stdin_mode = false;
     let mut listen: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut trace_sample: u64 = 1;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -56,6 +63,8 @@ fn run(args: &[String]) -> Result<(), String> {
             "--cache-cap" => cfg.cache_cap_per_shard = parse(&value("--cache-cap")?)?,
             "--threads" => cfg.max_sweep_threads = parse(&value("--threads")?)?,
             "--enable-testhooks" => cfg.enable_testhooks = true,
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "--trace-sample" => trace_sample = parse(&value("--trace-sample")?)?,
             "--platform" => {
                 cfg.platform = match value("--platform")?.as_str() {
                     "7v3" => flexcl_core::Platform::virtex7_adm7v3(),
@@ -72,6 +81,13 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if stdin_mode == listen.is_some() {
         return Err("pick exactly one of --stdin or --listen ADDR".into());
+    }
+
+    if let Some(path) = &trace_out {
+        let file = std::fs::File::create(path).map_err(|e| format!("trace-out {path}: {e}"))?;
+        if !flexcl_obs::trace::install(Box::new(file), trace_sample) {
+            eprintln!("trace: a tracer is already installed; --trace-out ignored");
+        }
     }
 
     let (server, report) = Server::start(cfg).map_err(|e| format!("start: {e}"))?;
@@ -105,6 +121,9 @@ fn run(args: &[String]) -> Result<(), String> {
             c.cache_hits,
             c.cache_misses
         );
+        if trace_out.is_some() {
+            flexcl_obs::trace::shutdown();
+        }
         Ok(())
     }
 }

@@ -31,8 +31,7 @@ pub fn serve_jsonl(
         if frame.is_empty() {
             continue;
         }
-        let response = server.handle_frame(frame);
-        writeln!(output, "{}", response.to_json())?;
+        writeln!(output, "{}", server.handle_frame_raw(frame))?;
         output.flush()?;
         frames += 1;
     }
@@ -54,8 +53,7 @@ pub fn serve_tcp(server: Arc<Server>, listener: TcpListener) -> io::Result<()> {
             let mut reader = stream.try_clone().expect("clone stream");
             let mut writer = stream;
             while let Ok(Some(frame)) = read_frame(&mut reader) {
-                let response = server.handle_frame(&frame);
-                if write_frame(&mut writer, &response.to_json()).is_err() {
+                if write_frame(&mut writer, &server.handle_frame_raw(&frame)).is_err() {
                     break;
                 }
             }
@@ -83,5 +81,36 @@ mod tests {
         assert!(text.contains("\"kind\":\"malformed\""), "{text}");
         let c = server.shutdown();
         assert_eq!(c.malformed, 1);
+    }
+
+    #[test]
+    fn metrics_frames_report_live_counters_and_responses_carry_request_ids() {
+        let (server, _) = Server::start(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        })
+        .expect("start");
+        let input = "{\"id\":\"bad\"\n{\"metrics\":\"json\"}\n{\"metrics\":\"text\"}\n";
+        let mut out = Vec::new();
+        serve_jsonl(&server, &mut input.as_bytes(), &mut out).expect("serve");
+        let text = String::from_utf8(out).expect("utf-8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+
+        // The malformed rejection still carries a server-assigned id.
+        assert!(lines[0].contains("\"kind\":\"malformed\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"request_id\":\""), "{}", lines[0]);
+
+        // The snapshot taken after it sees that rejection — and the
+        // introspection frames themselves are not counted as traffic.
+        for needle in ["\"serve.received\":1", "\"serve.malformed\":1", "\"serve.completed\":0"] {
+            assert!(lines[1].contains(needle), "missing {needle} in {}", lines[1]);
+        }
+        assert!(lines[1].contains("\"process\":"), "{}", lines[1]);
+        assert!(lines[2].contains("\"metrics_text\":\""), "{}", lines[2]);
+        assert!(lines[2].contains("serve.malformed 1"), "{}", lines[2]);
+
+        let c = server.shutdown();
+        assert_eq!((c.received, c.malformed), (1, 1));
     }
 }

@@ -319,6 +319,10 @@ pub enum Response {
         cache: CacheDisposition,
         /// Service time (queue wait + compute), milliseconds.
         elapsed_ms: u64,
+        /// Server-assigned request id (stable per frame, generated at
+        /// admission). Empty until the server stamps it; omitted from
+        /// the wire form when empty.
+        request_id: String,
     },
     /// The request was rejected with a typed error.
     Err {
@@ -331,6 +335,9 @@ pub enum Response {
         message: String,
         /// Back-off hint for `overloaded` rejections.
         retry_after_ms: Option<u64>,
+        /// Server-assigned request id, stamped even on rejections (and
+        /// on malformed frames) so every answer is traceable.
+        request_id: String,
     },
 }
 
@@ -363,6 +370,7 @@ impl Response {
                 }
                 _ => None,
             },
+            request_id: String::new(),
         }
     }
 
@@ -373,25 +381,44 @@ impl Response {
             kind: "malformed".to_string(),
             message: e.message.clone(),
             retry_after_ms: None,
+            request_id: String::new(),
         }
     }
 
-    /// Serializes the response to its single-line JSON frame.
+    /// Stamps the server-assigned request id onto the response.
+    pub fn set_request_id(&mut self, rid: &str) {
+        match self {
+            Response::Ok { request_id, .. } | Response::Err { request_id, .. } => {
+                rid.clone_into(request_id);
+            }
+        }
+    }
+
+    /// The server-assigned request id, empty when never stamped.
+    pub fn request_id(&self) -> &str {
+        match self {
+            Response::Ok { request_id, .. } | Response::Err { request_id, .. } => request_id,
+        }
+    }
+
+    /// Serializes the response to its single-line JSON frame. The
+    /// server-assigned `request_id` (when stamped) is always the last
+    /// field, so the leading field layout stays grep-stable.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         match self {
-            Response::Ok { id, summary, degraded, grid_used, cache, elapsed_ms } => {
+            Response::Ok { id, summary, degraded, grid_used, cache, elapsed_ms, .. } => {
                 s.push_str(r#"{"id":"#);
                 json::push_escaped(&mut s, id);
                 s.push_str(r#","status":"ok","result":"#);
                 s.push_str(&summary.to_json());
                 let _ = write!(
                     s,
-                    r#","degraded":{degraded},"grid_used":"{grid_used}","cache":"{}","elapsed_ms":{elapsed_ms}}}"#,
+                    r#","degraded":{degraded},"grid_used":"{grid_used}","cache":"{}","elapsed_ms":{elapsed_ms}"#,
                     cache.as_str()
                 );
             }
-            Response::Err { id, kind, message, retry_after_ms } => {
+            Response::Err { id, kind, message, retry_after_ms, .. } => {
                 s.push_str(r#"{"id":"#);
                 json::push_escaped(&mut s, id);
                 s.push_str(r#","status":"error","kind":"#);
@@ -401,9 +428,14 @@ impl Response {
                 if let Some(ms) = retry_after_ms {
                     let _ = write!(s, r#","retry_after_ms":{ms}"#);
                 }
-                s.push('}');
             }
         }
+        let rid = self.request_id();
+        if !rid.is_empty() {
+            s.push_str(r#","request_id":"#);
+            json::push_escaped(&mut s, rid);
+        }
+        s.push('}');
         s
     }
 }
@@ -517,6 +549,19 @@ mod tests {
         assert_eq!(back.best_cycles.unwrap().to_bits(), s.best_cycles.unwrap().to_bits());
         let none = SweepSummary { best_cycles: None, best_config: String::new(), ..s };
         assert_eq!(SweepSummary::from_json(&none.to_json()).expect("round trip"), none);
+    }
+
+    #[test]
+    fn request_id_is_stamped_last_and_absent_until_stamped() {
+        let e = Request::parse(r#"{"id":"z","#).unwrap_err();
+        let mut r = Response::malformed(&e);
+        assert_eq!(r.request_id(), "");
+        assert!(!r.to_json().contains("request_id"));
+        r.set_request_id("ab12cd34-000007");
+        let j = r.to_json();
+        assert!(j.ends_with(r#","request_id":"ab12cd34-000007"}"#), "{j}");
+        // The leading field layout the CI greps match is unchanged.
+        assert!(j.contains(r#""status":"error","kind":"malformed""#), "{j}");
     }
 
     #[test]

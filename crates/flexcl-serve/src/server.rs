@@ -32,7 +32,9 @@ use crate::workload;
 use flexcl_core::config::SweepGrid;
 use flexcl_core::dse::testhook::InjectedFault;
 use flexcl_core::{CancelToken, DseOptions, FlexclError, Platform, ProfileFuel};
+use flexcl_obs::{metrics, trace};
 use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -81,18 +83,43 @@ impl Default for ServerConfig {
     }
 }
 
-/// Monotonic service counters, readable while the server runs.
-#[derive(Debug, Default)]
+/// Monotonic service counters, readable while the server runs. Backed by
+/// the server's own [`metrics::Registry`] instance, so the `metrics`
+/// introspection frame and [`Server::counters`] read the same cells —
+/// there is no mirrored state to drift.
+#[derive(Debug)]
 struct Counters {
-    received: AtomicU64,
-    completed: AtomicU64,
-    shed: AtomicU64,
-    degraded: AtomicU64,
-    deadline_expired: AtomicU64,
-    malformed: AtomicU64,
-    failed: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
+    received: metrics::Counter,
+    completed: metrics::Counter,
+    shed: metrics::Counter,
+    degraded: metrics::Counter,
+    deadline_expired: metrics::Counter,
+    malformed: metrics::Counter,
+    failed: metrics::Counter,
+    cache_hits: metrics::Counter,
+    cache_misses: metrics::Counter,
+    /// Requests queued right now (admission increments, pickup decrements).
+    queue_depth: metrics::Gauge,
+    /// Service time (queue wait + compute) per answered request, µs.
+    service_us: metrics::Histogram,
+}
+
+impl Counters {
+    fn register(r: &metrics::Registry) -> Counters {
+        Counters {
+            received: r.counter("serve.received"),
+            completed: r.counter("serve.completed"),
+            shed: r.counter("serve.shed"),
+            degraded: r.counter("serve.degraded"),
+            deadline_expired: r.counter("serve.deadline_expired"),
+            malformed: r.counter("serve.malformed"),
+            failed: r.counter("serve.failed"),
+            cache_hits: r.counter("serve.cache_hits"),
+            cache_misses: r.counter("serve.cache_misses"),
+            queue_depth: r.gauge("serve.queue_depth"),
+            service_us: r.histogram("serve.service_us"),
+        }
+    }
 }
 
 /// A point-in-time copy of the service counters.
@@ -125,6 +152,10 @@ struct Job {
     deadline: Instant,
     accepted: Instant,
     reply: mpsc::Sender<Response>,
+    /// Trace id of the `serve.request` span open on the connection
+    /// thread, so worker-side spans attach to the same tree (0 when
+    /// tracing is off).
+    span: u64,
 }
 
 struct ShardQueue {
@@ -138,10 +169,18 @@ struct Inner {
     queued: AtomicUsize,
     shutdown: AtomicBool,
     counters: Counters,
+    /// Per-instance registry backing [`Counters`]; snapshotted whole by
+    /// the `metrics` introspection frame.
+    registry: metrics::Registry,
     cache: Option<PersistentCache>,
     /// EWMA of service time in microseconds (×16 fixed point), feeding
     /// the retry-after hint.
     service_ewma_us: AtomicU64,
+    /// Instance tag baked into every request id, so ids from different
+    /// server lifetimes never collide.
+    boot_tag: u32,
+    /// Per-frame sequence number behind the request ids.
+    req_seq: AtomicU64,
 }
 
 /// A running server. Cloning the handle shares the instance; call
@@ -174,6 +213,18 @@ pub fn request_fingerprint(req: &Request, grid_used: &str, platform_tag: &str) -
     parts
 }
 
+/// Per-instance tag for request ids: wall-clock seconds mixed with a
+/// process-wide instance counter, so two servers started in the same
+/// second (common in tests) still mint distinct id streams.
+fn boot_tag() -> u32 {
+    static INSTANCE: AtomicU64 = AtomicU64::new(0);
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    (secs as u32)
+        .wrapping_add((INSTANCE.fetch_add(1, Ordering::Relaxed) as u32).wrapping_mul(0x9E37_79B9))
+}
+
 impl Server {
     /// Starts the worker pool (and opens the persistent cache when
     /// configured), returning the handle plus the cache's startup scan
@@ -192,15 +243,20 @@ impl Server {
             None => (None, OpenReport::default()),
         };
         let workers = cfg.workers.max(1);
+        let registry = metrics::Registry::new();
+        let counters = Counters::register(&registry);
         let inner = Arc::new(Inner {
             shards: (0..workers)
                 .map(|_| ShardQueue { q: Mutex::new(VecDeque::new()), cv: Condvar::new() })
                 .collect(),
             queued: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
-            counters: Counters::default(),
+            counters,
+            registry,
             cache,
             service_ewma_us: AtomicU64::new(0),
+            boot_tag: boot_tag(),
+            req_seq: AtomicU64::new(0),
             cfg,
         });
         let handles = (0..workers)
@@ -215,19 +271,89 @@ impl Server {
         Ok((Server { inner, workers: handles }, report))
     }
 
+    /// Handles one raw frame end to end, introspection included: a
+    /// `{"metrics": "json" | "text"}` frame is answered inline from the
+    /// registry (bypassing admission, so it cannot be shed and does not
+    /// perturb the counters it reports); anything else goes through
+    /// [`Server::handle_frame`]. Both transports route through here.
+    pub fn handle_frame_raw(&self, frame: &str) -> String {
+        if let Some(reply) = self.try_metrics_frame(frame) {
+            return reply;
+        }
+        self.handle_frame(frame).to_json()
+    }
+
+    /// Answers a metrics-introspection frame, or `None` when `frame` is
+    /// not one (no top-level `metrics` key).
+    fn try_metrics_frame(&self, frame: &str) -> Option<String> {
+        // Cheap pre-filter: service frames never reach the JSON parser
+        // twice unless they at least mention the key.
+        if !frame.contains(r#""metrics""#) {
+            return None;
+        }
+        let v = crate::json::parse(frame).ok()?;
+        let mode = v.get("metrics")?.as_str().unwrap_or("json").to_string();
+        Some(self.metrics_reply(&mode))
+    }
+
+    /// Renders the introspection snapshot: the server's own registry
+    /// under `"server"` and the process-wide registry (trace drops,
+    /// `dse.*`, `eval.*`) under `"process"`.
+    pub fn metrics_reply(&self, mode: &str) -> String {
+        let server = self.inner.registry.snapshot();
+        let process = metrics::global().snapshot();
+        let mut s = String::new();
+        if mode == "text" {
+            let mut text = String::new();
+            for (scope, snap) in [("server", &server), ("process", &process)] {
+                let _ = writeln!(text, "# scope {scope}");
+                text.push_str(&snap.to_text());
+            }
+            s.push_str(r#"{"status":"ok","metrics_text":"#);
+            crate::json::push_escaped(&mut s, &text);
+            s.push('}');
+        } else {
+            let _ = write!(
+                s,
+                r#"{{"status":"ok","metrics":{{"server":{},"process":{}}}}}"#,
+                server.to_json(),
+                process.to_json()
+            );
+        }
+        s
+    }
+
     /// Handles one raw frame end to end: parse, admit, enqueue, wait for
     /// the worker's answer. Blocks the calling (connection) thread, not
     /// a worker; shed and malformed frames return without touching the
-    /// queue.
+    /// queue. Every answer — ok, shed, deadline, malformed — carries the
+    /// server-assigned `request_id` minted here.
     pub fn handle_frame(&self, frame: &str) -> Response {
-        self.inner.counters.received.fetch_add(1, Ordering::Relaxed);
-        match Request::parse(frame) {
-            Ok(req) => self.submit(req),
+        let rid = self.next_request_id();
+        let mut span = trace::span("serve.request");
+        span.attr_str("request_id", &rid);
+        self.inner.counters.received.inc();
+        let mut response = match Request::parse(frame) {
+            Ok(req) => {
+                span.attr_str("id", &req.id);
+                self.submit(req)
+            }
             Err(e) => {
-                self.inner.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                self.inner.counters.malformed.inc();
+                trace::event("serve.malformed");
                 Response::malformed(&e)
             }
-        }
+        };
+        span.attr_str("kind", response.kind());
+        response.set_request_id(&rid);
+        response
+    }
+
+    /// Mints the next server-assigned request id:
+    /// `<instance tag>-<sequence>`.
+    fn next_request_id(&self) -> String {
+        let seq = self.inner.req_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        format!("{:08x}-{seq:06}", self.inner.boot_tag)
     }
 
     /// Admits, degrades, shards and enqueues `req`, then waits for its
@@ -239,7 +365,8 @@ impl Server {
         let mut depth = inner.queued.load(Ordering::Relaxed);
         loop {
             if depth >= inner.cfg.queue_cap {
-                inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+                inner.counters.shed.inc();
+                trace::event("serve.shed");
                 let retry = inner.retry_after_ms();
                 return Response::from_error(
                     &req.id,
@@ -260,6 +387,10 @@ impl Server {
                 Err(cur) => depth = cur,
             }
         }
+        inner.counters.queue_depth.add(1);
+        let mut admit = trace::span("serve.admit");
+        admit.attr_u64("depth", depth as u64);
+        drop(admit);
 
         // Degradation ladder: one rung per `degrade_at` of depth at
         // admission time.
@@ -277,7 +408,10 @@ impl Server {
             }
         }
         if degraded > 0 {
-            inner.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            inner.counters.degraded.inc();
+            let mut d = trace::span("serve.degrade");
+            d.attr_u64("rungs", u64::from(degraded));
+            d.attr_str("grid_used", &grid_used);
         }
 
         let now = Instant::now();
@@ -292,6 +426,7 @@ impl Server {
             deadline: now + Duration::from_millis(deadline_ms),
             accepted: now,
             reply: tx,
+            span: trace::current_span_id(),
         };
         {
             let sq = &inner.shards[shard];
@@ -306,6 +441,7 @@ impl Server {
             kind: "overloaded".to_string(),
             message: "server shut down before the request was served".to_string(),
             retry_after_ms: None,
+            request_id: String::new(),
         })
     }
 
@@ -313,15 +449,15 @@ impl Server {
     pub fn counters(&self) -> CounterSnapshot {
         let c = &self.inner.counters;
         CounterSnapshot {
-            received: c.received.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            shed: c.shed.load(Ordering::Relaxed),
-            degraded: c.degraded.load(Ordering::Relaxed),
-            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
-            malformed: c.malformed.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            cache_hits: c.cache_hits.load(Ordering::Relaxed),
-            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            received: c.received.get(),
+            completed: c.completed.get(),
+            shed: c.shed.get(),
+            degraded: c.degraded.get(),
+            deadline_expired: c.deadline_expired.get(),
+            malformed: c.malformed.get(),
+            failed: c.failed.get(),
+            cache_hits: c.cache_hits.get(),
+            cache_misses: c.cache_misses.get(),
         }
     }
 
@@ -398,28 +534,32 @@ fn worker(inner: &Inner, shard: usize) {
         };
         let Some(job) = job else { return };
         inner.queued.fetch_sub(1, Ordering::Relaxed);
+        inner.counters.queue_depth.add(-1);
         let response = if inner.shutdown.load(Ordering::SeqCst) {
             Response::Err {
                 id: job.req.id.clone(),
                 kind: "overloaded".to_string(),
                 message: "server is shutting down".to_string(),
                 retry_after_ms: None,
+                request_id: String::new(),
             }
         } else {
             serve_job(inner, &job)
         };
         match &response {
             Response::Ok { .. } => {
-                inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                inner.counters.completed.inc();
             }
             Response::Err { kind, .. } if kind == "deadline" => {
-                inner.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                inner.counters.deadline_expired.inc();
             }
             Response::Err { .. } => {
-                inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+                inner.counters.failed.inc();
             }
         }
-        inner.observe_service(job.accepted.elapsed());
+        let elapsed = job.accepted.elapsed();
+        inner.counters.service_us.record(elapsed.as_micros() as u64);
+        inner.observe_service(elapsed);
         // The client may have given up (dropped receiver); that is its
         // right, not an error.
         let _ = job.reply.send(response);
@@ -430,10 +570,17 @@ fn worker(inner: &Inner, shard: usize) {
 /// compile, sweep under the cancellation token, persist.
 fn serve_job(inner: &Inner, job: &Job) -> Response {
     let req = &job.req;
+    // Worker-side root: explicit parent ties this back to the
+    // connection thread's `serve.request` span, and keeping it open on
+    // this thread's stack makes the pipeline spans below (frontend
+    // parse, IR lowering, the sweep) implicit children.
+    let mut exec_span = trace::span_with_parent("serve.exec", job.span);
+    exec_span.attr_str("grid_used", &job.grid_used);
     let now = Instant::now();
     if now >= job.deadline {
         // Expired while queued: reject without burning compute on an
         // answer nobody is waiting for.
+        trace::event("serve.deadline");
         return Response::from_error(
             &req.id,
             &FlexclError::Deadline {
@@ -455,7 +602,8 @@ fn serve_job(inner: &Inner, job: &Job) -> Response {
                 if let Ok(summary) =
                     SweepSummary::from_json(&String::from_utf8_lossy(&payload))
                 {
-                    inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    inner.counters.cache_hits.inc();
+                    trace::event("serve.cache_hit");
                     return Response::Ok {
                         id: req.id.clone(),
                         summary,
@@ -463,6 +611,7 @@ fn serve_job(inner: &Inner, job: &Job) -> Response {
                         grid_used: job.grid_used.clone(),
                         cache: CacheDisposition::Hit,
                         elapsed_ms: job.accepted.elapsed().as_millis() as u64,
+                        request_id: String::new(),
                     };
                 }
                 // Decoded bytes that fail the protocol parse count as
@@ -470,7 +619,8 @@ fn serve_job(inner: &Inner, job: &Job) -> Response {
             }
         }
     }
-    inner.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+    inner.counters.cache_misses.inc();
+    trace::event("serve.cache_miss");
 
     let prepared = match workload::prepare(
         &req.src,
@@ -526,6 +676,7 @@ fn serve_job(inner: &Inner, job: &Job) -> Response {
                 first.message
             ),
             retry_after_ms: None,
+            request_id: String::new(),
         };
     }
 
@@ -544,5 +695,6 @@ fn serve_job(inner: &Inner, job: &Job) -> Response {
         grid_used: job.grid_used.clone(),
         cache: if inner.cache.is_some() { CacheDisposition::Miss } else { CacheDisposition::Off },
         elapsed_ms: job.accepted.elapsed().as_millis() as u64,
+        request_id: String::new(),
     }
 }

@@ -36,18 +36,37 @@ cargo run --release -q -p flexcl-bench --bin triage -- --check "$BENCH_ACC"
 # typed ok, a malformed frame with a typed rejection (not a crash), and
 # a past-deadline request with a typed deadline error — then shut down
 # cleanly and report its counters. jsonl transport, no network needed.
+# A trailing {"metrics":"json"} introspection frame must report counters
+# exactly matching the three smoke responses above (introspection itself
+# is not counted as traffic), every data-plane response must carry a
+# server-assigned request_id, and the request must leave a single rooted
+# trace tree in the --trace-out sink.
 SERVE_CACHE="$(mktemp -d -t serve_smoke_cache.XXXXXX)"
 SERVE_OUT="$(mktemp -t serve_smoke_out.XXXXXX.jsonl)"
+SERVE_TRACE="$(mktemp -t serve_smoke_trace.XXXXXX.jsonl)"
 BENCH_SERVE="$(mktemp -t bench_serve_smoke.XXXXXX.json)"
-trap 'rm -f "$BENCH_SMOKE" "$BENCH_ACC" "$SERVE_OUT" "$BENCH_SERVE"; rm -rf "$SERVE_CACHE"' EXIT
+BENCH_OBS="$(mktemp -t bench_obs_smoke.XXXXXX.json)"
+trap 'rm -f "$BENCH_SMOKE" "$BENCH_ACC" "$SERVE_OUT" "$SERVE_TRACE" "$BENCH_SERVE" "$BENCH_OBS"; rm -rf "$SERVE_CACHE"' EXIT
 printf '%s\n' \
   '{"id":"good","src":"__kernel void vadd(__global float* a, __global float* b, __global float* c) { int i = get_global_id(0); c[i] = a[i] + b[i]; }","global":4096}' \
   '{"id":"bad"' \
   '{"id":"late","src":"__kernel void vadd(__global float* a, __global float* b, __global float* c) { int i = get_global_id(0); c[i] = a[i] + b[i]; }","global":4096,"deadline_ms":0}' \
-  | cargo run --release -q -p flexcl-serve --bin serve -- --stdin --cache-dir "$SERVE_CACHE" > "$SERVE_OUT"
+  '{"metrics":"json"}' \
+  | cargo run --release -q -p flexcl-serve --bin serve -- --stdin --cache-dir "$SERVE_CACHE" --trace-out "$SERVE_TRACE" > "$SERVE_OUT"
 grep -q '"id":"good".*"status":"ok"' "$SERVE_OUT"
 grep -q '"status":"error","kind":"malformed"' "$SERVE_OUT"
 grep -q '"id":"late".*"kind":"deadline"' "$SERVE_OUT"
+grep -q '"id":"good".*"request_id":"' "$SERVE_OUT"
+grep -q '"serve.received":3' "$SERVE_OUT"
+grep -q '"serve.completed":1' "$SERVE_OUT"
+grep -q '"serve.malformed":1' "$SERVE_OUT"
+grep -q '"serve.deadline_expired":1' "$SERVE_OUT"
+grep -q '"serve.cache_misses":1' "$SERVE_OUT"
+grep -q '"name":"serve.request"' "$SERVE_TRACE"
+grep -q '"name":"dse.sweep"' "$SERVE_TRACE"
+# one root per data-plane frame (good, bad, late) — and nothing orphaned
+test "$(grep -c '"parent":0' "$SERVE_TRACE")" -eq 3
+test "$(grep -c '"parent":0.*"name":"serve.request"' "$SERVE_TRACE")" -eq 3
 # Serving throughput + overload gate: steady phase must sustain ≥1k req/s
 # of cache-warm traffic, and the overload phase (2× more concurrent
 # clients than queue slots) must show admission control actually working:
@@ -57,3 +76,11 @@ cargo run --release -q -p flexcl-bench --bin serve_bench -- \
   --steady-requests 4000 --out "$BENCH_SERVE"
 cargo run --release -q -p flexcl-bench --bin serve_bench -- \
   --check "$BENCH_SERVE" --require-overload --min-rps 1000
+# Observability overhead gate: paired off/on fine-grid sweeps must show
+# ≤5% traced overhead (quietest pair), the derived compiled-in-but-
+# disabled cost must stay ≤1%, and the serve row must show live p50/p99
+# with tracing on. Schema-checked like the other BENCH files.
+cargo run --release -q -p flexcl-bench --bin obs_bench -- \
+  --reps 3 --serve-requests 1000 --out "$BENCH_OBS"
+cargo run --release -q -p flexcl-bench --bin obs_bench -- \
+  --check "$BENCH_OBS" --max-overhead-pct 5 --max-disabled-pct 1
