@@ -3,32 +3,41 @@
 //!
 //! ```text
 //! serve_bench [--steady-requests N] [--steady-clients N] [--overload-clients N]
-//!             [--workers N] [--out PATH]
-//! serve_bench --check PATH [--require-overload] [--min-rps X]
+//!             [--workers N] [--no-backoff] [--out PATH]
+//! serve_bench --check PATH [--require-overload] [--require-coalesce]
+//!             [--require-warm-hits] [--min-rps X]
 //! ```
 //!
-//! Two phases against an in-process server (the transport is exercised
-//! by the tier-1 smoke; this measures the service core):
+//! Four phases:
 //!
-//! * **steady** — a small kernel working set is warmed once, then
-//!   clients replay it; traffic is cache-hit dominated, measuring the
-//!   request path a warm production server actually runs. Reports
-//!   client-observed p50/p99 latency and requests/s.
-//! * **overload** — a deliberately tiny queue (`2×` more concurrent
-//!   clients than capacity) of unique fine-grid sources, some with
-//!   impossible deadlines. Proves the robustness counters move: shed,
-//!   degraded and deadline rejections must all be nonzero while the
-//!   server keeps answering.
+//! * **steady** — a small kernel working set is warmed once into a
+//!   persistent result cache, then clients replay it in-process;
+//!   traffic is cache-hit dominated, measuring the request path a warm
+//!   production server actually runs. The warm-up asserts the replay
+//!   really hits the cache before anything is timed.
+//! * **steady-tcp** (Linux) — the same working set driven over real TCP
+//!   sockets through the epoll transport, so the framing and event-loop
+//!   overhead is measured, not assumed.
+//! * **coalesce** — concurrent clients replay one identical fine-grid
+//!   frame against a cache-less server: all but the request leading
+//!   each sweep must park on it and share the result (`coalesced > 0`).
+//! * **overload** — a sustained storm (16 requests per client) of
+//!   unique fine-grid sources against a deliberately tiny queue, some
+//!   with impossible deadlines. Clients honor the server's
+//!   `retry_after_ms` back-off hint (disable with `--no-backoff`).
+//!   Shed and completed latencies are reported separately — a shed
+//!   rejection returns in microseconds and saying "p50 0.002 ms" about
+//!   a phase that mostly sheds would measure nothing.
 //!
 //! `--check` validates a previously written file: schema keys on every
-//! row, finite positive throughput, and (with `--require-overload`) the
-//! nonzero shed/degraded/deadline acceptance gate.
+//! row, finite positive throughput, optional steady rps floor, and the
+//! nonzero overload / coalesce / warm-hit acceptance gates.
 
 use flexcl_serve::server::ServerConfig;
 use flexcl_serve::{CounterSnapshot, Server};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One kernel shape per distinct fingerprint in the steady working set.
 fn steady_kernel(i: usize) -> String {
@@ -46,13 +55,19 @@ fn request(id: &str, src: &str, global: u64, extra: &str) -> String {
 
 struct PhaseRow {
     phase: &'static str,
+    transport: &'static str,
     workers: usize,
     clients: usize,
     queue_cap: usize,
     requests: u64,
     counters: CounterSnapshot,
+    backoff: bool,
     p50_ms: f64,
     p99_ms: f64,
+    completed_p50_ms: f64,
+    completed_p99_ms: f64,
+    shed_p50_ms: f64,
+    shed_p99_ms: f64,
     requests_per_sec: f64,
     elapsed_ms: f64,
 }
@@ -65,14 +80,57 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
+/// Client-observed latencies, split by outcome.
+#[derive(Default)]
+struct Latencies {
+    all: Vec<f64>,
+    completed: Vec<f64>,
+    shed: Vec<f64>,
+}
+
+impl Latencies {
+    fn absorb(&mut self, mut other: Latencies) {
+        self.all.append(&mut other.all);
+        self.completed.append(&mut other.completed);
+        self.shed.append(&mut other.shed);
+    }
+
+    fn sort(&mut self) {
+        self.all.sort_by(|a, b| a.total_cmp(b));
+        self.completed.sort_by(|a, b| a.total_cmp(b));
+        self.shed.sort_by(|a, b| a.total_cmp(b));
+    }
+}
+
+/// Back-off cap: the server's hint is an EWMA of full service time,
+/// which against fine-grid storms would idle clients for longer than
+/// the bench runs. Sleeping a bounded slice still yields the queue.
+const BACKOFF_CAP_MS: u64 = 5;
+
+fn record(lat: &mut Latencies, kind: &str, ms: f64, retry_hint: Option<u64>, backoff: bool) {
+    lat.all.push(ms);
+    match kind {
+        "ok" => lat.completed.push(ms),
+        "overloaded" => {
+            lat.shed.push(ms);
+            if backoff {
+                let hint = retry_hint.unwrap_or(1).clamp(1, BACKOFF_CAP_MS);
+                std::thread::sleep(Duration::from_millis(hint));
+            }
+        }
+        _ => {}
+    }
+}
+
 /// Fires `total` requests from `clients` threads, each picking frames
-/// round-robin from `frames`, and collects client-side latencies.
+/// round-robin from `frames`, against the in-process service core.
 fn fire(
     server: &Arc<Server>,
     frames: &Arc<Vec<String>>,
     clients: usize,
     total: usize,
-) -> (Vec<f64>, f64) {
+    backoff: bool,
+) -> (Latencies, f64) {
     let next = Arc::new(AtomicUsize::new(0));
     let start = Instant::now();
     let handles: Vec<_> = (0..clients)
@@ -81,29 +139,215 @@ fn fire(
             let frames = Arc::clone(frames);
             let next = Arc::clone(&next);
             std::thread::spawn(move || {
-                let mut lat = Vec::new();
+                let mut lat = Latencies::default();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
                         return lat;
                     }
                     let t = Instant::now();
-                    let _ = server.handle_frame(&frames[i % frames.len()]);
-                    lat.push(t.elapsed().as_secs_f64() * 1000.0);
+                    let resp = server.handle_frame(&frames[i % frames.len()]);
+                    let ms = t.elapsed().as_secs_f64() * 1000.0;
+                    record(&mut lat, resp.kind(), ms, resp.retry_after_ms(), backoff);
                 }
             })
         })
         .collect();
-    let mut latencies = Vec::with_capacity(total);
+    let mut latencies = Latencies::default();
     for h in handles {
-        latencies.extend(h.join().expect("client thread"));
+        latencies.absorb(h.join().expect("client thread"));
     }
     let elapsed = start.elapsed().as_secs_f64();
-    latencies.sort_by(|a, b| a.total_cmp(b));
+    latencies.sort();
     (latencies, elapsed)
 }
 
+/// Fires `total` requests over real TCP connections to `addr`, one
+/// socket per client, length-prefixed frames both ways.
+#[cfg(target_os = "linux")]
+fn fire_tcp(
+    addr: std::net::SocketAddrV4,
+    frames: &Arc<Vec<String>>,
+    clients: usize,
+    total: usize,
+) -> (Latencies, f64) {
+    use flexcl_serve::protocol::{read_frame, write_frame};
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let frames = Arc::clone(frames);
+            let next = Arc::clone(&next);
+            std::thread::spawn(move || {
+                let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut lat = Latencies::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        return lat;
+                    }
+                    let t = Instant::now();
+                    write_frame(&mut stream, &frames[i % frames.len()]).expect("write");
+                    let reply = read_frame(&mut stream).expect("read").expect("frame");
+                    let ms = t.elapsed().as_secs_f64() * 1000.0;
+                    let kind =
+                        if reply.contains("\"status\":\"ok\"") { "ok" } else { "error" };
+                    record(&mut lat, kind, ms, None, false);
+                }
+            })
+        })
+        .collect();
+    let mut latencies = Latencies::default();
+    for h in handles {
+        latencies.absorb(h.join().expect("client thread"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies.sort();
+    (latencies, elapsed)
+}
+
+fn row(
+    phase: &'static str,
+    transport: &'static str,
+    workers: usize,
+    clients: usize,
+    queue_cap: usize,
+    counters: CounterSnapshot,
+    backoff: bool,
+    lat: &Latencies,
+    elapsed: f64,
+) -> PhaseRow {
+    PhaseRow {
+        phase,
+        transport,
+        workers,
+        clients,
+        queue_cap,
+        requests: lat.all.len() as u64,
+        counters,
+        backoff,
+        p50_ms: percentile(&lat.all, 0.50),
+        p99_ms: percentile(&lat.all, 0.99),
+        completed_p50_ms: percentile(&lat.completed, 0.50),
+        completed_p99_ms: percentile(&lat.completed, 0.99),
+        shed_p50_ms: percentile(&lat.shed, 0.50),
+        shed_p99_ms: percentile(&lat.shed, 0.99),
+        requests_per_sec: lat.all.len() as f64 / elapsed,
+        elapsed_ms: elapsed * 1000.0,
+    }
+}
+
+/// A scratch directory for the steady phase's persistent cache,
+/// removed on drop.
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let path =
+            std::env::temp_dir().join(format!("serve_bench-{tag}-{}-{nanos}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create cache scratch dir");
+        ScratchDir(path)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn steady_config(workers: usize, cache_dir: Option<std::path::PathBuf>) -> ServerConfig {
+    ServerConfig {
+        workers,
+        queue_cap: 256,
+        degrade_at: usize::MAX,
+        default_deadline_ms: 60_000,
+        cache_dir,
+        ..ServerConfig::default()
+    }
+}
+
+/// Warms the working set and proves the replay path hits the cache:
+/// every shape computed once (miss), then one replay that must come
+/// back `"cache":"hit"` — the anomaly this guards against is a steady
+/// phase silently measuring cache-less traffic.
+fn warm(server: &Server, frames: &[String]) {
+    for f in frames {
+        let resp = server.handle_frame(f);
+        assert_eq!(resp.kind(), "ok", "warm-up failed: {}", resp.to_json());
+    }
+    let probe = server.handle_frame(&frames[0]);
+    assert_eq!(probe.kind(), "ok", "warm probe failed: {}", probe.to_json());
+    assert!(
+        probe.to_json().contains("\"cache\":\"hit\""),
+        "warm replay did not hit the persistent cache: {}",
+        probe.to_json()
+    );
+    assert!(server.counters().cache_hits > 0, "warm-up recorded no cache hits");
+}
+
+fn steady_frames() -> Vec<String> {
+    (0..4).map(|i| request(&format!("w{i}"), &steady_kernel(i), 1024, "")).collect()
+}
+
 fn steady_phase(workers: usize, clients: usize, total: usize) -> PhaseRow {
+    let scratch = ScratchDir::new("steady");
+    let (server, _) =
+        Server::start(steady_config(workers, Some(scratch.0.clone()))).expect("start steady");
+    let server = Arc::new(server);
+    let frames = steady_frames();
+    warm(&server, &frames);
+    let frames = Arc::new(frames);
+
+    let (lat, elapsed) = fire(&server, &frames, clients, total, false);
+    let counters = server.counters();
+    // Every steady request is served without a fresh sweep: from the
+    // warm persistent cache, or coalesced onto a twin already fetching.
+    assert!(
+        (counters.cache_hits + counters.coalesced) as usize >= total,
+        "steady traffic must be cache-hit dominated (hits={} coalesced={} total={total})",
+        counters.cache_hits,
+        counters.coalesced,
+    );
+    let r = row("steady", "in-process", workers, clients, 256, counters, false, &lat, elapsed);
+    Arc::into_inner(server).expect("sole handle").shutdown();
+    r
+}
+
+#[cfg(target_os = "linux")]
+fn steady_tcp_phase(workers: usize, clients: usize, total: usize) -> PhaseRow {
+    use flexcl_serve::net::epoll::{EpollOptions, EpollTransport};
+    let scratch = ScratchDir::new("steady-tcp");
+    let (server, _) =
+        Server::start(steady_config(workers, Some(scratch.0.clone()))).expect("start steady-tcp");
+    let server = Arc::new(server);
+    let frames = steady_frames();
+    warm(&server, &frames);
+    let frames = Arc::new(frames);
+
+    let transport = EpollTransport::bind(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        EpollOptions { listeners: 2, ..EpollOptions::default() },
+    )
+    .expect("bind epoll");
+    let (lat, elapsed) = fire_tcp(transport.local_addr(), &frames, clients, total);
+    let counters = server.counters();
+    let r = row("steady-tcp", "epoll", workers, clients, 256, counters, false, &lat, elapsed);
+    transport.shutdown().expect("transport shutdown");
+    Arc::into_inner(server).expect("sole handle").shutdown();
+    r
+}
+
+/// Identical fine-grid frames from concurrent clients against a
+/// cache-less server: every request that arrives while a twin's sweep
+/// is queued or executing parks on it, so one sweep fans out to many.
+fn coalesce_phase(workers: usize, clients: usize) -> PhaseRow {
     let queue_cap = 256;
     let (server, _) = Server::start(ServerConfig {
         workers,
@@ -112,42 +356,32 @@ fn steady_phase(workers: usize, clients: usize, total: usize) -> PhaseRow {
         default_deadline_ms: 60_000,
         ..ServerConfig::default()
     })
-    .expect("start steady server");
+    .expect("start coalesce");
     let server = Arc::new(server);
 
-    // Warm the working set: 4 kernel shapes, computed once each. Note
-    // the server runs cache-less here — the warm path being measured is
-    // the *core analysis cache* plus the request pipeline, the same
-    // shape a warm persistent cache serves.
-    let frames: Vec<String> = (0..4)
-        .map(|i| request(&format!("w{i}"), &steady_kernel(i), 1024, ""))
-        .collect();
-    for f in &frames {
-        let resp = server.handle_frame(f);
-        assert_eq!(resp.kind(), "ok", "warm-up failed: {}", resp.to_json());
-    }
-    let frames = Arc::new(frames);
-
-    let (latencies, elapsed) = fire(&server, &frames, clients, total);
-    let requests = latencies.len() as u64;
-    let row = PhaseRow {
-        phase: "steady",
-        workers,
-        clients,
-        queue_cap,
-        requests,
-        counters: server.counters(),
-        p50_ms: percentile(&latencies, 0.50),
-        p99_ms: percentile(&latencies, 0.99),
-        requests_per_sec: requests as f64 / elapsed,
-        elapsed_ms: elapsed * 1000.0,
-    };
+    let frames = Arc::new(vec![request(
+        "dup",
+        "__kernel void hot(__global float* a, __global float* b) { \
+           int i = get_global_id(0); b[i] = a[i] * a[i] + b[i]; }",
+        4096,
+        r#","grid":"fine""#,
+    )]);
+    let total = clients * 8;
+    let (lat, elapsed) = fire(&server, &frames, clients, total, false);
+    let counters = server.counters();
+    assert!(
+        counters.coalesced > 0,
+        "identical concurrent requests coalesced zero times in {total} attempts"
+    );
+    let r = row("coalesce", "in-process", workers, clients, queue_cap, counters, false, &lat, elapsed);
     Arc::into_inner(server).expect("sole handle").shutdown();
-    row
+    r
 }
 
-fn overload_phase(workers: usize, clients: usize) -> PhaseRow {
-    // 2× overload by construction: concurrent clients = 2 × queue_cap.
+fn overload_phase(workers: usize, clients: usize, backoff: bool) -> PhaseRow {
+    // 2× overload by construction: concurrent clients = 2 × queue_cap,
+    // sustained for 16 requests per client so shedding and degradation
+    // are a steady regime, not a transient spike.
     let queue_cap = clients / 2;
     let (server, _) = Server::start(ServerConfig {
         workers,
@@ -159,9 +393,9 @@ fn overload_phase(workers: usize, clients: usize) -> PhaseRow {
     .expect("start overload server");
     let server = Arc::new(server);
 
-    // Unique fine-grid sources (no cache relief) plus a slice of
-    // impossible deadlines: every robustness counter must move.
-    let frames: Vec<String> = (0..clients * 4)
+    // Unique fine-grid sources (no cache or coalescing relief) plus a
+    // slice of impossible deadlines: every robustness counter must move.
+    let frames: Vec<String> = (0..clients * 16)
         .map(|i| {
             let src = format!(
                 "__kernel void o{i}(__global float* a) {{ \
@@ -178,32 +412,32 @@ fn overload_phase(workers: usize, clients: usize) -> PhaseRow {
     let total = frames.len();
     let frames = Arc::new(frames);
 
-    let (latencies, elapsed) = fire(&server, &frames, clients, total);
+    let (lat, elapsed) = fire(&server, &frames, clients, total, backoff);
     // The storm's deadline-0 requests race admission control and may all
     // be shed; this post-storm probe lands in an empty queue, so it is
     // always admitted and always rejected at claim time — the
     // deadline_expired counter is deterministic, not a race artifact.
     let probe = request("probe", &steady_kernel(0), 1024, r#","deadline_ms":0"#);
     assert_eq!(server.handle_frame(&probe).kind(), "deadline");
-    let row = PhaseRow {
-        phase: "overload",
+    let r = row(
+        "overload",
+        "in-process",
         workers,
         clients,
         queue_cap,
-        requests: latencies.len() as u64,
-        counters: server.counters(),
-        p50_ms: percentile(&latencies, 0.50),
-        p99_ms: percentile(&latencies, 0.99),
-        requests_per_sec: latencies.len() as f64 / elapsed,
-        elapsed_ms: elapsed * 1000.0,
-    };
+        server.counters(),
+        backoff,
+        &lat,
+        elapsed,
+    );
     Arc::into_inner(server).expect("sole handle").shutdown();
-    row
+    r
 }
 
 /// Every key a BENCH_serve.json row must carry.
-const BENCH_KEYS: [&str; 18] = [
+const BENCH_KEYS: [&str; 26] = [
     "phase",
+    "transport",
     "workers",
     "clients",
     "queue_cap",
@@ -216,11 +450,18 @@ const BENCH_KEYS: [&str; 18] = [
     "failed",
     "cache_hits",
     "cache_misses",
+    "coalesced",
+    "backoff",
     "p50_ms",
     "p99_ms",
+    "completed_p50_ms",
+    "completed_p99_ms",
+    "shed_p50_ms",
+    "shed_p99_ms",
     "requests_per_sec",
     "elapsed_ms",
     "host_cores",
+    "listeners",
 ];
 
 fn write_bench_json(rows: &[PhaseRow], out: Option<&str>) {
@@ -228,13 +469,18 @@ fn write_bench_json(rows: &[PhaseRow], out: Option<&str>) {
     let mut body = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         let c = &r.counters;
+        let listeners = if r.transport == "epoll" { 2 } else { 0 };
         body.push_str(&format!(
-            "  {{\"phase\": \"{}\", \"workers\": {}, \"clients\": {}, \"queue_cap\": {}, \
-             \"requests\": {}, \"completed\": {}, \"shed\": {}, \"degraded\": {}, \
-             \"deadline_expired\": {}, \"malformed\": {}, \"failed\": {}, \
-             \"cache_hits\": {}, \"cache_misses\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
-             \"requests_per_sec\": {:.1}, \"elapsed_ms\": {:.1}, \"host_cores\": {}}}{}\n",
+            "  {{\"phase\": \"{}\", \"transport\": \"{}\", \"workers\": {}, \"clients\": {}, \
+             \"queue_cap\": {}, \"requests\": {}, \"completed\": {}, \"shed\": {}, \
+             \"degraded\": {}, \"deadline_expired\": {}, \"malformed\": {}, \"failed\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"coalesced\": {}, \"backoff\": {}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"completed_p50_ms\": {:.3}, \
+             \"completed_p99_ms\": {:.3}, \"shed_p50_ms\": {:.4}, \"shed_p99_ms\": {:.4}, \
+             \"requests_per_sec\": {:.1}, \"elapsed_ms\": {:.1}, \"host_cores\": {}, \
+             \"listeners\": {}}}{}\n",
             r.phase,
+            r.transport,
             r.workers,
             r.clients,
             r.queue_cap,
@@ -247,11 +493,18 @@ fn write_bench_json(rows: &[PhaseRow], out: Option<&str>) {
             c.failed,
             c.cache_hits,
             c.cache_misses,
+            c.coalesced,
+            r.backoff,
             r.p50_ms,
             r.p99_ms,
+            r.completed_p50_ms,
+            r.completed_p99_ms,
+            r.shed_p50_ms,
+            r.shed_p99_ms,
             r.requests_per_sec,
             r.elapsed_ms,
             cores,
+            listeners,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -266,9 +519,10 @@ fn write_bench_json(rows: &[PhaseRow], out: Option<&str>) {
     for r in rows {
         let c = &r.counters;
         println!(
-            "  {:<9} {:>6} requests  {:>9.0} req/s  p50={:.2}ms p99={:.2}ms  \
-             ok={} shed={} degraded={} deadline={}",
+            "  {:<10} {:<10} {:>6} requests  {:>9.0} req/s  p50={:.2}ms p99={:.2}ms  \
+             ok={} shed={} degraded={} deadline={} cache_hits={} coalesced={}",
             r.phase,
+            r.transport,
             r.requests,
             r.requests_per_sec,
             r.p50_ms,
@@ -277,6 +531,8 @@ fn write_bench_json(rows: &[PhaseRow], out: Option<&str>) {
             c.shed,
             c.degraded,
             c.deadline_expired,
+            c.cache_hits,
+            c.coalesced,
         );
     }
     println!("wrote {}", path.display());
@@ -298,10 +554,16 @@ fn str_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
 }
 
 /// Validates a BENCH_serve.json: schema keys on every row, finite
-/// positive throughput, optional steady-phase rps floor, and (with
-/// `require_overload`) an overload row with nonzero shed, degraded and
-/// deadline counters. Exits non-zero on the first problem.
-fn check_bench_json(path: &str, require_overload: bool, min_rps: Option<f64>) {
+/// positive throughput, optional steady-phase rps floor, and the
+/// overload / coalesce / warm-hit acceptance gates. Exits non-zero on
+/// the first problem.
+fn check_bench_json(
+    path: &str,
+    require_overload: bool,
+    require_coalesce: bool,
+    require_warm_hits: bool,
+    min_rps: Option<f64>,
+) {
     let body = match std::fs::read_to_string(path) {
         Ok(b) => b,
         Err(e) => {
@@ -318,6 +580,8 @@ fn check_bench_json(path: &str, require_overload: bool, min_rps: Option<f64>) {
         fail("no benchmark rows".to_string());
     }
     let mut saw_overload_gate = false;
+    let mut saw_coalesce_gate = false;
+    let mut saw_warm_gate = false;
     for (i, obj) in objects.iter().enumerate() {
         for key in BENCH_KEYS {
             if !obj.contains(&format!("\"{key}\":")) {
@@ -336,28 +600,48 @@ fn check_bench_json(path: &str, require_overload: bool, min_rps: Option<f64>) {
                     fail(format!("steady phase sustained {rps:.0} req/s < the {floor:.0} floor"));
                 }
             }
+            if require_warm_hits {
+                let hits = num_field(obj, "cache_hits").unwrap_or(0.0);
+                if hits <= 0.0 {
+                    fail("steady row: cache_hits = 0 — the warm cache is not being hit"
+                        .to_string());
+                }
+                saw_warm_gate = true;
+            }
         }
-        if phase == "overload" {
+        if phase == "coalesce" && require_coalesce {
+            let coalesced = num_field(obj, "coalesced").unwrap_or(0.0);
+            if coalesced <= 0.0 {
+                fail("coalesce row: coalesced = 0 — identical in-flight requests did not share"
+                    .to_string());
+            }
+            saw_coalesce_gate = true;
+        }
+        if phase == "overload" && require_overload {
             let shed = num_field(obj, "shed").unwrap_or(0.0);
             let degraded = num_field(obj, "degraded").unwrap_or(0.0);
             let deadline = num_field(obj, "deadline_expired").unwrap_or(0.0);
             let completed = num_field(obj, "completed").unwrap_or(0.0);
-            if require_overload {
-                if shed <= 0.0 || degraded <= 0.0 || deadline <= 0.0 {
-                    fail(format!(
-                        "overload row: shed={shed} degraded={degraded} \
-                         deadline_expired={deadline} — all must be nonzero"
-                    ));
-                }
-                if completed <= 0.0 {
-                    fail("overload row: server completed nothing under pressure".to_string());
-                }
-                saw_overload_gate = true;
+            if shed <= 0.0 || degraded <= 0.0 || deadline <= 0.0 {
+                fail(format!(
+                    "overload row: shed={shed} degraded={degraded} \
+                     deadline_expired={deadline} — all must be nonzero"
+                ));
             }
+            if completed <= 0.0 {
+                fail("overload row: server completed nothing under pressure".to_string());
+            }
+            saw_overload_gate = true;
         }
     }
     if require_overload && !saw_overload_gate {
         fail("no overload row to gate on".to_string());
+    }
+    if require_coalesce && !saw_coalesce_gate {
+        fail("no coalesce row to gate on".to_string());
+    }
+    if require_warm_hits && !saw_warm_gate {
+        fail("no steady row to gate warm hits on".to_string());
     }
     println!("BENCH check: {path}: {} rows ok", objects.len());
 }
@@ -370,7 +654,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(path) = flag_value(&args, "--check") {
         let min_rps = flag_value(&args, "--min-rps").map(|v| v.parse().expect("bad --min-rps"));
-        check_bench_json(path, args.iter().any(|a| a == "--require-overload"), min_rps);
+        check_bench_json(
+            path,
+            args.iter().any(|a| a == "--require-overload"),
+            args.iter().any(|a| a == "--require-coalesce"),
+            args.iter().any(|a| a == "--require-warm-hits"),
+            min_rps,
+        );
         return;
     }
     let parse = |flag: &str, default: usize| -> usize {
@@ -381,10 +671,23 @@ fn main() {
     let steady_requests = parse("--steady-requests", 20_000);
     let steady_clients = parse("--steady-clients", 4);
     let overload_clients = parse("--overload-clients", 16);
+    let backoff = !args.iter().any(|a| a == "--no-backoff");
 
+    let mut rows = Vec::new();
     println!("steady phase: {steady_clients} clients, {steady_requests} requests…");
-    let steady = steady_phase(workers, steady_clients, steady_requests);
-    println!("overload phase: {overload_clients} clients on a {}-slot queue…", overload_clients / 2);
-    let overload = overload_phase(workers, overload_clients);
-    write_bench_json(&[steady, overload], flag_value(&args, "--out"));
+    rows.push(steady_phase(workers, steady_clients, steady_requests));
+    #[cfg(target_os = "linux")]
+    {
+        let tcp_requests = (steady_requests / 4).max(1);
+        println!("steady-tcp phase: {steady_clients} clients, {tcp_requests} requests over epoll…");
+        rows.push(steady_tcp_phase(workers, steady_clients, tcp_requests));
+    }
+    println!("coalesce phase: 8 clients replaying one fine-grid frame…");
+    rows.push(coalesce_phase(workers.min(2), 8));
+    println!(
+        "overload phase: {overload_clients} clients on a {}-slot queue (backoff={backoff})…",
+        overload_clients / 2
+    );
+    rows.push(overload_phase(workers, overload_clients, backoff));
+    write_bench_json(&rows, flag_value(&args, "--out"));
 }

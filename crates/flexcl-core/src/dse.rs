@@ -788,8 +788,8 @@ enum FamilyAnalysis {
     Failed { kind: ErrorKind, message: String, nanos: u64 },
 }
 
-/// Process-wide memoization of kernel analyses, keyed by the *content* of
-/// everything the analysis depends on.
+/// Memoization of kernel analyses, keyed by the *content* of everything
+/// the analysis depends on.
 ///
 /// A sweep's families already share one analysis each; this layer shares
 /// them across sweeps, so a benchmark harness or parameter study that
@@ -802,6 +802,11 @@ enum FamilyAnalysis {
 /// ([`DseOptions::analysis_cache_cap`]); eviction is FIFO, oldest entry
 /// first, so a parameter study cycling through kernels keeps its working
 /// set instead of dropping everything at once.
+///
+/// The default entry points share one process-wide [`AnalysisCache`];
+/// callers that need an isolated lifetime (a server scoping reuse to its
+/// own instance, a test proving cold-start behaviour) own an
+/// `AnalysisCache` and thread it through [`explore_space_cached`].
 mod analysis_cache {
     use super::*;
     use flexcl_interp::KernelArg;
@@ -823,7 +828,26 @@ mod analysis_cache {
     /// profiling artifacts.
     pub(super) const DEFAULT_CAP: usize = 64;
 
-    static CACHE: Mutex<Vec<(Key, Arc<KernelAnalysis>)>> = Mutex::new(Vec::new());
+    /// A content-keyed store of settled [`KernelAnalysis`] values,
+    /// shareable across sweeps. All methods take `&self`; the store is a
+    /// single mutex over a small FIFO vector (lookups are off the
+    /// estimation hot loop — one per family per sweep).
+    ///
+    /// [`explore_space`](super::explore_space) and friends use a hidden
+    /// process-wide instance; [`explore_space_cached`](super::explore_space_cached)
+    /// takes a caller-owned one, which is how a serving deployment scopes
+    /// per-family reuse to the server's lifetime and capacity instead of
+    /// the whole process.
+    #[derive(Debug, Default)]
+    pub struct AnalysisCache {
+        entries: Mutex<Vec<(Key, Arc<KernelAnalysis>)>>,
+    }
+
+    /// The process-wide instance behind the default entry points.
+    pub(super) fn global() -> &'static AnalysisCache {
+        static GLOBAL: AnalysisCache = AnalysisCache { entries: Mutex::new(Vec::new()) };
+        &GLOBAL
+    }
 
     fn seeded(seed: u64) -> DefaultHasher {
         let mut h = DefaultHasher::new();
@@ -877,28 +901,52 @@ mod analysis_cache {
         (a.finish(), b.finish())
     }
 
-    pub(super) fn lookup(key: &Key) -> Option<Arc<KernelAnalysis>> {
-        let cache = CACHE.lock().unwrap_or_else(|e| e.into_inner());
-        cache.iter().find(|(k, _)| k == key).map(|(_, a)| Arc::clone(a))
-    }
+    impl AnalysisCache {
+        /// An empty cache. Capacity is supplied per insert (it follows
+        /// [`DseOptions::analysis_cache_cap`](super::DseOptions), not the
+        /// store), so there is nothing to configure here.
+        #[must_use]
+        pub fn new() -> Self {
+            Self::default()
+        }
 
-    /// Inserts under a FIFO policy bounded by `cap`; returns how many
-    /// resident entries were evicted to make room.
-    pub(super) fn insert(key: Key, analysis: &Arc<KernelAnalysis>, cap: usize) -> u64 {
-        let mut cache = CACHE.lock().unwrap_or_else(|e| e.into_inner());
-        if cache.iter().any(|(k, _)| *k == key) {
-            return 0; // racing workers computed the same analysis
+        /// Resident entry count (diagnostics / tests).
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
         }
-        let cap = cap.max(1);
-        let mut evicted = 0;
-        while cache.len() >= cap {
-            cache.remove(0);
-            evicted += 1;
+
+        /// True when no analysis is resident.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
-        cache.push((key, Arc::clone(analysis)));
-        evicted
+
+        pub(super) fn lookup(&self, key: &Key) -> Option<Arc<KernelAnalysis>> {
+            let cache = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            cache.iter().find(|(k, _)| k == key).map(|(_, a)| Arc::clone(a))
+        }
+
+        /// Inserts under a FIFO policy bounded by `cap`; returns how many
+        /// resident entries were evicted to make room.
+        pub(super) fn insert(&self, key: Key, analysis: &Arc<KernelAnalysis>, cap: usize) -> u64 {
+            let mut cache = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            if cache.iter().any(|(k, _)| *k == key) {
+                return 0; // racing workers computed the same analysis
+            }
+            let cap = cap.max(1);
+            let mut evicted = 0;
+            while cache.len() >= cap {
+                cache.remove(0);
+                evicted += 1;
+            }
+            cache.push((key, Arc::clone(analysis)));
+            evicted
+        }
     }
 }
+
+pub use analysis_cache::AnalysisCache;
 
 /// Renders a caught panic payload for the diagnostics report.
 fn panic_message(payload: Box<dyn Any + Send>) -> String {
@@ -920,6 +968,10 @@ struct SweepInputs<'a> {
     workload: &'a Workload,
     opts: DseOptions,
     fingerprint: Option<(u64, u64)>,
+    /// Which analysis store this sweep reuses from — the process-wide
+    /// one for the default entry points, a caller-owned one for
+    /// [`explore_space_cached`].
+    cache: &'a AnalysisCache,
     /// Trace id of the enclosing `dse.sweep` span (`0` when tracing is
     /// off) — the explicit parent for spans opened on worker threads,
     /// which do not inherit the sweep thread's span stack.
@@ -943,7 +995,7 @@ fn analyze_family(
     work_group: (u32, u32),
     scratch: &mut AnalysisScratch,
 ) -> FamilyAnalysis {
-    let SweepInputs { func, platform, workload, opts, fingerprint, .. } = *sweep;
+    let SweepInputs { func, platform, workload, opts, fingerprint, cache, .. } = *sweep;
     let mut span = trace::span_with_parent("dse.analysis", sweep_parent(sweep));
     span.attr_u64("wg_x", u64::from(work_group.0));
     span.attr_u64("wg_y", u64::from(work_group.1));
@@ -962,7 +1014,7 @@ fn analyze_family(
             );
         }
         if let Some(key) = &cache_key {
-            if let Some(hit) = analysis_cache::lookup(key) {
+            if let Some(hit) = cache.lookup(key) {
                 return (Ok(hit), true, 0);
             }
         }
@@ -977,7 +1029,7 @@ fn analyze_family(
         .map(Arc::new);
         let mut evictions = 0;
         if let (Some(key), Ok(a)) = (&cache_key, &fresh) {
-            evictions = analysis_cache::insert(key.clone(), a, opts.analysis_cache_cap);
+            evictions = cache.insert(key.clone(), a, opts.analysis_cache_cap);
         }
         (fresh, false, evictions)
     }));
@@ -1186,6 +1238,7 @@ fn run_sweep(
     opts: DseOptions,
     start: Instant,
     cancel: Option<&CancelToken>,
+    cache: &AnalysisCache,
 ) -> Result<DseResult, FlexclError> {
     // Intern the kernel and platform once; every family's analysis shares
     // these allocations instead of cloning them.
@@ -1215,6 +1268,7 @@ fn run_sweep(
         workload,
         opts,
         fingerprint,
+        cache,
         span: sweep_span.id(),
     };
     let sched = build_schedule(&family_lens, chunk_size);
@@ -1421,11 +1475,50 @@ pub fn explore_space(
     grid: &SweepGrid,
     opts: DseOptions,
 ) -> Result<DseResult, FlexclError> {
+    explore_space_cached(func, platform, workload, grid, opts, None, analysis_cache::global())
+}
+
+/// [`explore_space`] with an explicit cancellation token and analysis
+/// store — the fully-general sweep entry point the others delegate to.
+///
+/// `cancel` bounds the sweep exactly as in [`explore_space_deadline`]
+/// (pass `None` for an unbounded sweep). `cache` names the
+/// [`AnalysisCache`] the sweep reuses per-family analyses from: the
+/// default entry points share one process-wide store, while a serving
+/// deployment passes its own so warm-path reuse is scoped to the server
+/// instance (and dies with it) instead of leaking across tenants of the
+/// process. The cache only changes *where* settled analyses are found —
+/// explored points are bit-identical whichever store is supplied.
+///
+/// # Errors
+///
+/// As [`explore_space_deadline`]: [`FlexclError::Platform`] for an
+/// invalid platform description, [`FlexclError::Deadline`] when a
+/// supplied token trips mid-sweep.
+pub fn explore_space_cached(
+    func: &Function,
+    platform: &Platform,
+    workload: &Workload,
+    grid: &SweepGrid,
+    opts: DseOptions,
+    cancel: Option<&CancelToken>,
+    cache: &AnalysisCache,
+) -> Result<DseResult, FlexclError> {
     let start = Instant::now();
     platform.validate()?;
     let limits = limits_for(func, workload);
     let space = ConfigSpace::new(&limits, grid);
-    run_sweep(func, platform, workload, &CandidateSet::Space(&space), Vec::new(), opts, start, None)
+    run_sweep(
+        func,
+        platform,
+        workload,
+        &CandidateSet::Space(&space),
+        Vec::new(),
+        opts,
+        start,
+        cancel,
+        cache,
+    )
 }
 
 /// Explores a knob grid like [`explore_space`], but bounded by a
@@ -1452,20 +1545,7 @@ pub fn explore_space_deadline(
     opts: DseOptions,
     cancel: &CancelToken,
 ) -> Result<DseResult, FlexclError> {
-    let start = Instant::now();
-    platform.validate()?;
-    let limits = limits_for(func, workload);
-    let space = ConfigSpace::new(&limits, grid);
-    run_sweep(
-        func,
-        platform,
-        workload,
-        &CandidateSet::Space(&space),
-        Vec::new(),
-        opts,
-        start,
-        Some(cancel),
-    )
+    explore_space_cached(func, platform, workload, grid, opts, Some(cancel), analysis_cache::global())
 }
 
 /// Explores an explicit list of candidate configurations under `opts`.
@@ -1514,7 +1594,17 @@ pub fn explore_configs(
         }
     }
 
-    run_sweep(func, platform, workload, &CandidateSet::Explicit(families), failed, opts, start, None)
+    run_sweep(
+        func,
+        platform,
+        workload,
+        &CandidateSet::Explicit(families),
+        failed,
+        opts,
+        start,
+        None,
+        analysis_cache::global(),
+    )
 }
 
 /// Test-only fault injection for the DSE panic backstop.

@@ -66,8 +66,9 @@ pub use config::{
     enumerate, CommMode, ConfigSpace, DesignSpaceLimits, OptimizationConfig, SweepGrid,
 };
 pub use dse::{
-    explore, explore_configs, explore_space, explore_space_deadline, explore_with, limits_for,
-    CancelToken, DesignPoint, DiagnosticsReport, DseOptions, DseResult, DseStats, FailedPoint,
+    explore, explore_configs, explore_space, explore_space_cached, explore_space_deadline,
+    explore_with, limits_for, AnalysisCache, CancelToken, DesignPoint, DiagnosticsReport,
+    DseOptions, DseResult, DseStats, FailedPoint,
 };
 pub use error::{ErrorKind, FlexclError};
 pub use eval::{EvalContext, EvalStats};

@@ -338,6 +338,18 @@ fn push_json_name(out: &mut String, name: &str) {
 }
 
 impl Snapshot {
+    /// The value of the counter called `name`, if it was registered
+    /// when the snapshot was taken.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The value of the gauge called `name`, if it was registered when
+    /// the snapshot was taken.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
     /// Renders the snapshot as one JSON object:
     /// `{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,p50,p95,p99}}}`.
     pub fn to_json(&self) -> String {

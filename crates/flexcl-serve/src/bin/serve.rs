@@ -16,6 +16,12 @@
 //!   --enable-testhooks   honor per-request `fault` fields (tests only)
 //!   --trace-out PATH     write span traces (JSONL) to PATH
 //!   --trace-sample N     keep 1-in-N hot-loop spans (default 1 = all)
+//!   --listeners N        epoll event loops sharing the port via
+//!                        SO_REUSEPORT (default 1; Linux --listen only)
+//!   --idle-timeout-ms N  close idle connections after N ms (default
+//!                        30000; Linux --listen only)
+//!   --blocking-tcp       use the thread-per-connection transport
+//!                        instead of epoll
 //! ```
 //!
 //! A `{"metrics":"json"}` (or `"text"`) frame on either transport
@@ -46,6 +52,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut listen: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut trace_sample: u64 = 1;
+    let mut listeners: usize = 1;
+    let mut idle_timeout_ms: u64 = 30_000;
+    let mut blocking_tcp = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -65,6 +74,9 @@ fn run(args: &[String]) -> Result<(), String> {
             "--enable-testhooks" => cfg.enable_testhooks = true,
             "--trace-out" => trace_out = Some(value("--trace-out")?),
             "--trace-sample" => trace_sample = parse(&value("--trace-sample")?)?,
+            "--listeners" => listeners = parse(&value("--listeners")?)?,
+            "--idle-timeout-ms" => idle_timeout_ms = parse(&value("--idle-timeout-ms")?)?,
+            "--blocking-tcp" => blocking_tcp = true,
             "--platform" => {
                 cfg.platform = match value("--platform")?.as_str() {
                     "7v3" => flexcl_core::Platform::virtex7_adm7v3(),
@@ -99,9 +111,28 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(addr) = listen {
+        #[cfg(target_os = "linux")]
+        if !blocking_tcp {
+            let opts = net::epoll::EpollOptions {
+                listeners,
+                idle_timeout: std::time::Duration::from_millis(idle_timeout_ms),
+                ..net::epoll::EpollOptions::default()
+            };
+            let transport = net::epoll::EpollTransport::bind(Arc::new(server), &addr, opts)
+                .map_err(|e| format!("bind {addr}: {e}"))?;
+            eprintln!(
+                "listening on {} (epoll, {} listener{})",
+                transport.local_addr(),
+                listeners.max(1),
+                if listeners.max(1) == 1 { "" } else { "s" }
+            );
+            return transport.join().map_err(|e| format!("event loop: {e}"));
+        }
+        #[cfg(not(target_os = "linux"))]
+        let _ = (listeners, idle_timeout_ms, blocking_tcp);
         let listener =
             std::net::TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
-        eprintln!("listening on {addr}");
+        eprintln!("listening on {addr} (blocking tcp)");
         net::serve_tcp(Arc::new(server), listener).map_err(|e| format!("accept: {e}"))
     } else {
         let stdin = std::io::stdin();

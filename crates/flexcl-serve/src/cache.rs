@@ -19,6 +19,15 @@
 //!    count, evicting the coldest file on overflow. Payloads live only
 //!    on disk, so server memory stays bounded by the index, not the
 //!    corpus.
+//!
+//! Since FCACHEv2 every record also carries the request's *family*
+//! fingerprint — the kernel/platform/workload content hash without the
+//! grid or objective knobs. The cache keeps a refcounted in-memory index
+//! of resident families, so a full-key miss can still be classified as a
+//! *near miss* ([`PersistentCache::family_present`]): some variant of
+//! this kernel was served before, and the per-family `KernelAnalysis` is
+//! worth looking for in the serve-scoped analysis cache before
+//! recomputing from scratch.
 
 use std::collections::HashMap;
 use std::fs;
@@ -31,11 +40,13 @@ use std::sync::Mutex;
 pub const SHARDS: usize = 16;
 
 /// Entry header magic; bump the suffix on any format change so stale
-/// caches quarantine instead of misparse.
-const MAGIC: &str = "FCACHEv1";
+/// caches quarantine instead of misparse. v2 added the family
+/// fingerprint to the header.
+const MAGIC: &str = "FCACHEv2";
 
 /// A 128-bit content fingerprint, as produced by
-/// [`crate::server::request_fingerprint`].
+/// [`crate::server::request_fingerprint`] (full keys) and
+/// [`crate::server::request_family_fingerprint`] (family keys).
 pub type Key = (u64, u64);
 
 /// What [`PersistentCache::open`] found on disk.
@@ -63,8 +74,8 @@ pub struct CacheStats {
 }
 
 struct Shard {
-    /// Key → last-use tick. Payloads stay on disk.
-    index: HashMap<Key, u64>,
+    /// Key → (last-use tick, family fingerprint). Payloads stay on disk.
+    index: HashMap<Key, (u64, Key)>,
 }
 
 /// The disk-persisted result cache. All methods take `&self`; shards
@@ -74,6 +85,10 @@ pub struct PersistentCache {
     root: PathBuf,
     cap_per_shard: usize,
     shards: Vec<Mutex<Shard>>,
+    /// Family fingerprint → resident entry count, across all shards.
+    /// Locked strictly *inside* a shard lock (or alone), never around
+    /// one, so the two-level locking cannot deadlock.
+    families: Mutex<HashMap<Key, usize>>,
     clock: AtomicU64,
     /// Traffic counters.
     pub stats: CacheStats,
@@ -112,15 +127,29 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
-/// Encodes `payload` into the on-disk record format.
-fn encode(payload: &[u8]) -> Vec<u8> {
-    let mut rec = format!("{MAGIC} {:08x} {}\n", crc32(payload), payload.len()).into_bytes();
+/// The record checksum covers the family token *and* the payload, so
+/// header damage is caught exactly like payload damage.
+fn record_crc(family_hex: &str, payload: &[u8]) -> u32 {
+    let mut data = Vec::with_capacity(family_hex.len() + payload.len());
+    data.extend_from_slice(family_hex.as_bytes());
+    data.extend_from_slice(payload);
+    crc32(&data)
+}
+
+/// Encodes `payload` into the on-disk record format. The family
+/// fingerprint rides in the header as one 32-hex-digit token.
+fn encode(payload: &[u8], family: Key) -> Vec<u8> {
+    let fam = format!("{:016x}{:016x}", family.0, family.1);
+    let mut rec =
+        format!("{MAGIC} {:08x} {} {fam}\n", record_crc(&fam, payload), payload.len())
+            .into_bytes();
     rec.extend_from_slice(payload);
     rec
 }
 
-/// Decodes and validates a record; `None` means corrupt.
-fn decode(record: &[u8]) -> Option<Vec<u8>> {
+/// Decodes and validates a record; `None` means corrupt (which includes
+/// any pre-v2 record — stale formats quarantine by design).
+fn decode(record: &[u8]) -> Option<(Vec<u8>, Key)> {
     let nl = record.iter().position(|&b| b == b'\n')?;
     let header = std::str::from_utf8(&record[..nl]).ok()?;
     let mut parts = header.split(' ');
@@ -129,14 +158,19 @@ fn decode(record: &[u8]) -> Option<Vec<u8>> {
     }
     let crc = u32::from_str_radix(parts.next()?, 16).ok()?;
     let len: usize = parts.next()?.parse().ok()?;
-    if parts.next().is_some() {
+    let fam = parts.next()?;
+    if fam.len() != 32 || parts.next().is_some() {
         return None;
     }
+    let family = (
+        u64::from_str_radix(&fam[..16], 16).ok()?,
+        u64::from_str_radix(&fam[16..], 16).ok()?,
+    );
     let payload = &record[nl + 1..];
-    if payload.len() != len || crc32(payload) != crc {
+    if payload.len() != len || record_crc(fam, payload) != crc {
         return None;
     }
-    Some(payload.to_vec())
+    Some((payload.to_vec(), family))
 }
 
 impl PersistentCache {
@@ -155,6 +189,7 @@ impl PersistentCache {
             root: root.to_path_buf(),
             cap_per_shard: cap_per_shard.max(1),
             shards: (0..SHARDS).map(|_| Mutex::new(Shard { index: HashMap::new() })).collect(),
+            families: Mutex::new(HashMap::new()),
             clock: AtomicU64::new(1),
             stats: CacheStats::default(),
         };
@@ -176,13 +211,14 @@ impl PersistentCache {
                 let valid = parse_entry_name(&name).filter(|&k| shard_of(k) == s).and_then(
                     |k| {
                         let rec = fs::read(&path).ok()?;
-                        decode(&rec).map(|_| k)
+                        decode(&rec).map(|(_, family)| (k, family))
                     },
                 );
                 match valid {
-                    Some(key) => {
+                    Some((key, family)) => {
                         let tick = cache.clock.fetch_add(1, Ordering::Relaxed);
-                        shard.index.insert(key, tick);
+                        shard.index.insert(key, (tick, family));
+                        cache.family_retain(family);
                         report.loaded += 1;
                     }
                     None => {
@@ -194,7 +230,7 @@ impl PersistentCache {
             // Respect the cap even for a corpus written by a larger
             // configuration.
             while shard.index.len() > cache.cap_per_shard {
-                Self::evict_coldest(&cache.root, s, &mut shard);
+                cache.evict_coldest(s, &mut shard);
                 cache.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -222,10 +258,39 @@ impl PersistentCache {
         fs::rename(path, dest)
     }
 
-    fn evict_coldest(root: &Path, s: usize, shard: &mut Shard) {
-        let Some((&key, _)) = shard.index.iter().min_by_key(|(_, &tick)| tick) else { return };
-        shard.index.remove(&key);
-        let _ = fs::remove_file(root.join(format!("shard_{s:02x}")).join(entry_name(key)));
+    /// Bumps the resident count of `family`.
+    fn family_retain(&self, family: Key) {
+        let mut fams = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        *fams.entry(family).or_insert(0) += 1;
+    }
+
+    /// Drops one resident count of `family`, unindexing it at zero.
+    fn family_release(&self, family: Key) {
+        let mut fams = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(n) = fams.get_mut(&family) {
+            *n -= 1;
+            if *n == 0 {
+                fams.remove(&family);
+            }
+        }
+    }
+
+    /// True when some resident entry was stored under `family` — a miss
+    /// on the full key with a present family is a *near miss*: the
+    /// kernel's per-family analyses are likely warm in the analysis
+    /// cache even though this exact grid/objective was never served.
+    pub fn family_present(&self, family: Key) -> bool {
+        self.families.lock().unwrap_or_else(|e| e.into_inner()).contains_key(&family)
+    }
+
+    fn evict_coldest(&self, s: usize, shard: &mut Shard) {
+        let Some((&key, _)) = shard.index.iter().min_by_key(|(_, &(tick, _))| tick) else {
+            return;
+        };
+        if let Some((_, family)) = shard.index.remove(&key) {
+            self.family_release(family);
+        }
+        let _ = fs::remove_file(self.root.join(format!("shard_{s:02x}")).join(entry_name(key)));
     }
 
     /// Looks `key` up, verifying the record checksum on every read. A
@@ -241,14 +306,16 @@ impl PersistentCache {
         let path = self.entry_path(key);
         let payload = fs::read(&path).ok().and_then(|rec| decode(&rec));
         match payload {
-            Some(p) => {
+            Some((p, family)) => {
                 let tick = self.clock.fetch_add(1, Ordering::Relaxed);
-                shard.index.insert(key, tick);
+                shard.index.insert(key, (tick, family));
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 Some(p)
             }
             None => {
-                shard.index.remove(&key);
+                if let Some((_, family)) = shard.index.remove(&key) {
+                    self.family_release(family);
+                }
                 let _ = self.quarantine(&path);
                 self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
@@ -257,21 +324,21 @@ impl PersistentCache {
         }
     }
 
-    /// Inserts `payload` under `key`: temp file in the shard directory,
-    /// fsync, atomic rename. Evicts the shard's coldest entry past the
-    /// cap.
+    /// Inserts `payload` under `key`, tagged with its `family`
+    /// fingerprint: temp file in the shard directory, fsync, atomic
+    /// rename. Evicts the shard's coldest entry past the cap.
     ///
     /// # Errors
     ///
     /// I/O failures; on error no partially-written entry is visible.
-    pub fn put(&self, key: Key, payload: &[u8]) -> io::Result<()> {
+    pub fn put(&self, key: Key, family: Key, payload: &[u8]) -> io::Result<()> {
         let s = shard_of(key);
         let dir = self.shard_dir(s);
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
         let tmp = dir.join(format!(".tmp-{tick}"));
         {
             let mut f = fs::File::create(&tmp)?;
-            f.write_all(&encode(payload))?;
+            f.write_all(&encode(payload, family))?;
             f.sync_all()?;
         }
         let dest = dir.join(entry_name(key));
@@ -280,9 +347,12 @@ impl PersistentCache {
             return Err(e);
         }
         let mut shard = self.shards[s].lock().unwrap_or_else(|e| e.into_inner());
-        shard.index.insert(key, tick);
+        if let Some((_, old_family)) = shard.index.insert(key, (tick, family)) {
+            self.family_release(old_family);
+        }
+        self.family_retain(family);
         while shard.index.len() > self.cap_per_shard {
-            Self::evict_coldest(&self.root, s, &mut shard);
+            self.evict_coldest(s, &mut shard);
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
@@ -336,33 +406,41 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 
+    const FAM: Key = (0xAA, 0xBB);
+
     #[test]
     fn record_codec_rejects_damage() {
-        let rec = encode(b"hello");
-        assert_eq!(decode(&rec).as_deref(), Some(&b"hello"[..]));
+        let rec = encode(b"hello", FAM);
+        assert_eq!(decode(&rec), Some((b"hello".to_vec(), FAM)));
         for i in 0..rec.len() {
             let mut bad = rec.clone();
             bad[i] ^= 1;
-            assert_ne!(decode(&bad).as_deref(), Some(&b"hello"[..]), "byte {i}");
+            assert_ne!(decode(&bad).map(|(p, _)| p).as_deref(), Some(&b"hello"[..]), "byte {i}");
         }
         assert_eq!(decode(b""), None);
-        assert_eq!(decode(b"FCACHEv1 deadbeef 5\nhell"), None);
+        // Pre-v2 records (no family token) quarantine rather than parse.
+        assert_eq!(decode(b"FCACHEv1 deadbeef 5\nhello"), None);
+        assert_eq!(decode(b"FCACHEv2 3610a686 5\nhello"), None);
     }
 
     #[test]
-    fn put_get_survive_reopen() {
+    fn put_get_survive_reopen_and_family_index_rebuilds() {
         let dir = tmpdir("reopen");
         let (c, report) = PersistentCache::open(&dir, 8).expect("open");
         assert_eq!(report, OpenReport::default());
-        c.put((1, 2), b"alpha").expect("put");
-        c.put((3, 4), b"beta").expect("put");
+        c.put((1, 2), FAM, b"alpha").expect("put");
+        c.put((3, 4), (0xCC, 0xDD), b"beta").expect("put");
         assert_eq!(c.get((1, 2)).as_deref(), Some(&b"alpha"[..]));
+        assert!(c.family_present(FAM) && c.family_present((0xCC, 0xDD)));
+        assert!(!c.family_present((0, 0)));
         drop(c);
 
         let (c, report) = PersistentCache::open(&dir, 8).expect("reopen");
         assert_eq!(report.loaded, 2);
         assert_eq!(report.quarantined, 0);
         assert_eq!(c.get((3, 4)).as_deref(), Some(&b"beta"[..]));
+        // The family index is rebuilt from the record headers.
+        assert!(c.family_present(FAM) && c.family_present((0xCC, 0xDD)));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -371,14 +449,18 @@ mod tests {
         let dir = tmpdir("lru");
         let (c, _) = PersistentCache::open(&dir, 2).expect("open");
         // All three keys land in shard 0 (key.0 % 16 == 0).
-        c.put((0, 1), b"one").expect("put");
-        c.put((16, 2), b"two").expect("put");
+        c.put((0, 1), FAM, b"one").expect("put");
+        c.put((16, 2), (0xCC, 0xDD), b"two").expect("put");
         assert!(c.get((0, 1)).is_some()); // warm "one"
-        c.put((32, 3), b"three").expect("put"); // evicts coldest = "two"
+        c.put((32, 3), FAM, b"three").expect("put"); // evicts coldest = "two"
         assert_eq!(c.len(), 2);
         assert!(c.get((16, 2)).is_none());
         assert!(c.get((0, 1)).is_some() && c.get((32, 3)).is_some());
         assert_eq!(c.stats.evictions.load(Ordering::Relaxed), 1);
+        // Evicting "two" dropped the last entry of its family; FAM still
+        // has two residents.
+        assert!(!c.family_present((0xCC, 0xDD)));
+        assert!(c.family_present(FAM));
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -319,6 +319,12 @@ pub enum Response {
         cache: CacheDisposition,
         /// Service time (queue wait + compute), milliseconds.
         elapsed_ms: u64,
+        /// True when this answer was fanned out from another request's
+        /// in-flight sweep instead of executing its own. Omitted from
+        /// the wire form when false, so a coalesced waiter's frame
+        /// differs from the leader's only by this marker and the
+        /// identity fields — the result bytes are identical.
+        coalesced: bool,
         /// Server-assigned request id (stable per frame, generated at
         /// admission). Empty until the server stamps it; omitted from
         /// the wire form when empty.
@@ -401,13 +407,21 @@ impl Response {
         }
     }
 
+    /// The back-off hint attached to `overloaded` rejections, if any.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            Response::Ok { .. } => None,
+            Response::Err { retry_after_ms, .. } => *retry_after_ms,
+        }
+    }
+
     /// Serializes the response to its single-line JSON frame. The
     /// server-assigned `request_id` (when stamped) is always the last
     /// field, so the leading field layout stays grep-stable.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         match self {
-            Response::Ok { id, summary, degraded, grid_used, cache, elapsed_ms, .. } => {
+            Response::Ok { id, summary, degraded, grid_used, cache, elapsed_ms, coalesced, .. } => {
                 s.push_str(r#"{"id":"#);
                 json::push_escaped(&mut s, id);
                 s.push_str(r#","status":"ok","result":"#);
@@ -417,6 +431,9 @@ impl Response {
                     r#","degraded":{degraded},"grid_used":"{grid_used}","cache":"{}","elapsed_ms":{elapsed_ms}"#,
                     cache.as_str()
                 );
+                if *coalesced {
+                    s.push_str(r#","coalesced":true"#);
+                }
             }
             Response::Err { id, kind, message, retry_after_ms, .. } => {
                 s.push_str(r#"{"id":"#);

@@ -23,6 +23,23 @@
 //!    contained by the engine's typed-error backstops; one poisoned
 //!    request can only ever fail itself.
 //!
+//! Between admission and the queue sits **coalescing**: a request whose
+//! content fingerprint matches a sweep already queued or executing does
+//! not enter the queue at all — it parks on that sweep's completion list
+//! and the single result fans out to every waiter when the leader
+//! finishes. Each waiter is judged against its *own* deadline at
+//! fan-out: one that expired while parked gets a typed `deadline`
+//! rejection without touching the shared sweep, and a still-live waiter
+//! whose shared sweep died at the leader's deadline gets a retryable
+//! `overloaded` (never a spurious `deadline`). Coalesced answers carry
+//! a `coalesced: true` marker; the result payload is bit-identical to
+//! the leader's.
+//!
+//! The service core is continuation-based: [`Server::submit_async`]
+//! accepts a completion callback and never blocks the caller, which is
+//! what the epoll transport needs — [`Server::handle_frame`] is the
+//! blocking convenience wrapper over it.
+//!
 //! Requests shard by content fingerprint, so identical sources land on
 //! the same worker and the same [`PersistentCache`] entries.
 
@@ -31,15 +48,20 @@ use crate::protocol::{CacheDisposition, Request, RequestFault, Response, SweepSu
 use crate::workload;
 use flexcl_core::config::SweepGrid;
 use flexcl_core::dse::testhook::InjectedFault;
-use flexcl_core::{CancelToken, DseOptions, FlexclError, Platform, ProfileFuel};
+use flexcl_core::{AnalysisCache, CancelToken, DseOptions, FlexclError, Platform, ProfileFuel};
 use flexcl_obs::{metrics, trace};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// A continuation invoked exactly once with the finished [`Response`].
+/// May run on the submitting thread (shed, malformed, coalesced-expired)
+/// or on a worker thread (everything else).
+pub type Completion = Box<dyn FnOnce(Response) + Send + 'static>;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -65,6 +87,9 @@ pub struct ServerConfig {
     pub enable_testhooks: bool,
     /// Clamp on per-request sweep threads.
     pub max_sweep_threads: usize,
+    /// Entry cap of the serve-scoped analysis cache (per-family
+    /// `KernelAnalysis` reuse across requests). 0 disables reuse.
+    pub analysis_cache_entries: usize,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +104,7 @@ impl Default for ServerConfig {
             platform: Platform::virtex7_adm7v3(),
             enable_testhooks: false,
             max_sweep_threads: 4,
+            analysis_cache_entries: 256,
         }
     }
 }
@@ -98,8 +124,20 @@ struct Counters {
     failed: metrics::Counter,
     cache_hits: metrics::Counter,
     cache_misses: metrics::Counter,
+    /// Requests answered by fan-out from another request's in-flight
+    /// sweep instead of executing their own.
+    coalesced: metrics::Counter,
+    /// Full-key persistent-cache misses whose *family* fingerprint was
+    /// resident — the per-family analysis-reuse path.
+    near_miss: metrics::Counter,
+    /// Per-family analyses reused from the serve-scoped analysis cache.
+    analysis_hits: metrics::Counter,
+    /// Per-family analyses computed fresh.
+    analysis_misses: metrics::Counter,
     /// Requests queued right now (admission increments, pickup decrements).
     queue_depth: metrics::Gauge,
+    /// Distinct fingerprints with an in-flight sweep right now.
+    inflight_keys: metrics::Gauge,
     /// Service time (queue wait + compute) per answered request, µs.
     service_us: metrics::Histogram,
 }
@@ -116,7 +154,12 @@ impl Counters {
             failed: r.counter("serve.failed"),
             cache_hits: r.counter("serve.cache_hits"),
             cache_misses: r.counter("serve.cache_misses"),
+            coalesced: r.counter("serve.coalesced"),
+            near_miss: r.counter("serve.near_miss"),
+            analysis_hits: r.counter("serve.analysis_hits"),
+            analysis_misses: r.counter("serve.analysis_misses"),
             queue_depth: r.gauge("serve.queue_depth"),
+            inflight_keys: r.gauge("serve.inflight_keys"),
             service_us: r.histogram("serve.service_us"),
         }
     }
@@ -143,6 +186,14 @@ pub struct CounterSnapshot {
     pub cache_hits: u64,
     /// Persistent-cache misses (including cache-off computes).
     pub cache_misses: u64,
+    /// Requests answered by coalescing onto an in-flight sweep.
+    pub coalesced: u64,
+    /// Persistent-cache misses whose family fingerprint was resident.
+    pub near_miss: u64,
+    /// Per-family analyses reused from the serve-scoped analysis cache.
+    pub analysis_hits: u64,
+    /// Per-family analyses computed fresh.
+    pub analysis_misses: u64,
 }
 
 struct Job {
@@ -151,11 +202,35 @@ struct Job {
     degraded: u32,
     deadline: Instant,
     accepted: Instant,
-    reply: mpsc::Sender<Response>,
+    /// Full content fingerprint (also the coalescing key).
+    key: Key,
+    /// Family fingerprint (grid/objective-independent).
+    family: Key,
+    /// Whether this job owns the in-flight table entry for `key` (and
+    /// must fan its result out to the parked waiters on completion). A
+    /// duplicate that could not coalesce — waiter list full — runs as
+    /// an independent job with `leader == false` and leaves the entry
+    /// alone.
+    leader: bool,
+    complete: Completion,
     /// Trace id of the `serve.request` span open on the connection
     /// thread, so worker-side spans attach to the same tree (0 when
     /// tracing is off).
     span: u64,
+}
+
+/// A request parked on an in-flight sweep, waiting for its fan-out.
+struct Waiter {
+    id: String,
+    accepted: Instant,
+    deadline: Instant,
+    degraded: u32,
+    complete: Completion,
+}
+
+/// The completion list of one in-flight sweep.
+struct InFlight {
+    waiters: Vec<Waiter>,
 }
 
 struct ShardQueue {
@@ -173,6 +248,15 @@ struct Inner {
     /// the `metrics` introspection frame.
     registry: metrics::Registry,
     cache: Option<PersistentCache>,
+    /// Fingerprint → completion list of the sweep currently queued or
+    /// executing for it. Guarded by one mutex: entries are touched once
+    /// per request (admission) plus once per sweep (fan-out), far off
+    /// the estimation hot path.
+    inflight: Mutex<HashMap<Key, InFlight>>,
+    /// Serve-scoped per-family analysis store, threaded through every
+    /// sweep via [`flexcl_core::explore_space_cached`]. Dies with the
+    /// server instance.
+    analysis: AnalysisCache,
     /// EWMA of service time in microseconds (×16 fixed point), feeding
     /// the retry-after hint.
     service_ewma_us: AtomicU64,
@@ -193,8 +277,27 @@ pub struct Server {
 /// Content fingerprint of a request: everything that determines the
 /// answer — source, kernel, geometry, grid actually swept, pruning, and
 /// synthesis values — and nothing that does not (id, deadline, thread
-/// count; sweeps are bit-identical across those by construction).
+/// count; sweeps are bit-identical across those by construction). This
+/// is the persistent-cache key *and* the coalescing key. An armed fault
+/// is deliberately *not* part of the key — a `corrupt-cache` attacker
+/// must damage the same entry its clean twin reads for the quarantine
+/// path to mean anything — so faulted requests are instead barred from
+/// coalescing entirely (see [`Server::submit_async`]).
 pub fn request_fingerprint(req: &Request, grid_used: &str, platform_tag: &str) -> Key {
+    fingerprint_of(req, platform_tag, Some((grid_used, req.prune)))
+}
+
+/// Family fingerprint of a request: the full fingerprint minus the
+/// grid/objective knobs (grid swept, pruning). Two requests for the
+/// same kernel, platform and workload share a family even when they
+/// sweep different grids — which is exactly when the per-family
+/// `KernelAnalysis` entries in the serve-scoped analysis cache are
+/// reusable.
+pub fn request_family_fingerprint(req: &Request, platform_tag: &str) -> Key {
+    fingerprint_of(req, platform_tag, None)
+}
+
+fn fingerprint_of(req: &Request, platform_tag: &str, variant: Option<(&str, bool)>) -> Key {
     let mut parts = (0u64, 0u64);
     for (seed, out) in [(0x9E37_79B9u64, &mut parts.0), (0xC2B2_AE35u64, &mut parts.1)] {
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -202,12 +305,14 @@ pub fn request_fingerprint(req: &Request, grid_used: &str, platform_tag: &str) -
         req.src.hash(&mut h);
         req.kernel.hash(&mut h);
         req.global.hash(&mut h);
-        grid_used.hash(&mut h);
-        req.prune.hash(&mut h);
         req.synthesis.buf_elems.hash(&mut h);
         req.synthesis.scalar_int.hash(&mut h);
         req.synthesis.scalar_float.to_bits().hash(&mut h);
         platform_tag.hash(&mut h);
+        if let Some((grid_used, prune)) = variant {
+            grid_used.hash(&mut h);
+            prune.hash(&mut h);
+        }
         *out = h.finish();
     }
     parts
@@ -254,6 +359,8 @@ impl Server {
             counters,
             registry,
             cache,
+            inflight: Mutex::new(HashMap::new()),
+            analysis: AnalysisCache::new(),
             service_ewma_us: AtomicU64::new(0),
             boot_tag: boot_tag(),
             req_seq: AtomicU64::new(0),
@@ -281,6 +388,22 @@ impl Server {
             return reply;
         }
         self.handle_frame(frame).to_json()
+    }
+
+    /// Non-blocking [`Server::handle_frame_raw`]: `complete` receives
+    /// the serialized response frame, possibly on another thread. This
+    /// is the epoll transport's entry point — the event loop must never
+    /// block on a sweep.
+    pub fn handle_frame_raw_async(
+        &self,
+        frame: &str,
+        complete: Box<dyn FnOnce(String) + Send + 'static>,
+    ) {
+        if let Some(reply) = self.try_metrics_frame(frame) {
+            complete(reply);
+            return;
+        }
+        self.handle_frame_async(frame, Box::new(move |r: Response| complete(r.to_json())));
     }
 
     /// Answers a metrics-introspection frame, or `None` when `frame` is
@@ -329,24 +452,42 @@ impl Server {
     /// queue. Every answer — ok, shed, deadline, malformed — carries the
     /// server-assigned `request_id` minted here.
     pub fn handle_frame(&self, frame: &str) -> Response {
+        let (tx, rx) = mpsc::channel();
+        self.handle_frame_async(frame, Box::new(move |r: Response| drop(tx.send(r))));
+        rx.recv().unwrap_or_else(|_| shutdown_response("?"))
+    }
+
+    /// Non-blocking [`Server::handle_frame`]: parse, admit, enqueue, and
+    /// return; `complete` receives the response when the sweep (or a
+    /// coalesced fan-out) finishes. Immediate outcomes — malformed, shed
+    /// — invoke `complete` before returning. The `serve.request` trace
+    /// span closes at hand-off; worker-side spans still attach to it by
+    /// id, so the tree shape is identical to the blocking path.
+    pub fn handle_frame_async(&self, frame: &str, complete: Completion) {
         let rid = self.next_request_id();
         let mut span = trace::span("serve.request");
         span.attr_str("request_id", &rid);
         self.inner.counters.received.inc();
-        let mut response = match Request::parse(frame) {
+        match Request::parse(frame) {
             Ok(req) => {
                 span.attr_str("id", &req.id);
-                self.submit(req)
+                self.submit_async(
+                    req,
+                    Box::new(move |mut r: Response| {
+                        r.set_request_id(&rid);
+                        complete(r);
+                    }),
+                );
             }
             Err(e) => {
                 self.inner.counters.malformed.inc();
                 trace::event("serve.malformed");
-                Response::malformed(&e)
+                let mut r = Response::malformed(&e);
+                span.attr_str("kind", r.kind());
+                r.set_request_id(&rid);
+                complete(r);
             }
-        };
-        span.attr_str("kind", response.kind());
-        response.set_request_id(&rid);
-        response
+        }
     }
 
     /// Mints the next server-assigned request id:
@@ -359,45 +500,32 @@ impl Server {
     /// Admits, degrades, shards and enqueues `req`, then waits for its
     /// response.
     pub fn submit(&self, req: Request) -> Response {
-        let inner = &self.inner;
-        // Admission: reserve a queue slot or shed. The compare-exchange
-        // loop keeps the bound exact under concurrent arrivals.
-        let mut depth = inner.queued.load(Ordering::Relaxed);
-        loop {
-            if depth >= inner.cfg.queue_cap {
-                inner.counters.shed.inc();
-                trace::event("serve.shed");
-                let retry = inner.retry_after_ms();
-                return Response::from_error(
-                    &req.id,
-                    &FlexclError::Overloaded {
-                        queue_depth: depth,
-                        capacity: inner.cfg.queue_cap,
-                        retry_after_ms: retry,
-                    },
-                );
-            }
-            match inner.queued.compare_exchange_weak(
-                depth,
-                depth + 1,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => break,
-                Err(cur) => depth = cur,
-            }
-        }
-        inner.counters.queue_depth.add(1);
-        let mut admit = trace::span("serve.admit");
-        admit.attr_u64("depth", depth as u64);
-        drop(admit);
+        let (tx, rx) = mpsc::channel();
+        self.submit_async(req, Box::new(move |r: Response| drop(tx.send(r))));
+        // A worker always answers (even on deadline), so a recv error
+        // can only mean shutdown raced the job.
+        rx.recv().unwrap_or_else(|_| shutdown_response("?"))
+    }
 
-        // Degradation ladder: one rung per `degrade_at` of depth at
-        // admission time.
+    /// Non-blocking [`Server::submit`]: coalesce-or-admit, degrade,
+    /// shard and enqueue `req`; `complete` receives the response when it
+    /// is ready. Shed and coalesce decisions happen before returning.
+    pub fn submit_async(&self, mut req: Request, complete: Completion) {
+        let inner = &self.inner;
+        // Ignored faults must not fragment the fingerprint space: clear
+        // them up front so a faulted frame on a production server keys
+        // (and caches, and coalesces) exactly like the clean request.
+        if !inner.cfg.enable_testhooks {
+            req.fault = None;
+        }
+
+        // Degradation ladder: one rung per `degrade_at` of queue depth
+        // observed at admission time.
+        let depth = inner.queued.load(Ordering::Relaxed);
         let mut grid_used = req.grid.clone();
         let mut degraded = 0u32;
-        if inner.cfg.degrade_at > 0 {
-            for _ in 0..depth / inner.cfg.degrade_at {
+        if let Some(rungs) = depth.checked_div(inner.cfg.degrade_at) {
+            for _ in 0..rungs {
                 match SweepGrid::coarser(&grid_used) {
                     Some(next) => {
                         grid_used = next.to_string();
@@ -416,33 +544,113 @@ impl Server {
 
         let now = Instant::now();
         let deadline_ms = req.deadline_ms.unwrap_or(inner.cfg.default_deadline_ms);
-        let shard = (request_fingerprint(&req, &grid_used, inner.platform_tag()).0 as usize)
-            % inner.shards.len();
-        let (tx, rx) = mpsc::channel();
+        let deadline = now + Duration::from_millis(deadline_ms);
+        let key = request_fingerprint(&req, &grid_used, inner.platform_tag());
+        let family = request_family_fingerprint(&req, inner.platform_tag());
+
+        // A faulted request (testhook deployments) neither leads nor
+        // parks: its answer is not the clean answer, so sharing a sweep
+        // in either direction would leak the fault across requests.
+        let coalescible = req.fault.is_none();
+
+        // Coalesce-or-admit, atomically with respect to other arrivals
+        // and to fan-out: the in-flight table lock spans both decisions,
+        // so a request either parks on a live entry (fan-out has not run
+        // yet) or becomes/joins the queue — never lost between them.
+        let mut inflight = inner.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        if coalescible {
+            if let Some(entry) = inflight.get_mut(&key) {
+                // Park on the executing sweep whatever the relative
+                // deadlines: each waiter is re-checked against its own
+                // deadline at fan-out, and the rare case where the
+                // shared sweep dies at the *leader's* deadline while a
+                // longer-deadlined waiter still has budget is answered
+                // with a retryable `overloaded`, never a spurious
+                // `deadline`. Cap the list so one hot key cannot hold
+                // unbounded memory.
+                if entry.waiters.len() < inner.cfg.queue_cap {
+                    entry.waiters.push(Waiter {
+                        id: req.id,
+                        accepted: now,
+                        deadline,
+                        degraded,
+                        complete,
+                    });
+                    drop(inflight);
+                    inner.counters.coalesced.inc();
+                    trace::event("serve.coalesced");
+                    return;
+                }
+            }
+        }
+
+        // Admission: reserve a queue slot or shed. The compare-exchange
+        // loop keeps the bound exact under concurrent arrivals. Holding
+        // the in-flight lock here is fine — it is never taken around a
+        // sweep, only around table operations.
+        let mut cur = inner.queued.load(Ordering::Relaxed);
+        loop {
+            if cur >= inner.cfg.queue_cap {
+                drop(inflight);
+                inner.counters.shed.inc();
+                trace::event("serve.shed");
+                let retry = inner.retry_after_ms();
+                complete(Response::from_error(
+                    &req.id,
+                    &FlexclError::Overloaded {
+                        queue_depth: cur,
+                        capacity: inner.cfg.queue_cap,
+                        retry_after_ms: retry,
+                    },
+                ));
+                return;
+            }
+            match inner.queued.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(n) => cur = n,
+            }
+        }
+        // This job owns the key's in-flight entry unless another leader
+        // already does (a duplicate that could not park above) or it is
+        // faulted (its answer must not fan out to clean waiters).
+        let leader = coalescible
+            && match inflight.entry(key) {
+                std::collections::hash_map::Entry::Occupied(_) => false,
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(InFlight { waiters: Vec::new() });
+                    true
+                }
+            };
+        inner.counters.inflight_keys.set(inflight.len() as i64);
+        drop(inflight);
+
+        inner.counters.queue_depth.add(1);
+        let mut admit = trace::span("serve.admit");
+        admit.attr_u64("depth", cur as u64);
+        drop(admit);
+
+        let shard = (key.0 as usize) % inner.shards.len();
         let job = Job {
             req,
             grid_used,
             degraded,
-            deadline: now + Duration::from_millis(deadline_ms),
+            deadline,
             accepted: now,
-            reply: tx,
+            key,
+            family,
+            leader,
+            complete,
             span: trace::current_span_id(),
         };
-        {
-            let sq = &inner.shards[shard];
-            let mut q = sq.q.lock().unwrap_or_else(|e| e.into_inner());
-            q.push_back(job);
-            sq.cv.notify_one();
-        }
-        // A worker always answers (even on deadline), so a recv error
-        // can only mean shutdown raced the job.
-        rx.recv().unwrap_or_else(|_| Response::Err {
-            id: "?".to_string(),
-            kind: "overloaded".to_string(),
-            message: "server shut down before the request was served".to_string(),
-            retry_after_ms: None,
-            request_id: String::new(),
-        })
+        let sq = &inner.shards[shard];
+        let mut q = sq.q.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(job);
+        sq.cv.notify_one();
     }
 
     /// Current counter values.
@@ -458,6 +666,10 @@ impl Server {
             failed: c.failed.get(),
             cache_hits: c.cache_hits.get(),
             cache_misses: c.cache_misses.get(),
+            coalesced: c.coalesced.get(),
+            near_miss: c.near_miss.get(),
+            analysis_hits: c.analysis_hits.get(),
+            analysis_misses: c.analysis_misses.get(),
         }
     }
 
@@ -512,7 +724,19 @@ impl Inner {
     }
 }
 
-/// One worker: drain the owned shard, answer every job.
+/// The rejection for a request that raced server shutdown.
+fn shutdown_response(id: &str) -> Response {
+    Response::Err {
+        id: id.to_string(),
+        kind: "overloaded".to_string(),
+        message: "server shut down before the request was served".to_string(),
+        retry_after_ms: None,
+        request_id: String::new(),
+    }
+}
+
+/// One worker: drain the owned shard, answer every job (and every
+/// waiter parked on it).
 fn worker(inner: &Inner, shard: usize) {
     let sq = &inner.shards[shard];
     loop {
@@ -546,24 +770,103 @@ fn worker(inner: &Inner, shard: usize) {
         } else {
             serve_job(inner, &job)
         };
-        match &response {
-            Response::Ok { .. } => {
-                inner.counters.completed.inc();
-            }
-            Response::Err { kind, .. } if kind == "deadline" => {
-                inner.counters.deadline_expired.inc();
-            }
-            Response::Err { .. } => {
-                inner.counters.failed.inc();
-            }
-        }
-        let elapsed = job.accepted.elapsed();
-        inner.counters.service_us.record(elapsed.as_micros() as u64);
-        inner.observe_service(elapsed);
-        // The client may have given up (dropped receiver); that is its
-        // right, not an error.
-        let _ = job.reply.send(response);
+        finish_job(inner, job, response);
     }
+}
+
+/// Counts one answered request and feeds the latency histogram.
+fn account(inner: &Inner, response: &Response, accepted: Instant) {
+    match response {
+        Response::Ok { .. } => inner.counters.completed.inc(),
+        Response::Err { kind, .. } if kind == "deadline" => {
+            inner.counters.deadline_expired.inc();
+        }
+        // Only a coalesced waiter can reach here with `overloaded` (a
+        // live waiter whose shared sweep died at the leader's deadline);
+        // the direct shed path counts itself before completing.
+        Response::Err { kind, .. } if kind == "overloaded" => inner.counters.shed.inc(),
+        Response::Err { .. } => inner.counters.failed.inc(),
+    }
+    inner.counters.service_us.record(accepted.elapsed().as_micros() as u64);
+}
+
+/// Builds one waiter's answer from the leader's: an expired waiter gets
+/// its own typed `deadline` rejection; otherwise the leader's result is
+/// re-addressed — same summary bytes, same grid and cache disposition,
+/// the waiter's own identity, degradation count, timing, and the
+/// `coalesced` marker. Non-deadline leader errors fan out re-addressed
+/// too (they are deterministic properties of the shared request
+/// content); a leader *deadline* rejection is the one result a
+/// still-live waiter must not inherit — the waiter's own budget has not
+/// run out, so it gets a retryable `overloaded` instead.
+fn waiter_response(inner: &Inner, leader: &Response, w: &Waiter, now: Instant) -> Response {
+    if now >= w.deadline {
+        return Response::from_error(
+            &w.id,
+            &FlexclError::Deadline {
+                elapsed_ms: w.accepted.elapsed().as_millis() as u64,
+                detail: "deadline expired while coalesced on an in-flight sweep".to_string(),
+                stats: Default::default(),
+            },
+        );
+    }
+    match leader {
+        Response::Ok { summary, grid_used, cache, .. } => Response::Ok {
+            id: w.id.clone(),
+            summary: summary.clone(),
+            degraded: w.degraded,
+            grid_used: grid_used.clone(),
+            cache: *cache,
+            elapsed_ms: w.accepted.elapsed().as_millis() as u64,
+            coalesced: true,
+            request_id: String::new(),
+        },
+        Response::Err { kind, .. } if kind == "deadline" => Response::from_error(
+            &w.id,
+            &FlexclError::Overloaded {
+                queue_depth: inner.queued.load(Ordering::Relaxed),
+                capacity: inner.cfg.queue_cap,
+                retry_after_ms: inner.retry_after_ms(),
+            },
+        ),
+        Response::Err { kind, message, retry_after_ms, .. } => Response::Err {
+            id: w.id.clone(),
+            kind: kind.clone(),
+            message: message.clone(),
+            retry_after_ms: *retry_after_ms,
+            request_id: String::new(),
+        },
+    }
+}
+
+/// Completes a job: remove its in-flight entry (leaders only), answer
+/// the leader, fan the result out to every parked waiter. Waiters are
+/// answered after their entry is unlinked, so a fresh identical arrival
+/// starts a new sweep instead of parking on a finished one.
+fn finish_job(inner: &Inner, job: Job, response: Response) {
+    let waiters = if job.leader {
+        let mut inflight = inner.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = inflight.remove(&job.key);
+        inner.counters.inflight_keys.set(inflight.len() as i64);
+        entry.map_or_else(Vec::new, |e| e.waiters)
+    } else {
+        Vec::new()
+    };
+
+    account(inner, &response, job.accepted);
+    // Leader-only EWMA: a fanned-out answer is not a fresh observation
+    // of compute cost, and letting near-zero waiter latencies drag the
+    // average down would understate the retry-after hint.
+    inner.observe_service(job.accepted.elapsed());
+
+    let now = Instant::now();
+    for w in waiters {
+        let resp = waiter_response(inner, &response, &w, now);
+        account(inner, &resp, w.accepted);
+        (w.complete)(resp);
+    }
+    // The client may have given up; that is its right, not an error.
+    (job.complete)(response);
 }
 
 /// Serves one admitted job: queued-deadline check, cache lookup,
@@ -591,8 +894,9 @@ fn serve_job(inner: &Inner, job: &Job) -> Response {
         );
     }
 
-    let fault = if inner.cfg.enable_testhooks { req.fault } else { None };
-    let key = request_fingerprint(req, &job.grid_used, inner.platform_tag());
+    // submit_async cleared req.fault unless testhooks are enabled.
+    let fault = req.fault;
+    let key = job.key;
 
     // Cache lookup — skipped when a corruption fault is armed so the
     // request demonstrably computes and then damages its own entry.
@@ -611,6 +915,7 @@ fn serve_job(inner: &Inner, job: &Job) -> Response {
                         grid_used: job.grid_used.clone(),
                         cache: CacheDisposition::Hit,
                         elapsed_ms: job.accepted.elapsed().as_millis() as u64,
+                        coalesced: false,
                         request_id: String::new(),
                     };
                 }
@@ -621,6 +926,14 @@ fn serve_job(inner: &Inner, job: &Job) -> Response {
     }
     inner.counters.cache_misses.inc();
     trace::event("serve.cache_miss");
+    // A full-key miss whose family is resident is a near miss: some
+    // other grid/objective of this kernel was served before, so the
+    // sweep below should find its per-family analyses already settled
+    // in the serve-scoped analysis cache.
+    if inner.cache.as_ref().is_some_and(|c| c.family_present(job.family)) {
+        inner.counters.near_miss.inc();
+        trace::event("serve.near_miss");
+    }
 
     let prepared = match workload::prepare(
         &req.src,
@@ -647,20 +960,25 @@ fn serve_job(inner: &Inner, job: &Job) -> Response {
             Some(RequestFault::EstimatePanic) => Some(InjectedFault::EstimatePanic(0)),
             _ => None,
         },
+        reuse_analysis: inner.cfg.analysis_cache_entries > 0,
+        analysis_cache_cap: inner.cfg.analysis_cache_entries.max(1),
         ..DseOptions::default()
     };
     let cancel = CancelToken::at(job.deadline);
-    let result = match flexcl_core::explore_space_deadline(
+    let result = match flexcl_core::explore_space_cached(
         &prepared.func,
         &inner.cfg.platform,
         &prepared.workload,
         &grid,
         opts,
-        &cancel,
+        Some(&cancel),
+        &inner.analysis,
     ) {
         Ok(r) => r,
         Err(e) => return Response::from_error(&req.id, &e),
     };
+    inner.counters.analysis_hits.add(result.stats.analysis_cache_hits);
+    inner.counters.analysis_misses.add(result.stats.analysis_cache_misses);
 
     // A sweep where nothing survived is a typed rejection, not an empty
     // success: surface the dominant failure kind from the diagnostics.
@@ -683,7 +1001,7 @@ fn serve_job(inner: &Inner, job: &Job) -> Response {
     let summary = SweepSummary::of(&result);
     if let Some(cache) = &inner.cache {
         // Persist best-effort: a full disk must not fail the request.
-        let _ = cache.put(key, summary.to_json().as_bytes());
+        let _ = cache.put(key, job.family, summary.to_json().as_bytes());
         if fault == Some(RequestFault::CorruptCache) {
             cache.corrupt_entry_for_test(key);
         }
@@ -695,6 +1013,7 @@ fn serve_job(inner: &Inner, job: &Job) -> Response {
         grid_used: job.grid_used.clone(),
         cache: if inner.cache.is_some() { CacheDisposition::Miss } else { CacheDisposition::Off },
         elapsed_ms: job.accepted.elapsed().as_millis() as u64,
+        coalesced: false,
         request_id: String::new(),
     }
 }

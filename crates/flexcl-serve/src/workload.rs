@@ -79,7 +79,7 @@ pub fn prepare(
     let func = flexcl_ir::lower_kernel(k)?;
 
     let total = global.0.saturating_mul(global.1).max(1);
-    let buf_elems = spec.buf_elems.unwrap_or(total).min(MAX_BUF_ELEMS).max(1);
+    let buf_elems = spec.buf_elems.unwrap_or(total).clamp(1, MAX_BUF_ELEMS);
     let args: Vec<KernelArg> = func
         .params
         .iter()

@@ -33,7 +33,7 @@ fn tmpdir(tag: &str) -> PathBuf {
 fn corruption_is_quarantined_on_read_not_served() {
     let dir = tmpdir("read");
     let (c, _) = PersistentCache::open(&dir, 8).expect("open");
-    c.put((7, 7), b"precious").expect("put");
+    c.put((7, 7), (70, 70), b"precious").expect("put");
     assert!(c.corrupt_entry_for_test((7, 7)), "entry must exist to corrupt");
 
     assert_eq!(c.get((7, 7)), None, "corrupt entries are a miss, never garbage");
@@ -42,7 +42,7 @@ fn corruption_is_quarantined_on_read_not_served() {
     assert_eq!(quarantined, 1, "the damaged record is kept for post-mortem");
 
     // The slot is reusable: a rewrite serves again.
-    c.put((7, 7), b"rewritten").expect("put");
+    c.put((7, 7), (70, 70), b"rewritten").expect("put");
     assert_eq!(c.get((7, 7)).as_deref(), Some(&b"rewritten"[..]));
     let _ = fs::remove_dir_all(&dir);
 }
@@ -52,8 +52,8 @@ fn startup_scan_quarantines_corruption_and_cleans_torn_writes() {
     let dir = tmpdir("startup");
     {
         let (c, _) = PersistentCache::open(&dir, 8).expect("open");
-        c.put((1, 1), b"good").expect("put");
-        c.put((2, 2), b"doomed").expect("put");
+        c.put((1, 1), (10, 10), b"good").expect("put");
+        c.put((2, 2), (20, 20), b"doomed").expect("put");
         c.corrupt_entry_for_test((2, 2));
     }
     // Simulate a crash mid-write: an orphaned temp file and a stray
@@ -75,8 +75,8 @@ fn startup_scan_quarantines_corruption_and_cleans_torn_writes() {
 fn atomic_write_replaces_entries_without_a_torn_window() {
     let dir = tmpdir("atomic");
     let (c, _) = PersistentCache::open(&dir, 8).expect("open");
-    c.put((5, 5), b"v1").expect("put");
-    c.put((5, 5), b"v2-longer-than-v1").expect("overwrite");
+    c.put((5, 5), (50, 50), b"v1").expect("put");
+    c.put((5, 5), (50, 50), b"v2-longer-than-v1").expect("overwrite");
     assert_eq!(c.get((5, 5)).as_deref(), Some(&b"v2-longer-than-v1"[..]));
     // No temp litter after successful writes.
     for s in 0..SHARDS {
@@ -99,7 +99,7 @@ fn corpus_stays_bounded_by_the_lru_cap() {
     let (c, _) = PersistentCache::open(&dir, cap).expect("open");
     // 10× the cap, spread across all shards.
     for i in 0..(SHARDS as u64 * cap as u64 * 10) {
-        c.put((i, i), format!("payload-{i}").as_bytes()).expect("put");
+        c.put((i, i), (i % 7, i % 7), format!("payload-{i}").as_bytes()).expect("put");
     }
     assert!(c.len() <= SHARDS * cap, "{} entries exceed the bound", c.len());
     // Disk matches the index bound too.

@@ -1,0 +1,167 @@
+//! In-flight request coalescing: N identical concurrent requests run
+//! exactly one sweep, every fanned-out answer is bit-identical to the
+//! leader's result, and a waiter expiring mid-coalesce gets its own
+//! typed `deadline` without cancelling the shared sweep.
+
+use flexcl_serve::server::ServerConfig;
+use flexcl_serve::{Response, Server};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+const VADD: &str = "__kernel void vadd(__global float* a, __global float* b, \
+                    __global float* c) { int i = get_global_id(0); c[i] = a[i] + b[i]; }";
+
+const BLOCKER: &str = "__kernel void blocker(__global float* a) { \
+                       int i = get_global_id(0); a[i] = a[i] * 3.0f; }";
+
+fn request(id: &str, src: &str, extra: &str) -> String {
+    let src_json = src.replace('\\', "\\\\").replace('"', "\\\"");
+    format!(r#"{{"id":"{id}","src":"{src_json}","global":1024{extra}}}"#)
+}
+
+/// The shared-result portion of an Ok response's wire form — everything
+/// that must be bit-identical between the leader and its waiters
+/// (identity, timing and the `coalesced` marker legitimately differ).
+fn result_bytes(json: &str) -> &str {
+    let start = json.find("\"result\":").expect("result field");
+    let end = json.find(",\"degraded\"").expect("degraded field");
+    &json[start..end]
+}
+
+/// Both tests read the process-global `dse.sweeps` counter, so they
+/// must not interleave with each other.
+static SWEEP_COUNTER_GUARD: Mutex<()> = Mutex::new(());
+
+/// One busy worker, then N identical requests: the first becomes the
+/// queued leader, the other N-1 park on it. The sweep counter moves by
+/// exactly two (blocker + leader), every answer is ok, and the shared
+/// result bytes are identical across all N.
+#[test]
+fn n_identical_concurrent_requests_run_one_sweep_and_share_bytes() {
+    let _guard = SWEEP_COUNTER_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let sweeps = flexcl_obs::metrics::global().counter("dse.sweeps");
+    let before = sweeps.get();
+
+    let (server, _) = Server::start(ServerConfig {
+        workers: 1,
+        queue_cap: 64,
+        degrade_at: usize::MAX,
+        ..ServerConfig::default()
+    })
+    .expect("start");
+
+    const N: usize = 6;
+    let (tx, rx) = mpsc::channel::<Response>();
+    // Occupy the sole worker so the identical burst below cannot start
+    // executing until every member has been admitted or parked.
+    server.handle_frame_async(
+        &request("blocker", BLOCKER, r#","grid":"fine""#),
+        Box::new({
+            let tx = tx.clone();
+            move |r| {
+                let _ = tx.send(r);
+            }
+        }),
+    );
+    for i in 0..N {
+        let tx = tx.clone();
+        server.handle_frame_async(
+            &request(&format!("dup-{i}"), VADD, ""),
+            Box::new(move |r| {
+                let _ = tx.send(r);
+            }),
+        );
+    }
+    drop(tx);
+
+    let responses: Vec<Response> = rx.iter().collect();
+    assert_eq!(responses.len(), N + 1);
+    let dups: Vec<&Response> = responses.iter().filter(|r| r.id().starts_with("dup-")).collect();
+    assert_eq!(dups.len(), N);
+    for r in &dups {
+        assert_eq!(r.kind(), "ok", "{}", r.to_json());
+    }
+
+    // Exactly one sweep served all N duplicates (plus the blocker's).
+    assert_eq!(sweeps.get() - before, 2, "expected blocker + one shared sweep");
+
+    // Shared result bytes are identical; exactly N-1 carry the marker.
+    let jsons: Vec<String> = dups.iter().map(|r| r.to_json()).collect();
+    for j in &jsons[1..] {
+        assert_eq!(result_bytes(&jsons[0]), result_bytes(j), "fan-out must be bit-identical");
+    }
+    let marked = jsons.iter().filter(|j| j.contains("\"coalesced\":true")).count();
+    assert_eq!(marked, N - 1, "one leader, N-1 coalesced waiters");
+
+    let c = server.shutdown();
+    assert_eq!(c.coalesced, (N - 1) as u64);
+    assert_eq!(c.completed, (N + 1) as u64);
+    assert_eq!(c.shed, 0);
+}
+
+/// A waiter whose deadline lapses while parked is rejected with its own
+/// typed `deadline` at fan-out; the shared sweep still completes and
+/// the leader still gets its result.
+#[test]
+fn waiter_expiring_mid_coalesce_gets_typed_deadline_without_cancelling_the_sweep() {
+    let _guard = SWEEP_COUNTER_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+
+    let (server, _) = Server::start(ServerConfig {
+        workers: 1,
+        queue_cap: 64,
+        degrade_at: usize::MAX,
+        ..ServerConfig::default()
+    })
+    .expect("start");
+
+    let (tx, rx) = mpsc::channel::<Response>();
+    // The blocker's fine-grid sweep holds the worker well past the
+    // waiter's 1 ms budget.
+    server.handle_frame_async(
+        &request("blocker", BLOCKER, r#","grid":"fine""#),
+        Box::new({
+            let tx = tx.clone();
+            move |r| {
+                let _ = tx.send(r);
+            }
+        }),
+    );
+    server.handle_frame_async(
+        &request("leader", VADD, r#","grid":"fine""#),
+        Box::new({
+            let tx = tx.clone();
+            move |r| {
+                let _ = tx.send(r);
+            }
+        }),
+    );
+    server.handle_frame_async(
+        &request("hasty", VADD, r#","grid":"fine","deadline_ms":1"#),
+        Box::new({
+            let tx = tx.clone();
+            move |r| {
+                let _ = tx.send(r);
+            }
+        }),
+    );
+    drop(tx);
+
+    let responses: Vec<Response> = rx.iter().collect();
+    assert_eq!(responses.len(), 3);
+    let by_id = |id: &str| {
+        responses.iter().find(|r| r.id() == id).unwrap_or_else(|| panic!("no response for {id}"))
+    };
+    assert_eq!(by_id("blocker").kind(), "ok");
+    // The shared sweep was not cancelled by the hasty waiter...
+    assert_eq!(by_id("leader").kind(), "ok", "{}", by_id("leader").to_json());
+    // ...and the waiter's rejection is its own, typed, and names the
+    // coalescing path.
+    let hasty = by_id("hasty");
+    assert_eq!(hasty.kind(), "deadline", "{}", hasty.to_json());
+    assert!(hasty.to_json().contains("coalesced"), "{}", hasty.to_json());
+
+    let c = server.shutdown();
+    assert_eq!(c.coalesced, 1);
+    assert_eq!(c.deadline_expired, 1);
+    assert_eq!(c.completed, 2);
+}

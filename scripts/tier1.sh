@@ -67,15 +67,27 @@ grep -q '"name":"dse.sweep"' "$SERVE_TRACE"
 # one root per data-plane frame (good, bad, late) — and nothing orphaned
 test "$(grep -c '"parent":0' "$SERVE_TRACE")" -eq 3
 test "$(grep -c '"parent":0.*"name":"serve.request"' "$SERVE_TRACE")" -eq 3
-# Serving throughput + overload gate: steady phase must sustain ≥1k req/s
-# of cache-warm traffic, and the overload phase (2× more concurrent
-# clients than queue slots) must show admission control actually working:
-# nonzero shed, degraded and deadline counters while requests still
-# complete. Schema checked the same way as the other BENCH files.
+# Epoll transport smoke: a real TCP round-trip through the event loop —
+# an ok response over length-prefixed framing, a malformed frame
+# answered in band, idle connections reaped, and SO_REUSEPORT listener
+# sharding — plus the coalescing gate (identical in-flight requests must
+# actually share one sweep). Both run as integration tests.
+cargo test -q -p flexcl-serve --test epoll_transport
+cargo test -q -p flexcl-serve --test coalescing
+# Serving throughput + overload + coalesce gate: steady cache-warm
+# traffic must sustain ≥5k req/s (2× the pre-event-loop 2.5k baseline),
+# the steady row must show real persistent-cache hits, the coalesce row
+# must show identical in-flight requests sharing sweeps, and the
+# overload phase (2× more concurrent clients than queue slots, sustained
+# 16 requests/client with retry_after_ms back-off honored) must show
+# admission control actually working: nonzero shed, degraded and
+# deadline counters while requests still complete. Schema checked the
+# same way as the other BENCH files.
 cargo run --release -q -p flexcl-bench --bin serve_bench -- \
   --steady-requests 4000 --out "$BENCH_SERVE"
 cargo run --release -q -p flexcl-bench --bin serve_bench -- \
-  --check "$BENCH_SERVE" --require-overload --min-rps 1000
+  --check "$BENCH_SERVE" --require-overload --require-coalesce \
+  --require-warm-hits --min-rps 5000
 # Observability overhead gate: paired off/on fine-grid sweeps must show
 # ≤5% traced overhead (quietest pair), the derived compiled-in-but-
 # disabled cost must stay ≤1%, and the serve row must show live p50/p99
