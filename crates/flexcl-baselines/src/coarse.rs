@@ -128,6 +128,7 @@ mod tests {
             has_barrier: false,
             reqd_work_group: None,
             vectorizable: true,
+            iterative: false,
         })
     }
 

@@ -228,6 +228,7 @@ mod tests {
             has_barrier: false,
             reqd_work_group: None,
             vectorizable: true,
+            iterative: false,
         };
         let space = flexcl_core::enumerate(&limits);
         let failed = space.iter().filter(|c| fails(&a, c)).count();

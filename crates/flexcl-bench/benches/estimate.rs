@@ -53,6 +53,7 @@ fn space() -> Vec<OptimizationConfig> {
         has_barrier: false,
         reqd_work_group: Some((64, 1)),
         vectorizable: true,
+        iterative: false,
     })
 }
 

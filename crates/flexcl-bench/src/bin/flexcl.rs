@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! flexcl estimate kernel.cl --kernel name --global 4096 [--wg 64] [--pipeline]
-//!                           [--pes P] [--cus C] [--vector V] [--mode pipeline]
+//!                           [--pes P] [--cus C] [--vector V] [--coarsen N]
+//!                           [--temporal N] [--mode pipeline]
 //!                           [--platform 7v3|ku060] [--scalar-int N] [--scalar-float X]
 //!                           [--buf-elems N]
 //! flexcl explore  kernel.cl --kernel name --global 4096 [--top 10] [--pareto] [--verbose]
@@ -92,6 +93,8 @@ fn print_help() {
          \x20 --pes P             PE replication (default 1)\n\
          \x20 --cus C             CU replication (default 1)\n\
          \x20 --vector V          vectorization width (default 1)\n\
+         \x20 --coarsen N         thread-coarsening factor, must divide wg (default 1)\n\
+         \x20 --temporal N        temporal-blocking depth, iterative stencils only (default 1)\n\
          \x20 --mode MODE         barrier | pipeline (default barrier)\n\
          \x20 --platform P        7v3 | ku060 (default 7v3)\n\
          \x20 --buf-elems N       synthesized buffer length per pointer param\n\
@@ -249,6 +252,8 @@ fn config_for(flags: &Flags, global: (u64, u64)) -> Result<OptimizationConfig, S
         num_cus: get_u32("cus", 1)?,
         vector_width: get_u32("vector", 1)?,
         comm_mode: mode,
+        coarsen_factor: get_u32("coarsen", 1)?,
+        temporal_block_depth: get_u32("temporal", 1)?,
     })
 }
 

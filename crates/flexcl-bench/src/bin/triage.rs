@@ -35,7 +35,9 @@
 //!   not overwrite the committed full-suite artifacts).
 
 use flexcl_bench::{compile, write_csv};
-use flexcl_core::{explore, OptimizationConfig, Platform};
+use flexcl_core::{
+    estimate, explore, is_iterative_stencil, KernelAnalysis, OptimizationConfig, Platform,
+};
 use flexcl_kernels::{all, Scale, Suite};
 use flexcl_sim::{system_run, SimError, SimOptions};
 
@@ -114,6 +116,58 @@ fn triage_sweep(filter: Option<&str>) -> Vec<PointRow> {
                 kernel: name.clone(),
                 suite: suite_name(spec.suite),
                 config: point.config,
+                sim_cycles: sim.cycles,
+                model_cycles: est.cycles,
+                err: (est.cycles - sim.cycles) / denom,
+                err_comp: (est.comp_cycles - sim.comp_cycles) / denom,
+                err_mem: (est.mem_cycles - sim.mem_cycles) / denom,
+                err_overhead: (est.overhead_cycles - sim.overhead_cycles) / denom,
+            });
+        }
+        // The standard grid keeps the coarsening/temporal axes at the
+        // identity (it mirrors the paper's Table 2 space), so probe them
+        // explicitly off the kernel's best standard point: coarsened
+        // variants for every kernel, blocked (and combined) variants for
+        // iterative stencils. The probes flow through the same error
+        // attribution, so BENCH_accuracy.json gates the new axes too.
+        let Some(best) = dse.best() else { continue };
+        let mut probes: Vec<OptimizationConfig> = Vec::new();
+        for cf in [2u32, 4] {
+            if best.config.work_group_size().is_multiple_of(u64::from(cf)) {
+                probes.push(OptimizationConfig { coarsen_factor: cf, ..best.config });
+            }
+        }
+        if is_iterative_stencil(&func.name) {
+            for tb in [2u32, 4] {
+                probes.push(OptimizationConfig { temporal_block_depth: tb, ..best.config });
+            }
+            if best.config.work_group_size().is_multiple_of(2) {
+                probes.push(OptimizationConfig {
+                    coarsen_factor: 2,
+                    temporal_block_depth: 2,
+                    ..best.config
+                });
+            }
+        }
+        for cfg in probes {
+            let analysis =
+                KernelAnalysis::analyze(&func, &platform, &workload, cfg.work_group)
+                    .expect("analysis");
+            let est = match estimate(&analysis, &cfg) {
+                Ok(e) if e.feasible => e,
+                _ => continue,
+            };
+            let sim = match system_run(&func, &platform, &workload, &cfg, SimOptions::default())
+            {
+                Ok(r) => r,
+                Err(SimError::Infeasible(_)) => continue,
+                Err(e) => panic!("system run failed for {name} probe {cfg}: {e}"),
+            };
+            let denom = sim.cycles.max(1.0);
+            points.push(PointRow {
+                kernel: name.clone(),
+                suite: suite_name(spec.suite),
+                config: cfg,
                 sim_cycles: sim.cycles,
                 model_cycles: est.cycles,
                 err: (est.cycles - sim.cycles) / denom,
@@ -363,6 +417,39 @@ fn main() {
         suite_mean("rodinia"),
         suite_mean("polybench")
     );
+
+    // The temporal-blocking probes exist to show the reuse win on the
+    // iterative stencils, in the simulator as well as the model — report
+    // it per kernel so a regression is visible in the triage output.
+    let blocked_kernels: Vec<&str> = {
+        let mut v: Vec<&str> = points
+            .iter()
+            .filter(|p| p.config.temporal_block_depth > 1)
+            .map(|p| p.kernel.as_str())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    if !blocked_kernels.is_empty() {
+        println!("\nTemporal-blocking probes (best sim cycles, blocked vs flat):");
+        for kernel in blocked_kernels {
+            let best_sim = |pred: &dyn Fn(u32) -> bool| {
+                points
+                    .iter()
+                    .filter(|p| p.kernel == kernel && pred(p.config.temporal_block_depth))
+                    .map(|p| p.sim_cycles)
+                    .fold(f64::INFINITY, f64::min)
+            };
+            let blocked = best_sim(&|tb| tb > 1);
+            let flat = best_sim(&|tb| tb == 1);
+            println!(
+                "  {kernel:<26} {blocked:>10.0} vs {flat:>10.0}  ({:+.1}%{})",
+                100.0 * (blocked - flat) / flat,
+                if blocked < flat { ", win" } else { "" }
+            );
+        }
+    }
     write_bench_json(&rows, out);
 
     if let Some(limit) = max_mean_err {

@@ -303,6 +303,82 @@ impl ContentionCurve {
     }
 }
 
+/// Thread-coarsening factors pre-analyzed for every kernel (filtered per
+/// work-group size to the values dividing it) — the values the preset
+/// [`crate::config::SweepGrid`]s sweep. Each level costs two C=1 DRAM
+/// replays of the merged trace at analysis time, so levels are computed
+/// eagerly and configurations only read closed-form summaries.
+pub const COARSEN_CANDIDATES: [u32; 3] = [2, 4, 8];
+
+/// Memory-model summaries of the kernel's representative trace after
+/// merging `factor` consecutive work-items into one coarse item
+/// ([`coarsen_trace`]): the merged stream is re-coalesced per buffer, so
+/// overlapping stencil windows collapse into fewer, wider bursts. All
+/// per-work-item quantities stay normalized per *original* work-item
+/// (divided by the same weighted work-item count as the base analysis),
+/// which keeps the Eq. 9–12 algebra of the integration unchanged.
+#[derive(Debug, Clone)]
+pub struct CoarsenLevel {
+    /// The coarsening factor this level models.
+    pub factor: u32,
+    /// Table-1 pattern counts per original work-item, work-item burst
+    /// order (pipeline mode).
+    pub pattern_counts: PatternTable<f64>,
+    /// Pattern counts per original work-item, phased reads-first
+    /// (barrier mode).
+    pub pattern_counts_phased: PatternTable<f64>,
+    /// Coalesced global transactions per original work-item.
+    pub global_accesses_per_wi: f64,
+    /// Multi-beat transfer cycles per original work-item.
+    pub mem_extra_wi: f64,
+    /// Distinct burst-owner runs per group over the merged stream (owners
+    /// are coarse items).
+    pub burst_owners_per_group: f64,
+    /// Memory service cycles of the heaviest merged group, work-item order.
+    pub mem_group_max: f64,
+    /// Heaviest merged group, phased order.
+    pub mem_group_max_phased: f64,
+}
+
+impl CoarsenLevel {
+    /// `L_mem` per original work-item at this coarsening level (Eq. 9 over
+    /// the merged trace), pipeline-order bursts.
+    pub fn l_mem_wi(&self, latencies: &PatternTable<f64>) -> f64 {
+        latencies.iter().map(|(p, dt)| dt * self.pattern_counts[p]).sum::<f64>()
+            + self.mem_extra_wi
+    }
+
+    /// Phased (barrier-mode) variant of [`Self::l_mem_wi`].
+    pub fn l_mem_wi_phased(&self, latencies: &PatternTable<f64>) -> f64 {
+        latencies.iter().map(|(p, dt)| dt * self.pattern_counts_phased[p]).sum::<f64>()
+            + self.mem_extra_wi
+    }
+}
+
+/// Merges each run of `factor` consecutive work-items of a profiled trace
+/// into one coarse item: work-item ids are rescaled (`wi / factor`) and
+/// accesses a coarse item repeats — the same buffer element touched by
+/// more than one of its merged work-items, the common case for stencil
+/// windows — are deduplicated (the coarse item keeps the value in a
+/// register). Trace order is preserved, so downstream coalescing sees the
+/// merged stream exactly as a coarsened datapath would emit it.
+pub fn coarsen_trace(trace: &[MemAccess], factor: u32) -> Vec<MemAccess> {
+    if factor <= 1 {
+        return trace.to_vec();
+    }
+    let cf = u64::from(factor);
+    let mut seen: std::collections::HashSet<(u64, u64, u32, i64, u32, bool)> =
+        std::collections::HashSet::with_capacity(trace.len());
+    let mut out = Vec::with_capacity(trace.len());
+    for a in trace {
+        let coarse = a.work_item / cf;
+        if seen.insert((a.work_group, coarse, a.param, a.elem_index, a.bytes, a.write)) {
+            out.push(MemAccess { work_item: coarse, ..*a });
+        }
+    }
+    out
+}
+
 /// An inter-work-item recurrence with its resolved cycle latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResolvedRecurrence {
@@ -393,6 +469,10 @@ pub struct KernelAnalysis {
     /// Like [`KernelAnalysis::mem_group_max`], with each group's bursts
     /// phased reads-first (barrier communication mode).
     pub mem_group_max_phased: f64,
+    /// Memory summaries of the coarsened trace for each
+    /// [`COARSEN_CANDIDATES`] factor dividing the work-group size,
+    /// ascending by factor. Factor 1 is the base analysis itself.
+    pub coarsen_levels: Vec<CoarsenLevel>,
     /// Per-instruction execution multiplier (product of enclosing trip
     /// counts), used for resource-pressure weighting.
     multipliers: Vec<f64>,
@@ -533,6 +613,67 @@ impl KernelAnalysis {
         } else {
             0.0
         };
+        // ---- thread-coarsening levels: re-derive the same memory
+        // summaries over the merged trace for every candidate factor that
+        // tiles the work-group. The merged stream is re-coalesced from
+        // scratch, so a factor-cf stencil window turns cf overlapping
+        // per-item bursts into one wider burst; normalization stays per
+        // original work-item (same `eff_wi`), so the evaluation's
+        // `l_mem_wi · n_wi_wg` algebra holds unchanged at every level.
+        let wg_size = u64::from(work_group.0) * u64::from(work_group.1);
+        let mut coarsen_levels = Vec::new();
+        for cf in COARSEN_CANDIDATES {
+            if !wg_size.is_multiple_of(u64::from(cf)) {
+                continue;
+            }
+            let merged = coarsen_trace(&profile.trace, cf);
+            let merged_bursts = trace_to_group_bursts_into(&merged, unit_bytes, scratch);
+            let (cf_pipe, cf_bursts, cf_extra, cf_group_max) =
+                replay_weighted(&platform, &merged_bursts, &profile, 1, false, scratch);
+            let (cf_phased, _, _, cf_group_max_phased) =
+                replay_weighted(&platform, &merged_bursts, &profile, 1, true, scratch);
+            let mut counts = PatternTable::new();
+            let mut counts_phased = PatternTable::new();
+            for (p, c) in cf_pipe.iter() {
+                counts[p] = c / eff_wi;
+            }
+            for (p, c) in cf_phased.iter() {
+                counts_phased[p] = c / eff_wi;
+            }
+            let mut cf_owner_runs = 0.0f64;
+            let mut cf_owner_weight = 0.0f64;
+            for (g, bursts) in merged_bursts.iter() {
+                if bursts.is_empty() {
+                    continue;
+                }
+                let mut runs = 0u64;
+                let mut last: Option<u64> = None;
+                for ob in bursts {
+                    if last != Some(ob.work_item) {
+                        runs += 1;
+                        last = Some(ob.work_item);
+                    }
+                }
+                let w = profile.group_weight(*g);
+                cf_owner_runs += w * runs as f64;
+                cf_owner_weight += w;
+            }
+            coarsen_levels.push(CoarsenLevel {
+                factor: cf,
+                pattern_counts: counts,
+                pattern_counts_phased: counts_phased,
+                global_accesses_per_wi: cf_bursts / eff_wi,
+                mem_extra_wi: cf_extra / eff_wi,
+                burst_owners_per_group: if cf_owner_weight > 0.0 {
+                    cf_owner_runs / cf_owner_weight
+                } else {
+                    0.0
+                },
+                mem_group_max: cf_group_max,
+                mem_group_max_phased: cf_group_max_phased,
+            });
+        }
+
         let pattern_latencies = microbench::profile_cached(platform.dram);
         if pattern_latencies.iter().any(|(_, dt)| !dt.is_finite() || dt < 0.0) {
             return Err(FlexclError::MemoryModel {
@@ -629,8 +770,16 @@ impl KernelAnalysis {
             contention,
             mem_group_max,
             mem_group_max_phased,
+            coarsen_levels,
             multipliers,
         })
+    }
+
+    /// The pre-analyzed [`CoarsenLevel`] for `factor`, if the factor was a
+    /// candidate dividing this work-group (factor 1 — the base analysis —
+    /// returns `None`; callers use the base fields directly).
+    pub fn coarsen_level(&self, factor: u32) -> Option<&CoarsenLevel> {
+        self.coarsen_levels.iter().find(|l| l.factor == factor)
     }
 
     /// Per-work-item global-memory latency `L_mem^wi` (Eq. 9), with

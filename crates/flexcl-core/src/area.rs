@@ -79,6 +79,29 @@ fn lut_cost(op: &Op, ty: &flexcl_frontend::types::Type) -> u64 {
     base * scale * u64::from(ty.lanes())
 }
 
+/// On-chip buffer bytes temporal blocking needs per CU (DESIGN.md §15).
+///
+/// Fusing `tb` stencil steps keeps the intermediate layers of the tile on
+/// chip: each of the `tb - 1` non-final steps buffers one halo-inclusive
+/// tile layer, whose extent per blocked dimension (where the NDRange
+/// extends) is `wg_d + 2·(tb - 1)`. Cells are costed at 8 bytes — one
+/// double-buffered `float` — a documented approximation matching the
+/// stencil suites the axis is gated to. Exactly zero at `tb <= 1`.
+pub fn temporal_bram_bytes(work_group: (u32, u32), global: (u64, u64), tb: u32) -> u64 {
+    if tb <= 1 {
+        return 0;
+    }
+    let halo = u64::from(tb - 1);
+    let mut layer: u64 = 1;
+    if global.0 > 1 {
+        layer = layer.saturating_mul(u64::from(work_group.0).saturating_add(2 * halo));
+    }
+    if global.1 > 1 {
+        layer = layer.saturating_mul(u64::from(work_group.1).saturating_add(2 * halo));
+    }
+    halo.saturating_mul(layer).saturating_mul(8)
+}
+
 /// Estimates the resources a configuration consumes.
 pub fn estimate_area(analysis: &KernelAnalysis, config: &OptimizationConfig) -> AreaEstimate {
     let p_eff = u64::from(config.effective_pes().max(1));
@@ -86,8 +109,14 @@ pub fn estimate_area(analysis: &KernelAnalysis, config: &OptimizationConfig) -> 
 
     let dsps = u64::from(analysis.static_dsps_per_pe) * p_eff * c;
     // Unrolling partitions local arrays (bounded: the toolchain caps the
-    // partition factor).
-    let bram_bytes = analysis.local_bytes * c * p_eff.min(4);
+    // partition factor). Temporal blocking adds its per-CU tile buffers.
+    let bram_bytes = (analysis.local_bytes * p_eff.min(4))
+        .saturating_add(temporal_bram_bytes(
+            analysis.work_group,
+            analysis.global,
+            config.temporal_block_depth.max(1),
+        ))
+        .saturating_mul(c);
     let luts_per_pe: u64 = analysis
         .func
         .insts
@@ -203,6 +232,7 @@ mod tests {
             has_barrier: false,
             reqd_work_group: None,
             vectorizable: true,
+            iterative: false,
         };
         let pts: Vec<ParetoPoint> = crate::config::enumerate(&limits)
             .into_iter()
@@ -231,6 +261,30 @@ mod tests {
                 assert!(!dominates, "{} dominated by {}", f.config, p.config);
             }
         }
+    }
+
+    #[test]
+    fn temporal_bram_is_zero_at_depth_one_and_grows_with_depth() {
+        assert_eq!(temporal_bram_bytes((16, 4), (32, 32), 1), 0);
+        // Depth 2 on a 16x4 tile of a 2-D NDRange: one buffered layer of
+        // (16+2)x(4+2) cells at 8 bytes.
+        assert_eq!(temporal_bram_bytes((16, 4), (32, 32), 2), 18 * 6 * 8);
+        // 1-D NDRange ignores the unit dimension.
+        assert_eq!(temporal_bram_bytes((64, 1), (1024, 1), 2), 66 * 8);
+        let d2 = temporal_bram_bytes((16, 4), (32, 32), 2);
+        let d4 = temporal_bram_bytes((16, 4), (32, 32), 4);
+        assert!(d4 > d2, "deeper blocks buffer more layers: {d4} vs {d2}");
+    }
+
+    #[test]
+    fn temporal_depth_inflates_area_estimate() {
+        let a = analysis();
+        let base = OptimizationConfig::baseline((64, 1));
+        let blocked = OptimizationConfig { temporal_block_depth: 4, ..base };
+        let a0 = estimate_area(&a, &base);
+        let a1 = estimate_area(&a, &blocked);
+        assert!(a1.bram_bytes > a0.bram_bytes);
+        assert_eq!(a1.dsps, a0.dsps);
     }
 
     #[test]

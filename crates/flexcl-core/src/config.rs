@@ -42,6 +42,19 @@ pub struct OptimizationConfig {
     pub vector_width: u32,
     /// Communication mode.
     pub comm_mode: CommMode,
+    /// Thread-coarsening factor: each PE executes `coarsen_factor`
+    /// consecutive work-items as one coarse item (1 = no coarsening).
+    /// Must divide the work-group size. Coarsening rescales the NDRange
+    /// seen by a PE, amortizes loop recurrences across the merged items,
+    /// and re-groups the merged memory trace so overlapping stencil reads
+    /// coalesce into fewer, wider bursts (DESIGN.md §15).
+    pub coarsen_factor: u32,
+    /// Temporal-blocking depth for iterative stencil kernels: the number
+    /// of stencil time-steps fused on chip per DRAM round trip
+    /// (1 = no temporal blocking). Depth `t` trades `(t-1)` halo-expanded
+    /// compute layers held in BRAM for a `1/t` cut in global traffic
+    /// (DESIGN.md §15). Only valid on iterative kernels.
+    pub temporal_block_depth: u32,
 }
 
 impl OptimizationConfig {
@@ -55,6 +68,8 @@ impl OptimizationConfig {
             num_cus: 1,
             vector_width: 1,
             comm_mode: CommMode::Barrier,
+            coarsen_factor: 1,
+            temporal_block_depth: 1,
         }
     }
 
@@ -98,6 +113,41 @@ impl OptimizationConfig {
         if self.num_pes.checked_mul(self.vector_width).is_none() {
             return fail("PE replication times vector width overflows");
         }
+        if self.coarsen_factor == 0 {
+            return fail("coarsening factor must be at least 1");
+        }
+        if self.temporal_block_depth == 0 {
+            return fail("temporal blocking depth must be at least 1");
+        }
+        if !self.work_group_size().is_multiple_of(u64::from(self.coarsen_factor)) {
+            return fail("coarsening factor must divide the work-group size");
+        }
+        Ok(())
+    }
+
+    /// Validates against both the structural invariants *and* a kernel's
+    /// [`DesignSpaceLimits`] — the checks [`ConfigSpace`] enforces by
+    /// construction but hand-built configurations (e.g. via
+    /// [`crate::dse::explore_configs`]) can violate. Today that is the
+    /// temporal-blocking gate: depth > 1 is only meaningful on iterative
+    /// stencil kernels, where successive launches re-consume the previous
+    /// step's output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::FlexclError::Config`] naming the violated
+    /// invariant.
+    pub fn validate_for(
+        &self,
+        limits: &DesignSpaceLimits,
+    ) -> Result<(), crate::error::FlexclError> {
+        self.validate()?;
+        if self.temporal_block_depth > 1 && !limits.iterative {
+            return Err(crate::error::FlexclError::Config {
+                config: *self,
+                detail: "temporal blocking requires an iterative stencil kernel".into(),
+            });
+        }
         Ok(())
     }
 }
@@ -120,7 +170,13 @@ impl fmt::Display for OptimizationConfig {
             self.num_cus,
             self.vector_width,
             self.comm_mode
-        )
+        )?;
+        // Identity values stay silent so logs/goldens from before the
+        // coarsening/temporal-blocking axes render unchanged.
+        if self.coarsen_factor != 1 || self.temporal_block_depth != 1 {
+            write!(f, " cf={} tb={}", self.coarsen_factor, self.temporal_block_depth)?;
+        }
+        Ok(())
     }
 }
 
@@ -139,6 +195,10 @@ pub struct DesignSpaceLimits {
     /// Whether the kernel's data types permit vectorization (pure
     /// elementwise access, no vector types already in use).
     pub vectorizable: bool,
+    /// Whether the kernel is an iterative stencil (host re-launches it,
+    /// feeding each step's output back as the next step's input) — the
+    /// only shape where temporal blocking depth > 1 is meaningful.
+    pub iterative: bool,
 }
 
 /// Largest PE replication factor [`SweepGrid::standard`] generates.
@@ -149,6 +209,23 @@ pub const MAX_CUS: u32 = 4;
 
 /// Largest vectorization width [`SweepGrid::standard`] generates.
 pub const MAX_VECTOR_WIDTH: u32 = 4;
+
+/// Largest thread-coarsening factor any preset grid generates.
+pub const MAX_COARSEN: u32 = 8;
+
+/// Largest temporal-blocking depth any preset grid generates.
+pub const MAX_TEMPORAL_DEPTH: u32 = 8;
+
+/// Whether a kernel (by name) is one of the suite's iterative stencils —
+/// the kernels the host launches repeatedly with each step's output fed
+/// back as the next step's input (jacobi2d, hotspot/hotspot3D, srad).
+/// These are the only kernels where a
+/// [`OptimizationConfig::temporal_block_depth`] above 1 is meaningful;
+/// [`crate::dse::limits_for`] uses this to gate the temporal axis per
+/// kernel so non-stencils don't multiply the space.
+pub fn is_iterative_stencil(kernel_name: &str) -> bool {
+    matches!(kernel_name, "jacobi2d" | "hotspot" | "hotspot3D" | "srad" | "srad2")
+}
 
 /// The knob grids a sweep enumerates: the cross product of these axes
 /// (filtered by [`DesignSpaceLimits`]) is the design space.
@@ -168,6 +245,12 @@ pub struct SweepGrid {
     /// Vectorization widths (dropped to `[1]` for non-vectorizable
     /// kernels).
     pub vector_widths: Vec<u32>,
+    /// Thread-coarsening factors (filtered per work-group family to the
+    /// values dividing the work-group size).
+    pub coarsen_factors: Vec<u32>,
+    /// Temporal-blocking depths (dropped to `[1]` for non-iterative
+    /// kernels).
+    pub temporal_depths: Vec<u32>,
 }
 
 impl SweepGrid {
@@ -181,6 +264,11 @@ impl SweepGrid {
             pes: vec![1, 2, 4, 8, MAX_PES],
             cus: vec![1, 2, MAX_CUS],
             vector_widths: vec![1, MAX_VECTOR_WIDTH],
+            // The paper's Table 2 space has neither axis; keeping the
+            // standard grid at the identity preserves its 100–400-point
+            // size and the published comparison.
+            coarsen_factors: vec![1],
+            temporal_depths: vec![1],
         }
     }
 
@@ -209,6 +297,8 @@ impl SweepGrid {
             pes: (1..=64).collect(),
             cus: (1..=16).collect(),
             vector_widths: vec![1, 2, 3, 4, 5, 6, 8, 10, 12, 16],
+            coarsen_factors: vec![1, 2, 4],
+            temporal_depths: vec![1, 2, 4],
         }
     }
 
@@ -240,6 +330,8 @@ impl SweepGrid {
             pes: (1..=128).collect(),
             cus: (1..=32).collect(),
             vector_widths: vec![1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32],
+            coarsen_factors: vec![1, 2, 4, MAX_COARSEN],
+            temporal_depths: vec![1, 2, 4, MAX_TEMPORAL_DEPTH],
         }
     }
 
@@ -295,6 +387,9 @@ struct FamilySpace {
     offset: usize,
     len: usize,
     blocks: Vec<Block>,
+    /// Coarsening factors valid for this family (grid values dividing the
+    /// work-group size; always contains 1).
+    cfs: Vec<u32>,
 }
 
 /// A lazily-materialized design space: the filtered cross product of a
@@ -314,6 +409,8 @@ pub struct ConfigSpace {
     /// Modes available with work-item pipelining on (`[Barrier]` or
     /// `[Barrier, Pipeline]`); pipelining off always leaves `[Barrier]`.
     modes_pipe: Vec<CommMode>,
+    /// Temporal-blocking depths (`[1]` unless the kernel is iterative).
+    tbs: Vec<u32>,
     total: usize,
 }
 
@@ -337,6 +434,11 @@ impl ConfigSpace {
         } else {
             vec![CommMode::Barrier, CommMode::Pipeline]
         };
+        let tbs: Vec<u32> = if limits.iterative {
+            grid.temporal_depths.clone()
+        } else {
+            vec![1]
+        };
 
         let mut families = Vec::new();
         let mut total = 0usize;
@@ -351,6 +453,14 @@ impl ConfigSpace {
                 continue;
             }
             let wg_size = u64::from(wg.0) * u64::from(wg.1);
+            // Coarsening merges whole work-items, so only factors that
+            // tile the group evenly are generated for this family.
+            let cfs: Vec<u32> = grid
+                .coarsen_factors
+                .iter()
+                .copied()
+                .filter(|&cf| cf >= 1 && wg_size.is_multiple_of(u64::from(cf)))
+                .collect();
             let mut blocks = Vec::new();
             let mut fam_len = 0usize;
             for pipe in [false, true] {
@@ -367,7 +477,7 @@ impl ConfigSpace {
                     // computation *through* the work-item pipeline; without
                     // pipelining only barrier mode remains.
                     let n_modes = if pipe { modes_pipe.len() } else { 1 };
-                    let len = grid.cus.len() * vecs.len() * n_modes;
+                    let len = grid.cus.len() * vecs.len() * n_modes * cfs.len() * tbs.len();
                     blocks.push(Block { pipe, num_pes: p, offset: fam_len, len });
                     fam_len += len;
                 }
@@ -375,10 +485,16 @@ impl ConfigSpace {
             if fam_len == 0 {
                 continue;
             }
-            families.push(FamilySpace { work_group: wg, offset: total, len: fam_len, blocks });
+            families.push(FamilySpace {
+                work_group: wg,
+                offset: total,
+                len: fam_len,
+                blocks,
+                cfs,
+            });
             total += fam_len;
         }
-        ConfigSpace { families, cus: grid.cus.clone(), vecs, modes_pipe, total }
+        ConfigSpace { families, cus: grid.cus.clone(), vecs, modes_pipe, tbs, total }
     }
 
     /// Number of candidates in the space.
@@ -427,14 +543,25 @@ impl ConfigSpace {
         let block = &fam.blocks[b];
         let rem = local - block.offset;
         let n_modes = if block.pipe { self.modes_pipe.len() } else { 1 };
-        let per_cu = self.vecs.len() * n_modes;
+        // Axis strides, innermost last: C → V → mode → cf → tb. With the
+        // identity axes ([1]/[1]) every new stride is 1 and the decode is
+        // bit-for-bit the pre-axis enumeration order.
+        let per_mode = fam.cfs.len() * self.tbs.len();
+        let per_vec = n_modes * per_mode;
+        let per_cu = self.vecs.len() * per_vec;
         OptimizationConfig {
             work_group: fam.work_group,
             work_item_pipeline: block.pipe,
             num_pes: block.num_pes,
             num_cus: self.cus[rem / per_cu],
-            vector_width: self.vecs[(rem / n_modes) % self.vecs.len()],
-            comm_mode: if block.pipe { self.modes_pipe[rem % n_modes] } else { CommMode::Barrier },
+            vector_width: self.vecs[(rem / per_vec) % self.vecs.len()],
+            comm_mode: if block.pipe {
+                self.modes_pipe[(rem / per_mode) % n_modes]
+            } else {
+                CommMode::Barrier
+            },
+            coarsen_factor: fam.cfs[(rem / self.tbs.len()) % fam.cfs.len()],
+            temporal_block_depth: self.tbs[rem % self.tbs.len()],
         }
     }
 
@@ -489,6 +616,7 @@ mod tests {
             has_barrier: false,
             reqd_work_group: None,
             vectorizable: true,
+            iterative: false,
         }
     }
 
@@ -628,6 +756,98 @@ mod tests {
     fn config_display_is_readable() {
         let c = OptimizationConfig::default();
         assert_eq!(c.to_string(), "wg=64x1 pipe=0 P=1 C=1 V=1 mode=barrier");
+        // The new axes only render away from the identity, so pre-axis
+        // logs and goldens keep their exact strings.
+        let c = OptimizationConfig { coarsen_factor: 4, ..Default::default() };
+        assert_eq!(c.to_string(), "wg=64x1 pipe=0 P=1 C=1 V=1 mode=barrier cf=4 tb=1");
+        let c = OptimizationConfig { temporal_block_depth: 2, ..Default::default() };
+        assert_eq!(c.to_string(), "wg=64x1 pipe=0 P=1 C=1 V=1 mode=barrier cf=1 tb=2");
+    }
+
+    #[test]
+    fn coarsen_axis_respects_work_group_divisibility() {
+        // wg=(16,1) with grid cfs [1,2,4,8]: all divide 16. A wg of 24
+        // would drop 16 if present; use a custom grid with a non-divisor.
+        let mut grid = SweepGrid::standard();
+        grid.work_groups_1d = vec![(16, 1), (64, 1)];
+        grid.coarsen_factors = vec![1, 3, 4];
+        let space = ConfigSpace::new(&limits_1d(), &grid);
+        for cfg in space.iter() {
+            assert!(
+                cfg.work_group_size().is_multiple_of(u64::from(cfg.coarsen_factor)),
+                "{cfg}"
+            );
+            assert_ne!(cfg.coarsen_factor, 3, "3 divides neither 16 nor 64: {cfg}");
+        }
+        assert!(space.iter().any(|c| c.coarsen_factor == 4));
+    }
+
+    #[test]
+    fn temporal_axis_is_gated_on_iterative_kernels() {
+        let grid = SweepGrid::fine();
+        let flat = ConfigSpace::new(&limits_1d(), &grid);
+        assert!(flat.iter().all(|c| c.temporal_block_depth == 1));
+        let iter_space =
+            ConfigSpace::new(&DesignSpaceLimits { iterative: true, ..limits_1d() }, &grid);
+        assert!(iter_space.iter().any(|c| c.temporal_block_depth > 1));
+        assert_eq!(
+            iter_space.len(),
+            flat.len() * grid.temporal_depths.len(),
+            "temporal depth multiplies the space uniformly"
+        );
+        // Lazy decode still agrees with iteration over the enlarged space.
+        for (i, cfg) in iter_space.iter().enumerate().step_by(9973) {
+            assert_eq!(iter_space.get(i), cfg);
+        }
+    }
+
+    #[test]
+    fn new_axis_zero_values_are_rejected() {
+        use crate::error::ErrorKind;
+        let zero_cf = OptimizationConfig { coarsen_factor: 0, ..Default::default() };
+        let err = zero_cf.validate().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
+        assert!(err.to_string().contains("coarsening"));
+
+        let zero_tb = OptimizationConfig { temporal_block_depth: 0, ..Default::default() };
+        let err = zero_tb.validate().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
+        assert!(err.to_string().contains("temporal"));
+    }
+
+    #[test]
+    fn coarsen_factor_must_divide_work_group_size() {
+        use crate::error::ErrorKind;
+        let bad = OptimizationConfig { coarsen_factor: 3, ..Default::default() }; // wg=64
+        let err = bad.validate().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
+        assert!(err.to_string().contains("divide"));
+        let ok = OptimizationConfig { coarsen_factor: 8, ..Default::default() };
+        ok.validate().expect("8 divides 64");
+    }
+
+    #[test]
+    fn temporal_blocking_rejected_on_non_iterative_kernels() {
+        use crate::error::ErrorKind;
+        let cfg = OptimizationConfig { temporal_block_depth: 2, ..Default::default() };
+        let err = cfg.validate_for(&limits_1d()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
+        assert!(err.to_string().contains("iterative"));
+        cfg.validate_for(&DesignSpaceLimits { iterative: true, ..limits_1d() })
+            .expect("iterative kernels accept depth > 1");
+        // validate_for still enforces the structural invariants.
+        let zero = OptimizationConfig { coarsen_factor: 0, ..Default::default() };
+        assert!(zero.validate_for(&limits_1d()).is_err());
+    }
+
+    #[test]
+    fn iterative_stencils_are_recognized_by_name() {
+        for name in ["jacobi2d", "hotspot", "hotspot3D", "srad", "srad2"] {
+            assert!(is_iterative_stencil(name), "{name}");
+        }
+        for name in ["vadd", "gemm", "nw1", "bfs_1", ""] {
+            assert!(!is_iterative_stencil(name), "{name}");
+        }
     }
 
     #[test]

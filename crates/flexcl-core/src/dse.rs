@@ -618,6 +618,7 @@ pub fn limits_for(func: &Function, workload: &Workload) -> DesignSpaceLimits {
         has_barrier: func.has_barrier(),
         reqd_work_group: func.reqd_work_group_size.map(|(x, y, _)| (x, y)),
         vectorizable: !vector_params && !func.has_barrier(),
+        iterative: crate::config::is_iterative_stencil(&func.name),
     }
 }
 
@@ -1574,11 +1575,14 @@ pub fn explore_configs(
     // Validate candidates up front (an invalid config must not drag a
     // whole family down), then partition the valid ones into
     // per-work-group families, remembering each config's enumeration
-    // index for the ordered merge.
+    // index for the ordered merge. Validation is kernel-aware: temporal
+    // blocking is rejected here for non-iterative kernels instead of
+    // erroring one estimate at a time inside the sweep.
+    let limits = limits_for(func, workload);
     let mut failed: Vec<FailedPoint> = Vec::new();
     let mut families: Vec<Family> = Vec::new();
     for (idx, cfg) in configs.iter().copied().enumerate() {
-        if let Err(e) = cfg.validate() {
+        if let Err(e) = cfg.validate_for(&limits) {
             failed.push(FailedPoint {
                 index: idx,
                 config: cfg,

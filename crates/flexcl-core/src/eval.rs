@@ -201,10 +201,40 @@ impl<A: Borrow<KernelAnalysis>> EvalContext<A> {
         let n_wi_wg = config.work_group_size() as f64;
         let p_eff = config.effective_pes().max(1);
         let c = config.num_cus.max(1);
+        let cf = config.coarsen_factor.max(1);
+        let tb = config.temporal_block_depth.max(1);
+
+        // ---- new-axis gating ---------------------------------------------
+        // Temporal blocking models cross-iteration reuse; it is undefined
+        // for kernels that are not iterative stencils.
+        if tb > 1 && !crate::config::is_iterative_stencil(&analysis.func.name) {
+            return Err(FlexclError::Config {
+                config: *config,
+                detail: format!(
+                    "temporal blocking (depth {tb}) requires an iterative stencil \
+                     kernel; `{}` is not one",
+                    analysis.func.name
+                ),
+            });
+        }
+        // Coarsening replays the merged memory trace at analysis time; a
+        // factor with no pre-analyzed level cannot be evaluated.
+        if cf > 1 && analysis.coarsen_level(cf).is_none() {
+            return Err(FlexclError::Config {
+                config: *config,
+                detail: format!(
+                    "coarsening factor {cf} has no analyzed memory level for \
+                     this kernel/work-group (supported factors divide the \
+                     work-group size and are at most {})",
+                    crate::config::MAX_COARSEN
+                ),
+            });
+        }
 
         // ---- feasibility -------------------------------------------------
         // Saturating: extreme replication factors must read as "too big for
-        // the device", not overflow.
+        // the device", not overflow. Temporal blocking adds its per-CU tile
+        // buffers (zero at depth 1).
         let dsps_needed = u64::from(analysis.static_dsps_per_pe)
             .saturating_mul(u64::from(p_eff))
             .saturating_mul(u64::from(c));
@@ -217,7 +247,11 @@ impl<A: Borrow<KernelAnalysis>> EvalContext<A> {
         let bram_needed = analysis
             .local_bytes
             .saturating_mul(u64::from(c))
-            .saturating_mul(u64::from(p_eff.min(4)));
+            .saturating_mul(u64::from(p_eff.min(4)))
+            .saturating_add(
+                crate::area::temporal_bram_bytes(analysis.work_group, analysis.global, tb)
+                    .saturating_mul(u64::from(c)),
+            );
         if bram_needed > platform.total_bram_bytes {
             return Ok(infeasible(
                 config,
@@ -230,7 +264,7 @@ impl<A: Borrow<KernelAnalysis>> EvalContext<A> {
 
         // ---- PE model (Eq. 1–4 + SMS), memoized per budget ---------------
         let budget = pe_budget(analysis, config);
-        let (ii_comp, depth) = if config.work_item_pipeline {
+        let (ii_base, depth_base) = if config.work_item_pipeline {
             self.pipeline_params(&budget)?
         } else {
             // Without work-item pipelining a PE processes one work-item at a
@@ -240,21 +274,50 @@ impl<A: Borrow<KernelAnalysis>> EvalContext<A> {
         };
         // Re-borrow: the scheduler calls above needed `&mut self`.
         let analysis = self.analysis.borrow();
+        // Present whenever cf > 1: the gate above rejected missing levels.
+        let level = if cf > 1 { analysis.coarsen_level(cf) } else { None };
+        // Thread coarsening merges `cf` work-items per coarse item: the
+        // pipelined PE re-derives (II, D) analytically from the scheduled
+        // base (DESIGN.md §15); the unpipelined PE simply serializes the
+        // merged bodies. Exact pass-through at cf == 1.
+        let (ii_comp, depth) = if cf > 1 {
+            if config.work_item_pipeline {
+                crate::model::coarsened_pipeline_params(analysis, ii_base, depth_base, cf)
+            } else {
+                let d = ii_base.saturating_mul(cf).max(1);
+                (d, d)
+            }
+        } else {
+            (ii_base, depth_base)
+        };
 
         // ---- CU model (Eq. 5–6) ------------------------------------------
+        // Coarse items, not work-items, are what a CU issues: `cf` divides
+        // the work-group size (validated), so the wave count shrinks.
         let n_pe = effective_pe_parallelism(analysis, config);
-        let waves = ((n_wi_wg - f64::from(n_pe)) / f64::from(n_pe)).ceil().max(0.0);
+        let items = n_wi_wg / f64::from(cf);
+        let waves = ((items - f64::from(n_pe)) / f64::from(n_pe)).ceil().max(0.0);
         let l_cu = f64::from(ii_comp) * waves + f64::from(depth);
 
         // ---- memory model (Eq. 9), hoisted per family --------------------
         // Pattern counts follow the burst order the chosen communication
         // mode produces: work-item-interleaved for pipeline mode, phased
         // reads-then-writes for barrier mode (§3.5: integration depends on
-        // how computation communicates with global memory).
-        let l_mem_wi = match config.comm_mode {
-            CommMode::Barrier => self.l_mem_wi_barrier,
-            CommMode::Pipeline => self.l_mem_wi_pipeline,
+        // how computation communicates with global memory). At cf > 1 the
+        // constants come from the pre-analyzed merged-trace level, still
+        // normalized per *original* work-item so the `L_mem·N_wi` algebra
+        // below is unchanged.
+        let l_mem_wi = match (config.comm_mode, level) {
+            (CommMode::Barrier, None) => self.l_mem_wi_barrier,
+            (CommMode::Pipeline, None) => self.l_mem_wi_pipeline,
+            (CommMode::Barrier, Some(l)) => l.l_mem_wi_phased(&analysis.pattern_latencies),
+            (CommMode::Pipeline, Some(l)) => l.l_mem_wi(&analysis.pattern_latencies),
         };
+        let owners_group =
+            level.map_or(analysis.burst_owners_per_group, |l| l.burst_owners_per_group);
+        let hvy_mem_pipe = level.map_or(analysis.mem_group_max, |l| l.mem_group_max);
+        let hvy_mem_phased =
+            level.map_or(analysis.mem_group_max_phased, |l| l.mem_group_max_phased);
 
         // ---- kernel model (Eq. 7–8) --------------------------------------
         // The paper reads Eq. 8 as a serialized dispatcher capping the
@@ -310,26 +373,108 @@ impl<A: Borrow<KernelAnalysis>> EvalContext<A> {
         // it, i.e. for homogeneous kernels or small C).
         let hvy_scale = n_wi_wg / f64::from(analysis.work_group.0.max(1))
             / f64::from(analysis.work_group.1.max(1));
-        let (cycles, ii_wi, comp_cycles, mem_cycles) = match config.comm_mode {
+        let (cycles, ii_wi, comp_cycles, mem_cycles, overhead_cycles) = if tb > 1 {
+            // ---- temporal blocking (DESIGN.md §15) -----------------------
+            // `tb` stencil steps fuse into one on-chip block: the tile's
+            // DRAM traffic is paid ONCE per block (the reuse win in the
+            // Eq. 10–12 terms), while step k re-runs the CU pipeline over a
+            // halo-expanded tile (`rho_k` × the items). The block models
+            // `tb` kernel invocations, so every component is amortized by
+            // `/tb` to stay comparable with unblocked estimates; compute is
+            // recomputed as `cycles - mem - overhead` after the division so
+            // the decomposition still sums exactly to `cycles`.
+            let tbf = f64::from(tb);
+            let rho =
+                crate::model::temporal_step_redundancy(analysis.work_group, analysis.global, tb);
+            let wave_count = |r: f64| -> f64 {
+                ((items * r - f64::from(n_pe)) / f64::from(n_pe)).ceil().max(0.0)
+            };
+            let comp_step = |r: f64| -> f64 {
+                f64::from(ii_comp) * wave_count(r) + f64::from(depth)
+            };
+            // Steps after the first run out of BRAM — pure compute.
+            let rest: f64 = rho[1..].iter().map(|&r| comp_step(r)).sum();
+            match config.comm_mode {
+                CommMode::Barrier => {
+                    let mem_per_group = l_mem_wi * n_wi_wg * mem_scale;
+                    let comp_block = comp_step(rho[0]) + rest;
+                    let t = (mem_per_group + comp_block + dl_warm) * wg_rounds + dl + launch;
+                    let floor =
+                        hvy_mem_phased * hvy_scale + comp_block + dl_warm + dl + launch;
+                    let t_final = t.max(floor);
+                    let cycles = t_final / tbf;
+                    let mem = (mem_per_group * wg_rounds + (t_final - t)) / tbf;
+                    let overhead = (dl_warm * wg_rounds + dl + launch) / tbf;
+                    (cycles, f64::from(ii_comp), cycles - mem - overhead, mem, overhead)
+                }
+                CommMode::Pipeline => {
+                    // Only step 0 overlaps with the tile's single memory
+                    // stream (same owner-gated structure as the unblocked
+                    // path). The memory-limited interval `ii_wi` gates only
+                    // the real tile items — the stream happens once per
+                    // block — while the halo-expanded wave count of step 0
+                    // is gated by the compute interval alone (halo items
+                    // read on-chip data, not DRAM).
+                    let waves0 = wave_count(rho[0]);
+                    let ii_wi =
+                        (f64::from(cf) * l_mem_wi * mem_scale).max(f64::from(ii_comp));
+                    let mem_group = l_mem_wi * n_wi_wg * mem_scale;
+                    let w_total = waves0 + 1.0;
+                    let owners = owners_group.clamp(1.0, w_total);
+                    let last_gated = ((owners - 1.0) * w_total / owners).floor();
+                    let trailing = (waves0 - last_gated).max(0.0);
+                    let serial_tail = mem_group + f64::from(ii_comp) * trailing;
+                    let ramp = mem_group / owners + f64::from(ii_comp) * waves0;
+                    let group0 = (ii_wi * waves)
+                        .max(f64::from(ii_comp) * waves0)
+                        .max(serial_tail)
+                        .max(ramp)
+                        + f64::from(depth);
+                    let group_block = group0 + rest;
+                    let t = (group_block + dl_warm) * wg_rounds + dl + launch;
+                    let hvy = hvy_mem_pipe * hvy_scale;
+                    let hvy_tail = hvy + f64::from(ii_comp) * trailing;
+                    let hvy_ramp = hvy / owners + f64::from(ii_comp) * waves0;
+                    let hvy_time = (f64::from(ii_comp) * waves0)
+                        .max(hvy_tail)
+                        .max(hvy_ramp)
+                        + f64::from(depth)
+                        + rest;
+                    let floor = hvy_time + dl_warm + dl + launch;
+                    let t_final = t.max(floor);
+                    let comp_group = comp_step(rho[0]) + rest;
+                    let cycles = t_final / tbf;
+                    let mem =
+                        ((group_block - comp_group) * wg_rounds + (t_final - t)) / tbf;
+                    let overhead = (dl_warm * wg_rounds + dl + launch) / tbf;
+                    (cycles, ii_wi, cycles - mem - overhead, mem, overhead)
+                }
+            }
+        } else {
+            match config.comm_mode {
             CommMode::Barrier => {
                 let mem_per_group = l_mem_wi * n_wi_wg * mem_scale;
                 let t = (mem_per_group + l_cu + dl_warm) * wg_rounds + dl + launch;
                 let floor =
-                    analysis.mem_group_max_phased * hvy_scale + l_cu + dl_warm + dl + launch;
+                    hvy_mem_phased * hvy_scale + l_cu + dl_warm + dl + launch;
                 let t_final = t.max(floor);
                 (
                     t_final,
                     f64::from(ii_comp),
                     l_cu * wg_rounds,
                     mem_per_group * wg_rounds + (t_final - t),
+                    dl_warm * wg_rounds + dl + launch,
                 )
             }
             CommMode::Pipeline => {
                 // Eq. 11–12, with the group's total transfer volume as a
                 // floor: even when PE replication removes all waves
                 // (`waves → 0`), the work-group's memory must still stream
-                // through the CU.
-                let ii_wi = (l_mem_wi * mem_scale).max(f64::from(ii_comp));
+                // through the CU. A coarse item owns its `cf` merged
+                // work-items' memory, so its per-initiation latency is
+                // `cf · L_mem` (exactly `L_mem` at cf == 1).
+                let ii_wi =
+                    (f64::from(cf) * l_mem_wi * mem_scale).max(f64::from(ii_comp));
                 let mem_group = l_mem_wi * n_wi_wg * mem_scale;
                 // Wave-overlap correction: a wave can only initiate once
                 // the bursts its work-items own have returned. With B
@@ -344,7 +489,7 @@ impl<A: Borrow<KernelAnalysis>> EvalContext<A> {
                 // compute; finely interleaved owners (B ≥ W) recover the
                 // plain max() overlap.
                 let w_total = waves + 1.0;
-                let owners = analysis.burst_owners_per_group.clamp(1.0, w_total);
+                let owners = owners_group.clamp(1.0, w_total);
                 let last_gated = ((owners - 1.0) * w_total / owners).floor();
                 let trailing = (waves - last_gated).max(0.0);
                 let serial_tail = mem_group + f64::from(ii_comp) * trailing;
@@ -355,7 +500,7 @@ impl<A: Borrow<KernelAnalysis>> EvalContext<A> {
                 // The heaviest group's time follows the same overlap
                 // structure with its solo memory service in place of the
                 // mean (it runs alone on its CU, so no contention scale).
-                let hvy = analysis.mem_group_max * hvy_scale;
+                let hvy = hvy_mem_pipe * hvy_scale;
                 let hvy_tail = hvy + f64::from(ii_comp) * trailing;
                 let hvy_ramp = hvy / owners + f64::from(ii_comp) * waves;
                 let hvy_time = (f64::from(ii_comp) * waves)
@@ -373,10 +518,11 @@ impl<A: Borrow<KernelAnalysis>> EvalContext<A> {
                     ii_wi,
                     comp_group * wg_rounds,
                     (group_time - comp_group) * wg_rounds + (t_final - t),
+                    dl_warm * wg_rounds + dl + launch,
                 )
             }
+            }
         };
-        let overhead_cycles = dl_warm * wg_rounds + dl + launch;
 
         Ok(Estimate {
             cycles,
@@ -440,6 +586,7 @@ mod tests {
             has_barrier: false,
             reqd_work_group: Some((64, 1)),
             vectorizable: true,
+            iterative: false,
         });
         assert!(space.len() > 50);
         let mut ctx = EvalContext::new(&a);

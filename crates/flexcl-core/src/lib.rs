@@ -59,11 +59,13 @@ pub mod eval;
 pub mod model;
 pub mod platform;
 
-pub use analysis::{AnalysisScratch, ContentionCurve, ContentionProbe, KernelAnalysis,
-    ProfileFuel, ResolvedRecurrence, Workload};
+pub use analysis::{coarsen_trace, AnalysisScratch, CoarsenLevel, ContentionCurve,
+    ContentionProbe, KernelAnalysis, ProfileFuel, ResolvedRecurrence, Workload,
+    COARSEN_CANDIDATES};
 pub use area::{estimate_area, pareto_frontier, AreaEstimate, ParetoPoint};
 pub use config::{
-    enumerate, CommMode, ConfigSpace, DesignSpaceLimits, OptimizationConfig, SweepGrid,
+    enumerate, is_iterative_stencil, CommMode, ConfigSpace, DesignSpaceLimits,
+    OptimizationConfig, SweepGrid, MAX_COARSEN, MAX_TEMPORAL_DEPTH,
 };
 pub use dse::{
     explore, explore_configs, explore_space, explore_space_cached, explore_space_deadline,

@@ -173,6 +173,78 @@ pub fn pe_budget(analysis: &KernelAnalysis, config: &OptimizationConfig) -> Reso
     }
 }
 
+/// `RecMII` of a thread-coarsened PE: merging `cf` work-items per coarse
+/// item leaves each recurrence's cycle latency `L` intact but makes every
+/// initiation advance `cf` work-items, so the constraint tightens from
+/// `ceil(L / d)` to `ceil(cf · L / d)` per recurrence. Reduces to
+/// [`KernelAnalysis::rec_mii`] exactly at `cf == 1`.
+pub fn coarsened_rec_mii(analysis: &KernelAnalysis, cf: u32) -> u32 {
+    analysis
+        .recurrences
+        .iter()
+        .map(|r| {
+            let scaled = u64::from(cf).saturating_mul(r.cycle_latency);
+            scaled.div_ceil(u64::from(r.distance.max(1))).min(u64::from(u32::MAX)) as u32
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Re-derives a PE's pipeline parameters for a coarsening factor `cf`
+/// from the scheduled base `(ii, depth)` (DESIGN.md §15).
+///
+/// The coarse item's body is the base body repeated `cf` times, software-
+/// pipelined: the recurrence-free portion of the initiation interval
+/// (`ii - rec`) is paid once per merged work-item, while the recurrence
+/// bound amortizes across the merged items (`rec_cf = ceil(cf·L/d)` ≤
+/// `cf · ceil(L/d)`) — the core win thread coarsening buys on FPGAs.
+/// Depth grows by the `(cf - 1)` extra initiations the first coarse item
+/// absorbs. Exact identity at `cf == 1`: returns `(ii, depth)` unchanged.
+pub fn coarsened_pipeline_params(
+    analysis: &KernelAnalysis,
+    ii: u32,
+    depth: u32,
+    cf: u32,
+) -> (u32, u32) {
+    if cf <= 1 {
+        return (ii, depth);
+    }
+    let rec = analysis.rec_mii();
+    let rec_cf = coarsened_rec_mii(analysis, cf);
+    let ii_cf = cf.saturating_mul(ii.saturating_sub(rec)).saturating_add(rec_cf).max(1);
+    let depth_cf = depth.saturating_add((cf - 1).saturating_mul(ii));
+    (ii_cf, depth_cf)
+}
+
+/// Per-step compute redundancy of a temporal block of depth `tb`
+/// (DESIGN.md §15): fusing `tb` stencil steps on chip means step `k`
+/// must be computed over a halo-expanded tile — radius `tb - 1 - k`
+/// remains for the later steps — so its item count inflates by
+/// `rho_k = prod_d (1 + 2·(tb-1-k) / t_d)` over the blocked dimensions
+/// (`t_d` = work-group extent where the NDRange extends; dimensions of
+/// size 1 are not blocked). `rho_{tb-1} == 1`: the last step computes
+/// exactly the tile. At `tb == 1` this is `[1.0]` — no redundancy.
+pub fn temporal_step_redundancy(
+    work_group: (u32, u32),
+    global: (u64, u64),
+    tb: u32,
+) -> Vec<f64> {
+    let tb = tb.max(1);
+    (0..tb)
+        .map(|k| {
+            let halo = f64::from(tb - 1 - k);
+            let mut rho = 1.0f64;
+            if global.0 > 1 {
+                rho *= 1.0 + 2.0 * halo / f64::from(work_group.0.max(1));
+            }
+            if global.1 > 1 {
+                rho *= 1.0 + 2.0 * halo / f64::from(work_group.1.max(1));
+            }
+            rho
+        })
+        .collect()
+}
+
 /// Evaluates the full model for one configuration.
 ///
 /// Infeasible configurations (device capacity exceeded) are a *successful*
@@ -224,20 +296,36 @@ pub fn cycle_lower_bound(analysis: &KernelAnalysis, mode: CommMode) -> f64 {
     let platform = &analysis.platform;
     let n_wi_kernel = (analysis.global.0 * analysis.global.1) as f64;
     let n_wi_wg = (u64::from(analysis.work_group.0) * u64::from(analysis.work_group.1)) as f64;
-    let l_mem_wi = match mode {
+    // Coarsening can only shrink per-original-work-item memory latency
+    // (merged accesses deduplicate and re-coalesce), so the bound takes
+    // the minimum over the base analysis and every pre-analyzed level.
+    let pipeline = matches!(mode, CommMode::Pipeline);
+    let base_l_mem = match mode {
         CommMode::Barrier => analysis.l_mem_wi_phased(),
         CommMode::Pipeline => analysis.l_mem_wi(),
     };
+    let l_mem_wi = analysis
+        .coarsen_levels
+        .iter()
+        .map(|lvl| {
+            if pipeline {
+                lvl.l_mem_wi(&analysis.pattern_latencies)
+            } else {
+                lvl.l_mem_wi_phased(&analysis.pattern_latencies)
+            }
+        })
+        .fold(base_l_mem, f64::min);
     // The integration scales memory by the contention curve's factor at
     // the configuration's CU count; the curve's minimum keeps the bound
     // under every reachable factor (interpolation never dips below it).
-    let mem_group = l_mem_wi
-        * n_wi_wg
-        * analysis.contention.min_factor(matches!(mode, CommMode::Pipeline));
+    let mem_group = l_mem_wi * n_wi_wg * analysis.contention.min_factor(pipeline);
 
-    // Best enumerable computation: every wave issues in one cycle.
+    // Best enumerable computation: every wave issues in one cycle, over
+    // the fewest issuable items (maximal coarsening merges MAX_COARSEN
+    // work-items per coarse item).
     let max_lanes = f64::from(MAX_PES * MAX_VECTOR_WIDTH);
-    let waves_min = ((n_wi_wg - max_lanes) / max_lanes).ceil().max(0.0);
+    let items_min = n_wi_wg / f64::from(crate::config::MAX_COARSEN);
+    let waves_min = ((items_min - max_lanes) / max_lanes).ceil().max(0.0);
 
     // Fewest rounds: full CU replication.
     let rounds_min = (n_wi_kernel / (n_wi_wg * f64::from(MAX_CUS))).ceil().max(1.0);
@@ -249,7 +337,15 @@ pub fn cycle_lower_bound(analysis: &KernelAnalysis, mode: CommMode) -> f64 {
         CommMode::Barrier => mem_group + waves_min,
         CommMode::Pipeline => waves_min.max(mem_group),
     };
-    (per_round + dl_warm) * rounds_min + dl + launch
+    let bound = (per_round + dl_warm) * rounds_min + dl + launch;
+    // Temporal blocking amortizes everything across up to
+    // MAX_TEMPORAL_DEPTH fused steps on iterative kernels; dividing keeps
+    // the bound under every enumerable depth (and trivially under depth 1).
+    if crate::config::is_iterative_stencil(&analysis.func.name) {
+        bound / f64::from(crate::config::MAX_TEMPORAL_DEPTH)
+    } else {
+        bound
+    }
 }
 
 /// Eq. 6 (standard resource-sharing form; see module docs).
@@ -535,6 +631,7 @@ mod tests {
             has_barrier: false,
             reqd_work_group: Some((64, 1)),
             vectorizable: true,
+            iterative: false,
         };
         let space = crate::config::enumerate(&limits);
         assert!(!space.is_empty());

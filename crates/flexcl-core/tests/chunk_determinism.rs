@@ -12,7 +12,9 @@
 //!   size alone — threads ∈ {2, 4, 8} reproduce the threads = 1 sweep
 //!   bit for bit — and `best()` always matches the exhaustive sweep.
 
-use flexcl_core::{explore_with, DseOptions, DseResult, Platform, Workload};
+use flexcl_core::{
+    explore_space, explore_with, DseOptions, DseResult, Platform, SweepGrid, Workload,
+};
 use flexcl_interp::KernelArg;
 use flexcl_ir::Function;
 use proptest::prelude::*;
@@ -65,6 +67,64 @@ fn assert_points_identical(a: &DseResult, b: &DseResult) {
     for (pa, pb) in a.points.iter().zip(&b.points) {
         assert_eq!(pa.config, pb.config);
         assert_eq!(pa.estimate, pb.estimate, "{}", pa.config);
+    }
+}
+
+/// An iterative stencil, so the enlarged fine grid enumerates BOTH new
+/// axes (coarsening per work-group family, temporal depth space-wide).
+fn stencil_fixture() -> &'static (Function, Workload, Platform) {
+    static F: OnceLock<(Function, Workload, Platform)> = OnceLock::new();
+    F.get_or_init(|| {
+        let p = flexcl_frontend::parse_and_check(
+            "__kernel void jacobi2d(__global float* a, __global float* b, int w, int h) {
+                int x = get_global_id(0);
+                int y = get_global_id(1);
+                int i = y * w + x;
+                if (x > 0 && x < w - 1 && y > 0 && y < h - 1) {
+                    b[i] = 0.2f * (a[i] + a[i - 1] + a[i + 1] + a[i - w] + a[i + w]);
+                }
+            }",
+        )
+        .expect("frontend");
+        let f = flexcl_ir::lower_kernel(&p.kernels[0]).expect("lowering");
+        let w = Workload {
+            args: vec![
+                KernelArg::FloatBuf(vec![1.0; 1024]),
+                KernelArg::FloatBuf(vec![0.0; 1024]),
+                KernelArg::Int(32),
+                KernelArg::Int(32),
+            ],
+            global: (32, 32),
+        };
+        (f, w, Platform::virtex7_adm7v3())
+    })
+}
+
+/// The fine grid enlarged by the coarsening/temporal axes remains a pure
+/// function of the schedule order: threads ∈ {2, 4, 8} reproduce the
+/// threads = 1 sweep bit for bit, pruning on or off, and the swept space
+/// genuinely contains points on the new axes.
+#[test]
+fn fine_grid_with_new_axes_is_deterministic_across_threads() {
+    let (f, w, platform) = stencil_fixture();
+    let run = |threads: usize, prune: bool| {
+        let opts = DseOptions { threads, chunk_size: 37, prune, ..DseOptions::default() };
+        explore_space(f, platform, w, &SweepGrid::fine(), opts).expect("fine sweep")
+    };
+    for prune in [false, true] {
+        let reference = run(1, prune);
+        assert!(
+            reference.points.iter().any(|p| p.config.coarsen_factor > 1),
+            "fine grid must sweep the coarsening axis"
+        );
+        assert!(
+            reference.points.iter().any(|p| p.config.temporal_block_depth > 1),
+            "fine grid must sweep the temporal axis on an iterative stencil"
+        );
+        for threads in [2usize, 4, 8] {
+            let parallel = run(threads, prune);
+            assert_points_identical(&reference, &parallel);
+        }
     }
 }
 

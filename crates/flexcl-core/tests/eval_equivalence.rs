@@ -72,8 +72,13 @@ fn arb_config() -> BoxedStrategy<OptimizationConfig> {
         arb_knob(),
         arb_knob(),
         any::<bool>(),
+        // Coarsening factors skew toward the analyzed levels (1/2/4/8) but
+        // include hostile values; temporal depth >1 exercises the typed
+        // rejection path (saxpy is not an iterative stencil), which must
+        // also be cache-transparent.
+        (proptest::sample::select(vec![1u32, 2, 3, 4, 8]), proptest::sample::select(vec![1u32, 2, 4])),
     )
-        .prop_map(|(work_group, pipe, num_pes, num_cus, vector_width, pipe_mode)| {
+        .prop_map(|(work_group, pipe, num_pes, num_cus, vector_width, pipe_mode, (cf, tb))| {
             OptimizationConfig {
                 work_group,
                 work_item_pipeline: pipe,
@@ -81,6 +86,8 @@ fn arb_config() -> BoxedStrategy<OptimizationConfig> {
                 num_cus,
                 vector_width,
                 comm_mode: if pipe_mode { CommMode::Pipeline } else { CommMode::Barrier },
+                coarsen_factor: cf,
+                temporal_block_depth: tb,
             }
         })
         .boxed()

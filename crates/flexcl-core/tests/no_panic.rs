@@ -54,17 +54,22 @@ fn arb_config() -> BoxedStrategy<OptimizationConfig> {
         arb_knob(),
         arb_knob(),
         any::<bool>(),
+        (arb_knob(), arb_knob()),
     )
-        .prop_map(|(work_group, pipe, num_pes, num_cus, vector_width, pipe_mode)| {
-            OptimizationConfig {
-                work_group,
-                work_item_pipeline: pipe,
-                num_pes,
-                num_cus,
-                vector_width,
-                comm_mode: if pipe_mode { CommMode::Pipeline } else { CommMode::Barrier },
-            }
-        })
+        .prop_map(
+            |(work_group, pipe, num_pes, num_cus, vector_width, pipe_mode, (cf, tb))| {
+                OptimizationConfig {
+                    work_group,
+                    work_item_pipeline: pipe,
+                    num_pes,
+                    num_cus,
+                    vector_width,
+                    comm_mode: if pipe_mode { CommMode::Pipeline } else { CommMode::Barrier },
+                    coarsen_factor: cf,
+                    temporal_block_depth: tb,
+                }
+            },
+        )
         .boxed()
 }
 

@@ -19,7 +19,8 @@
 //!   --listeners N        epoll event loops sharing the port via
 //!                        SO_REUSEPORT (default 1; Linux --listen only)
 //!   --idle-timeout-ms N  close idle connections after N ms (default
-//!                        30000; Linux --listen only)
+//!                        30000; 0 disables reaping so idle connections
+//!                        stay open; Linux --listen only)
 //!   --blocking-tcp       use the thread-per-connection transport
 //!                        instead of epoll
 //! ```

@@ -95,7 +95,10 @@ pub struct PersistentCache {
 }
 
 fn shard_of(key: Key) -> usize {
-    (key.0 as usize) % SHARDS
+    // Take the modulo in u64: `key.0 as usize` would drop the high 32 bits
+    // on 32-bit targets, silently remapping every entry to a different
+    // shard than a 64-bit writer chose for the same key.
+    (key.0 % SHARDS as u64) as usize
 }
 
 fn entry_name(key: Key) -> String {

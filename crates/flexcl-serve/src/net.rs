@@ -197,7 +197,8 @@ pub mod epoll {
         /// Event loops, each with its own `SO_REUSEPORT` listener.
         pub listeners: usize,
         /// Idle connections (no traffic, nothing in flight) are closed
-        /// after this long.
+        /// after this long. A zero duration disables reaping: idle
+        /// connections stay open until the peer closes or the loop stops.
         pub idle_timeout: Duration,
         /// Per-loop cap on concurrent connections; excess accepts are
         /// closed immediately.
@@ -477,8 +478,15 @@ pub mod epoll {
         let mut next_id = FIRST_CONN;
         let mut events = [sys::EpollEvent { events: 0, data: 0 }; 64];
         // Wake at least 4x per idle window so reaping is timely even
-        // with no traffic.
-        let tick = (opts.idle_timeout.as_millis() as i32 / 4).clamp(10, 200);
+        // with no traffic. A zero timeout disables reaping entirely
+        // (connections then live until the peer closes or the loop stops),
+        // so the tick only paces shutdown polling.
+        let reap_enabled = !opts.idle_timeout.is_zero();
+        let tick = if reap_enabled {
+            (opts.idle_timeout.as_millis() as i32 / 4).clamp(10, 200)
+        } else {
+            200
+        };
 
         while !stop.load(Ordering::SeqCst) {
             let n = poller.wait(&mut events, tick)?;
@@ -510,18 +518,20 @@ pub mod epoll {
                     close_conn(&poller, &mut conns, id);
                 }
             }
-            let now = Instant::now();
-            let idle: Vec<u64> = conns
-                .iter()
-                .filter(|(_, c)| {
-                    c.inflight == 0
-                        && c.wpos >= c.wbuf.len()
-                        && now.duration_since(c.last) >= opts.idle_timeout
-                })
-                .map(|(&id, _)| id)
-                .collect();
-            for id in idle {
-                close_conn(&poller, &mut conns, id);
+            if reap_enabled {
+                let now = Instant::now();
+                let idle: Vec<u64> = conns
+                    .iter()
+                    .filter(|(_, c)| {
+                        c.inflight == 0
+                            && c.wpos >= c.wbuf.len()
+                            && now.duration_since(c.last) >= opts.idle_timeout
+                    })
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in idle {
+                    close_conn(&poller, &mut conns, id);
+                }
             }
         }
         Ok(())

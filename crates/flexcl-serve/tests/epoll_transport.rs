@@ -109,6 +109,31 @@ fn idle_connections_are_reaped_after_the_timeout() {
 }
 
 #[test]
+fn zero_idle_timeout_disables_reaping() {
+    // Regression: a zero idle timeout used to make the reap predicate
+    // `now - last >= 0` trivially true, so every quiescent connection was
+    // closed on the very first loop tick. Zero must mean "never reap".
+    let (transport, addr) = start(EpollOptions {
+        idle_timeout: Duration::ZERO,
+        ..EpollOptions::default()
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_frame(&mut stream, "{\"metrics\":\"json\"}").expect("write");
+    read_frame(&mut stream).expect("read").expect("frame");
+
+    // Sit idle for well over several loop ticks (the buggy tick was the
+    // 10ms clamp floor; the disabled-reap tick is 200ms), then prove the
+    // connection still answers.
+    std::thread::sleep(Duration::from_millis(700));
+    write_frame(&mut stream, "{\"metrics\":\"json\"}").expect("write after idle");
+    let reply = read_frame(&mut stream)
+        .expect("connection must survive idling with reaping disabled")
+        .expect("frame");
+    assert!(reply.contains("serve."), "{reply}");
+    transport.shutdown().expect("shutdown");
+}
+
+#[test]
 fn reuseport_listeners_share_one_resolved_port() {
     let (transport, addr) = start(EpollOptions {
         listeners: 3,

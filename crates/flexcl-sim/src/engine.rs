@@ -128,7 +128,7 @@ pub fn system_run(
 
     // ---- synthesized pipeline parameters (perturbed) -------------------
     let budget = pe_budget(&analysis, config);
-    let (ii_sim, depth_sim) = if config.work_item_pipeline {
+    let (ii_base, depth_base) = if config.work_item_pipeline {
         let (g, _) = analysis.work_item_graph(&budget)?;
         let pg = perturb_graph(&g, &mut rng);
         let floor = (analysis.work_item_latency(&budget)?
@@ -142,6 +142,22 @@ pub fn system_run(
         .round()
         .max(1.0) as u32;
         (d, d)
+    };
+    // Thread coarsening re-derives the synthesized pipeline from the
+    // *perturbed* base parameters — the same analytical relation the model
+    // uses, applied to this "synthesis run"'s schedule. Pass-through at
+    // cf == 1.
+    let cf = config.coarsen_factor.max(1);
+    let tb = config.temporal_block_depth.max(1);
+    let (ii_sim, depth_sim) = if cf > 1 {
+        if config.work_item_pipeline {
+            flexcl_core::model::coarsened_pipeline_params(&analysis, ii_base, depth_base, cf)
+        } else {
+            let d = ii_base.saturating_mul(cf).max(1);
+            (d, d)
+        }
+    } else {
+        (ii_base, depth_base)
     };
 
     // ---- full execution trace ------------------------------------------
@@ -159,15 +175,36 @@ pub fn system_run(
     })?;
 
     // Shared representation with the analytical model: per-group coalesced
-    // bursts in work-item order.
+    // bursts in work-item order. Coarsening merges the trace exactly as the
+    // analysis does (dedupe per coarse item, re-coalesce) — the merged
+    // stream IS the memory behaviour of the coarsened design.
     let unit_bytes = platform.mem_access_unit_bits / 8;
+    let trace = flexcl_core::coarsen_trace(&profile.trace, cf);
     let group_bursts: std::collections::HashMap<u64, Vec<OwnedBurst>> =
-        trace_to_group_bursts(&profile.trace, unit_bytes).into_iter().collect();
+        trace_to_group_bursts(&trace, unit_bytes).into_iter().collect();
 
     // ---- execution -------------------------------------------------------
     let n_groups = nd.num_groups();
     let wg_size = nd.work_group_size();
     let n_pe = u64::from(est.n_pe.max(1));
+    // A CU issues coarse items (`cf` divides the work-group size).
+    let wg_items = wg_size / u64::from(cf);
+    // Temporal blocking fuses `tb` stencil steps per tile: memory streams
+    // once per block, step k computes over a halo-expanded tile (rho_k ×
+    // the items), and the block's time amortizes over its steps at the end.
+    let rho = flexcl_core::model::temporal_step_redundancy(analysis.work_group, analysis.global, tb);
+    let comp_phase = |items: u64| -> f64 {
+        if config.work_item_pipeline {
+            let waves = ((items.saturating_sub(n_pe)) as f64 / n_pe as f64).ceil();
+            f64::from(ii_sim) * waves + f64::from(depth_sim)
+        } else {
+            (items as f64 / n_pe as f64).ceil() * f64::from(depth_sim)
+        }
+    };
+    let items0 = (wg_items as f64 * rho[0]).ceil() as u64;
+    // Steps after the first run out of on-chip buffers — pure compute.
+    let extra_comp: f64 =
+        rho[1..].iter().map(|&r| comp_phase((wg_items as f64 * r).ceil() as u64)).sum();
     // One DRAM state per CU. Groups are simulated sequentially, so sharing
     // bank state across concurrently-running CUs would let a group's
     // *later* writes block another CU's *earlier* reads — an ordering
@@ -213,10 +250,14 @@ pub fn system_run(
         let engines = 1usize;
         let (end, comp) = match config.comm_mode {
             CommMode::Barrier => simulate_barrier_group(
-                start, bursts, wg_size, n_pe, ii_sim, depth_sim, config, dram, engines,
+                start,
+                bursts,
+                comp_phase(items0) + extra_comp,
+                dram,
+                engines,
             ),
             CommMode::Pipeline => simulate_pipeline_group(
-                start, bursts, wg_size, n_pe, ii_sim, depth_sim, dram, engines,
+                start, bursts, items0, n_pe, ii_sim, depth_sim, extra_comp, dram, engines,
             ),
         };
         cu_overhead[cu_idx] += dispatch;
@@ -231,33 +272,33 @@ pub fn system_run(
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .expect("at least one CU");
-    let cycles = crit_free + f64::from(platform.launch_overhead);
+    // A temporal block stands in for `tb` kernel invocations: every
+    // component amortizes by `/tb` so the result stays comparable with
+    // unblocked runs (exact division by 1.0 otherwise).
+    let tbf = f64::from(tb);
+    let cycles = (crit_free + f64::from(platform.launch_overhead)) / tbf;
     Ok(SimResult {
         cycles,
         groups: n_groups,
         ii: ii_sim,
         depth: depth_sim,
-        comp_cycles: cu_comp[crit],
-        mem_cycles: cu_mem[crit],
-        overhead_cycles: cu_overhead[crit] + f64::from(platform.launch_overhead),
+        comp_cycles: cu_comp[crit] / tbf,
+        mem_cycles: cu_mem[crit] / tbf,
+        overhead_cycles: (cu_overhead[crit] + f64::from(platform.launch_overhead)) / tbf,
     })
 }
 
 /// Barrier mode: the CU streams the group's reads through its AXI engine,
-/// computes, then streams the writes. Engine requests serialize; banks are
-/// shared with other CUs through the common DRAM state.
+/// computes (`comp` covers every fused temporal step), then streams the
+/// writes. Engine requests serialize; banks are shared with other CUs
+/// through the common DRAM state.
 ///
 /// Returns `(end, comp)` — the finish time and the pure compute component
 /// of the group's occupancy (`end - start - comp` is its DRAM stall).
-#[allow(clippy::too_many_arguments)]
 fn simulate_barrier_group(
     start: f64,
     bursts: &[OwnedBurst],
-    wg_size: u64,
-    n_pe: u64,
-    ii: u32,
-    depth: u32,
-    config: &OptimizationConfig,
+    comp: f64,
     dram: &mut DramSim,
     engines: usize,
 ) -> (f64, f64) {
@@ -273,13 +314,7 @@ fn simulate_barrier_group(
         engine_free[slot] = info.finish as f64;
     }
     let mut t = engine_free.iter().copied().fold(start, f64::max);
-    // Computation phase.
-    let comp = if config.work_item_pipeline {
-        let waves = ((wg_size.saturating_sub(n_pe)) as f64 / n_pe as f64).ceil();
-        f64::from(ii) * waves + f64::from(depth)
-    } else {
-        (wg_size as f64 / n_pe as f64).ceil() * f64::from(depth)
-    };
+    // Computation phase (all temporal steps back to back).
     t += comp;
     let mut engine_free = vec![t; engines];
     for (i, b) in bursts.iter().filter(|b| b.burst.kind == AccessKind::Write).enumerate() {
@@ -296,12 +331,17 @@ fn simulate_barrier_group(
 }
 
 /// Pipeline mode: the CU's burst engine streams the group's transactions
-/// ahead of the pipeline; a work-item wave can only initiate once the
-/// bursts it owns have returned. Initiation otherwise advances every `ii`
-/// cycles — the mechanistic counterpart of Eq. 12: the effective interval
-/// is whichever of computation and memory is slower.
+/// ahead of the pipeline; an item wave can only initiate once the bursts
+/// it owns have returned. Initiation otherwise advances every `ii` cycles
+/// — the mechanistic counterpart of Eq. 12: the effective interval is
+/// whichever of computation and memory is slower. `wg_size` counts the
+/// issuable items of the first fused step (coarse items × its halo
+/// expansion); `extra_comp` appends the remaining temporal steps, which
+/// run out of on-chip buffers after the stream.
 /// Returns `(end, comp)`; `comp` is the stall-free pipeline time
-/// `ii * (waves - 1) + depth`, a floor on the group's occupancy.
+/// `ii * (waves - 1) + depth` plus `extra_comp`, a floor on the group's
+/// occupancy.
+#[allow(clippy::too_many_arguments)]
 fn simulate_pipeline_group(
     start: f64,
     bursts: &[OwnedBurst],
@@ -309,6 +349,7 @@ fn simulate_pipeline_group(
     n_pe: u64,
     ii: u32,
     depth: u32,
+    extra_comp: f64,
     dram: &mut DramSim,
     engines: usize,
 ) -> (f64, f64) {
@@ -356,8 +397,9 @@ fn simulate_pipeline_group(
     for (_, r) in &owner_ready[oi..] {
         issue = issue.max(*r);
     }
-    let comp = f64::from(ii) * (waves.saturating_sub(1)) as f64 + f64::from(depth);
-    (issue + f64::from(depth), comp)
+    let comp =
+        f64::from(ii) * (waves.saturating_sub(1)) as f64 + f64::from(depth) + extra_comp;
+    (issue + f64::from(depth) + extra_comp, comp)
 }
 
 /// Deterministic hash of a configuration (perturbations differ between
@@ -374,6 +416,18 @@ fn config_hash(c: &OptimizationConfig) -> u64 {
         matches!(c.comm_mode, CommMode::Pipeline) as u64,
     ] {
         h ^= v;
+        h = h.wrapping_mul(1099511628211);
+    }
+    // The new axes fold in ONLY away from their identity values, so every
+    // pre-axis configuration keeps its exact historical hash (and thus its
+    // perturbation seed — committed sim baselines stay valid). Distinct
+    // salts keep cf=2 and tb=2 from colliding.
+    if c.coarsen_factor > 1 {
+        h ^= u64::from(c.coarsen_factor) ^ 0xC0A2_5EED;
+        h = h.wrapping_mul(1099511628211);
+    }
+    if c.temporal_block_depth > 1 {
+        h ^= u64::from(c.temporal_block_depth) ^ 0x7E3B_10C4;
         h = h.wrapping_mul(1099511628211);
     }
     h

@@ -32,6 +32,21 @@ trap 'rm -f "$BENCH_SMOKE" "$BENCH_ACC"' EXIT
 cargo run --release -q -p flexcl-bench --bin triage -- \
   --kernels nw --out "$BENCH_ACC" --max-mean-err 10 --no-csv
 cargo run --release -q -p flexcl-bench --bin triage -- --check "$BENCH_ACC"
+# New-axis accuracy smoke: jacobi2d's triage sweep includes the
+# coarsening/temporal-blocking probes (DESIGN.md §15), so this gates the
+# new axes' model-vs-sim error within the same bound and requires the
+# blocked probes to actually win in the simulator (steady-state mean
+# ≈ 0.8%). The identity half of the contract (cf=1/tb=1 bit-identical
+# to the pre-axis model) and the enlarged-grid determinism run in
+# `cargo test` above (identity_golden, new_axes, chunk_determinism).
+BENCH_AXES="$(mktemp -t bench_axes_smoke.XXXXXX.json)"
+AXES_OUT="$(mktemp -t bench_axes_smoke_out.XXXXXX.txt)"
+trap 'rm -f "$BENCH_SMOKE" "$BENCH_ACC" "$BENCH_AXES" "$AXES_OUT"' EXIT
+cargo run --release -q -p flexcl-bench --bin triage -- \
+  --kernels jacobi2d --out "$BENCH_AXES" --max-mean-err 10 --no-csv \
+  > "$AXES_OUT"
+grep -q 'polybench/jacobi2d.*, win' "$AXES_OUT"
+cargo run --release -q -p flexcl-bench --bin triage -- --check "$BENCH_AXES"
 # Serving smoke: the estimation server must answer a good request with a
 # typed ok, a malformed frame with a typed rejection (not a crash), and
 # a past-deadline request with a typed deadline error — then shut down
